@@ -1,0 +1,20 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables or figures.  Each
+simulation is deterministic and heavy relative to a microbenchmark, so
+benches run a single round via ``run_once`` and print the same rows the
+paper reports (run pytest with ``-s`` to see them).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,65 @@
+"""Section 3.3/4.5 ablation — the BW difference threshold.
+
+"Smaller values imply better isolation, with a choice of zero resulting
+in round-robin scheduling.  Larger values imply smaller seek times, and
+a very large value results in the normal disk-head-position
+scheduling."  The sweep regenerates that trade-off on the
+big-and-small-copy workload, plus the decay-period and memory-reserve
+sweeps.
+"""
+
+from repro.experiments import (
+    run_bw_threshold_sweep,
+    run_decay_sweep,
+    run_reserve_sweep,
+)
+from repro.metrics import format_table
+
+
+def test_ablation_bw_threshold(run_once):
+    points = run_once(run_bw_threshold_sweep)
+    rows = [
+        [f"{p.threshold:g}", f"{p.small_response_s:.2f}",
+         f"{p.big_response_s:.2f}", f"{p.small_wait_ms:.1f}",
+         f"{p.latency_ms:.2f}"]
+        for p in points
+    ]
+    print()
+    print(format_table(
+        ["threshold", "small s", "big s", "wait S ms", "lat ms"], rows,
+        title="BW-difference threshold sweep",
+    ))
+
+    # Isolation end: small copy protected at low thresholds.
+    assert points[0].small_response_s < 0.6 * points[-1].small_response_s
+    # Throughput end: converges to position-only (lowest latency).
+    assert points[-1].latency_ms <= min(p.latency_ms for p in points) * 1.05
+
+
+def test_ablation_decay_period(run_once):
+    points = run_once(run_decay_sweep)
+    rows = [
+        [f"{p.threshold:g}", f"{p.small_response_s:.2f}", f"{p.big_response_s:.2f}"]
+        for p in points
+    ]
+    print()
+    print(format_table(["decay ms", "small s", "big s"], rows,
+                       title="Bandwidth-counter decay period sweep"))
+    # Fairness holds across the sweep; the small copy is never locked out.
+    assert all(p.small_response_s < p.big_response_s for p in points)
+
+
+def test_ablation_reserve_threshold(run_once):
+    points = run_once(run_reserve_sweep)
+    rows = [
+        [f"{p.reserve_fraction:.2f}", f"{p.spu1_unbalanced_s:.2f}",
+         f"{p.spu2_unbalanced_s:.2f}"]
+        for p in points
+    ]
+    print()
+    print(format_table(["reserve", "SPU1 s", "SPU2 s"], rows,
+                       title="Memory Reserve Threshold sweep"))
+    # A huge reserve throttles lending: the borrower does no better
+    # than at the paper's 8% setting.
+    paper_setting, huge = points[1], points[-1]
+    assert huge.spu2_unbalanced_s >= paper_setting.spu2_unbalanced_s

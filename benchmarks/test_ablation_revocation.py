@@ -1,0 +1,56 @@
+"""Section 3.1 ablations — revocation latency, migration cost, loan
+hold-down.
+
+The paper implements tick-granularity revocation (max 10 ms) and notes
+that an IPI "might be needed to provide response time performance
+isolation guarantees to interactive processes", that reallocating CPUs
+has "hidden costs ... such as cache pollution", and that a smarter
+policy could "prevent frequent reallocation of CPUs".  These benches
+quantify all three.
+"""
+
+from repro.experiments import (
+    run_holddown_ablation,
+    run_migration_sweep,
+    run_revocation_ablation,
+)
+from repro.metrics import format_table
+
+
+def test_ablation_revocation_latency(run_once):
+    result = run_once(run_revocation_ablation)
+    print()
+    print(
+        f"interactive wake-up latency: tick {result.tick_latency_ms:.2f} ms"
+        f" vs IPI {result.ipi_latency_ms:.2f} ms ({result.speedup:.0f}x)"
+    )
+    assert result.ipi_latency_ms < 1.0
+    assert result.tick_latency_ms > 2.0
+
+
+def test_ablation_migration_cost(run_once):
+    points = run_once(run_migration_sweep)
+    rows = [
+        [p.migration_cost_us, p.scheme, f"{p.mean_response_s:.3f}"]
+        for p in points
+    ]
+    print()
+    print(format_table(
+        ["cost us", "scheme", "mean response s"], rows,
+        title="Cache-affinity cost: SMP's global queue pays, PIso's"
+        " partition does not",
+    ))
+    smp = {p.migration_cost_us: p.mean_response_s for p in points if p.scheme == "SMP"}
+    piso = {p.migration_cost_us: p.mean_response_s for p in points if p.scheme == "PIso"}
+    top = max(smp)
+    assert smp[top] / smp[0] > piso[top] / piso[0]
+
+
+def test_ablation_loan_holddown(run_once):
+    result = run_once(run_holddown_ablation)
+    print()
+    print(
+        f"loan churn: {result.loans_without} grants without hold-down,"
+        f" {result.loans_with} with 50 ms hold-down"
+    )
+    assert result.loans_with < result.loans_without

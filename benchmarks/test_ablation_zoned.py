@@ -1,0 +1,82 @@
+"""Zoned-disk ablation: does Table 4's shape survive a ZBR disk?
+
+The paper's HP 97560 model is flat (constant sectors/track).  Disks of
+the following generation were zoned; this bench re-runs the
+big-and-small-copy comparison on :func:`hp97560_zoned` to check the
+isolation result is a property of the *scheduling policies*, not of
+the flat geometry.
+"""
+
+from repro.core import DiskSchedPolicy, piso_scheme
+from repro.disk import hp97560_zoned
+from repro.kernel import DiskSpec, Kernel, MachineConfig
+from repro.metrics import format_table
+from repro.sim.units import msecs
+from repro.workloads import copy_job, create_copy_files
+from repro.experiments.disk_bandwidth import TABLE4_BIG, TABLE4_SMALL
+
+
+def run_on_zoned(policy: DiskSchedPolicy, seed: int = 0):
+    scheme = piso_scheme().with_disk_policy(policy)
+    kernel = Kernel(
+        MachineConfig(
+            ncpus=2, memory_mb=44,
+            disks=[DiskSpec(geometry=hp97560_zoned(seek_scale=0.5, media_scale=4))],
+            scheme=scheme, seed=seed,
+        )
+    )
+    spu_small = kernel.create_spu("small")
+    spu_big = kernel.create_spu("big")
+    kernel.boot()
+    total = kernel.drives[0].geometry.total_sectors
+    small_src, small_dst = create_copy_files(
+        kernel.fs, 0, TABLE4_SMALL, name="z-small", at_sector=total // 8
+    )
+    big_src, big_dst = create_copy_files(
+        kernel.fs, 0, TABLE4_BIG, name="z-big", at_sector=(total * 5) // 8
+    )
+    big = kernel.spawn(copy_job(big_src, big_dst, TABLE4_BIG), spu_big)
+    holder = {}
+    kernel.engine.after(
+        msecs(40),
+        lambda: holder.__setitem__(
+            "small",
+            kernel.spawn(copy_job(small_src, small_dst, TABLE4_SMALL), spu_small),
+        ),
+    )
+    kernel.run()
+    small = holder["small"]
+    stats = kernel.drives[0].stats
+    return {
+        "small_s": small.response_us / 1e6,
+        "big_s": big.response_us / 1e6,
+        "wait_small_ms": stats.mean_wait_ms(spu_small.spu_id),
+        "latency_ms": stats.mean_latency_ms(),
+    }
+
+
+def test_table4_shape_on_zoned_disk(run_once):
+    def sweep():
+        return {
+            p.value: run_on_zoned(p)
+            for p in (DiskSchedPolicy.POS, DiskSchedPolicy.ISO, DiskSchedPolicy.PISO)
+        }
+
+    rows_by_policy = run_once(sweep)
+    rows = [
+        [name, f"{r['small_s']:.2f}", f"{r['big_s']:.2f}",
+         f"{r['wait_small_ms']:.1f}", f"{r['latency_ms']:.2f}"]
+        for name, r in rows_by_policy.items()
+    ]
+    print()
+    print(format_table(
+        ["policy", "small s", "big s", "wait S ms", "lat ms"], rows,
+        title="Table 4 workload on a zoned (ZBR) disk",
+    ))
+
+    pos, iso, piso = (rows_by_policy[k] for k in ("pos", "iso", "piso"))
+    # The whole Table-4 pattern must survive the geometry change.
+    assert pos["wait_small_ms"] > 1.5 * iso["wait_small_ms"]
+    assert iso["small_s"] < 0.75 * pos["small_s"]
+    assert piso["small_s"] <= 1.05 * iso["small_s"]
+    assert piso["latency_ms"] <= iso["latency_ms"]

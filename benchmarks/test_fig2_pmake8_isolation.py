@@ -1,0 +1,28 @@
+"""Figure 2 — Pmake8 isolation.
+
+Regenerates the response-time bars for the lightly-loaded SPUs (1-4)
+in the balanced and unbalanced placements, normalised to SMP-balanced.
+Paper: SMP 100 -> 156; Quo and PIso stay flat.
+"""
+
+from repro.experiments import PAPER_FIG2, run_figures_2_and_3
+from repro.metrics import format_table
+
+
+def test_fig2_pmake8_isolation(run_once):
+    results = run_once(run_figures_2_and_3)
+    rows = [
+        [name, f"{r.fig2_balanced:.0f}", f"{r.fig2_unbalanced:.0f}",
+         f"{PAPER_FIG2[name][0]:.0f}/{PAPER_FIG2[name][1]:.0f}"]
+        for name, r in results.items()
+    ]
+    print()
+    print(format_table(
+        ["scheme", "balanced", "unbalanced", "paper B/U"], rows,
+        title="Figure 2 — isolation for SPUs 1-4 (percent of SMP-balanced)",
+    ))
+
+    # Shape assertions (the paper's qualitative result).
+    assert results["SMP"].fig2_unbalanced > 125
+    assert abs(results["Quo"].fig2_unbalanced - 100) < 12
+    assert results["PIso"].fig2_unbalanced < 112

@@ -1,0 +1,25 @@
+"""Figure 3 — Pmake8 resource sharing.
+
+Regenerates the response-time bars for the heavily-loaded SPUs (5-8)
+in the unbalanced placement, normalised to SMP-balanced.
+Paper: SMP 156, Quo 187, PIso 146.
+"""
+
+from repro.experiments import PAPER_FIG3, run_figures_2_and_3
+from repro.metrics import format_table
+
+
+def test_fig3_pmake8_sharing(run_once):
+    results = run_once(run_figures_2_and_3)
+    rows = [
+        [name, f"{r.fig3_unbalanced:.0f}", f"{PAPER_FIG3[name]:.0f}"]
+        for name, r in results.items()
+    ]
+    print()
+    print(format_table(
+        ["scheme", "unbalanced", "paper"], rows,
+        title="Figure 3 — sharing for SPUs 5-8 (percent of SMP-balanced)",
+    ))
+
+    assert results["Quo"].fig3_unbalanced > results["SMP"].fig3_unbalanced + 20
+    assert results["PIso"].fig3_unbalanced <= results["SMP"].fig3_unbalanced + 10

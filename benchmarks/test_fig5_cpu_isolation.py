@@ -1,0 +1,28 @@
+"""Figure 5 — CPU isolation workload.
+
+Regenerates the per-application normalised response times for
+Ocean / Flashlite / VCS under SMP, Quo, and PIso.
+Paper: isolation helps Ocean (Quo the ideal, PIso close); only Quo
+hurts Flashlite/VCS, PIso shares like SMP.
+"""
+
+from repro.experiments import run_figure_5
+from repro.metrics import format_table
+
+
+def test_fig5_cpu_isolation(run_once):
+    results = run_once(run_figure_5)
+    rows = [
+        [name, f"{r.ocean:.0f}", f"{r.flashlite:.0f}", f"{r.vcs:.0f}"]
+        for name, r in results.items()
+    ]
+    print()
+    print(format_table(
+        ["scheme", "ocean", "flashlite", "vcs"], rows,
+        title="Figure 5 — response times (percent of SMP)",
+    ))
+
+    assert results["PIso"].ocean < 95          # isolation helps Ocean
+    assert results["Quo"].ocean <= results["PIso"].ocean + 5
+    assert results["Quo"].flashlite > 115      # quotas strand idle CPUs
+    assert results["PIso"].flashlite < 112     # PIso shares like SMP

@@ -1,0 +1,34 @@
+"""Figure 7 — memory isolation workload.
+
+Regenerates both graphs: isolation (SPU 1's job under rising load) and
+sharing (SPU 2's two jobs), normalised to SMP-balanced.
+Paper: isolation SMP 145 / PIso 113 / Quo ~100;
+sharing SMP 150 / PIso ~160 / Quo 245.
+"""
+
+from repro.experiments import PAPER_FIG7, run_figure_7
+from repro.metrics import format_table
+
+
+def test_fig7_memory_isolation(run_once):
+    results = run_once(run_figure_7)
+    rows = [
+        [
+            name,
+            f"{r.isolation_unbalanced:.0f}",
+            f"{PAPER_FIG7['isolation'][name]:.0f}",
+            f"{r.sharing_unbalanced:.0f}",
+            f"{PAPER_FIG7['sharing'][name]:.0f}",
+        ]
+        for name, r in results.items()
+    ]
+    print()
+    print(format_table(
+        ["scheme", "SPU1 unbal", "paper", "SPU2 unbal", "paper"], rows,
+        title="Figure 7 — memory isolation (percent of SMP-balanced)",
+    ))
+
+    assert results["SMP"].isolation_unbalanced > 125
+    assert results["PIso"].isolation_unbalanced < 120
+    assert results["Quo"].sharing_unbalanced > 220
+    assert results["PIso"].sharing_unbalanced < results["Quo"].sharing_unbalanced - 50

@@ -1,0 +1,32 @@
+"""Network-bandwidth isolation (the paper's Section-5 sketch).
+
+Not a paper table — the paper explicitly left network bandwidth as an
+application of the same technique ("similar to that of disk bandwidth,
+without the complication of head position").  This bench regenerates
+the comparison the disk tables make, on a shared 100 Mb/s link.
+"""
+
+from repro.experiments import run_network_table
+from repro.metrics import format_table
+
+
+def test_network_isolation(run_once):
+    rows_by_policy = run_once(run_network_table)
+    rows = [
+        [name, f"{r.rpc_response_s:.2f}", f"{r.bulk_response_s:.2f}",
+         f"{r.rpc_wait_ms:.2f}", f"{r.bulk_wait_ms:.2f}",
+         f"{r.goodput_mbps:.1f}"]
+        for name, r in rows_by_policy.items()
+    ]
+    print()
+    print(format_table(
+        ["policy", "rpc s", "bulk s", "rpc wait ms", "bulk wait ms",
+         "goodput Mb/s"],
+        rows,
+        title="Network isolation — RPC job vs 40 MB bulk stream",
+    ))
+
+    fifo, fair = rows_by_policy["fifo"], rows_by_policy["fair"]
+    assert fair.rpc_response_s < 0.5 * fifo.rpc_response_s
+    assert fair.bulk_response_s < 1.1 * fifo.bulk_response_s
+    assert abs(fair.goodput_mbps - fifo.goodput_mbps) < 5.0

@@ -1,0 +1,61 @@
+"""Substrate performance benchmarks (not paper results).
+
+These measure the simulator itself — event throughput, disk model
+cost, a full kernel boot+run — so regressions in simulation speed are
+visible.  They use real multi-round pytest-benchmark timing.
+"""
+
+from repro.core import piso_scheme
+from repro.disk import hp97560, service_time
+from repro.disk.model import fast_disk
+from repro.kernel import Compute, DiskSpec, Kernel, MachineConfig
+from repro.sim import Engine
+from repro.sim.units import msecs
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        engine = Engine()
+
+        def chain(remaining):
+            if remaining:
+                engine.after(1, chain, remaining - 1)
+
+        chain(10_000)
+        engine.run()
+        return engine.now
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_disk_service_time_cost(benchmark):
+    geometry = hp97560()
+
+    def compute_1k():
+        total = 0
+        for i in range(1000):
+            total += service_time(geometry, 0, i * 17, (i * 997) % 100_000, 8).total_us
+        return total
+
+    assert benchmark(compute_1k) > 0
+
+
+def test_kernel_boot_and_run(benchmark):
+    def boot_and_run():
+        kernel = Kernel(
+            MachineConfig(ncpus=4, memory_mb=16,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme())
+        )
+        spus = [kernel.create_spu(f"u{i}") for i in range(4)]
+        kernel.boot()
+
+        def job():
+            yield Compute(msecs(100))
+
+        for spu in spus:
+            kernel.spawn(job(), spu)
+        kernel.run()
+        return kernel.engine.now
+
+    assert benchmark(boot_and_run) >= msecs(100)

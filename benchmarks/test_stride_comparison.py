@@ -1,0 +1,45 @@
+"""Related-work comparison: SPU partitioning (PIso) vs stride
+scheduling [Wal95] on the Figure-5 workload.
+
+The paper's related work positions stride scheduling as the main
+proportional-share alternative (implemented for uniprocessors only).
+This bench runs both on the same multiprocessor workload: stride
+matches PIso's isolation within a few percent, but — as the migration
+sweep shows — pays more cache-affinity cost because it schedules from
+a global queue while space partitioning pins processes to CPUs.
+"""
+
+from repro.experiments import run_migration_sweep, run_scheduler_comparison
+from repro.metrics import format_table
+
+
+def test_stride_vs_piso_isolation(run_once):
+    comparison = run_once(run_scheduler_comparison)
+    rows = [
+        ["PIso"] + [f"{comparison.piso[k]:.0f}" for k in ("ocean", "flashlite", "vcs")],
+        ["Stride"] + [f"{comparison.stride[k]:.0f}" for k in ("ocean", "flashlite", "vcs")],
+    ]
+    print()
+    print(format_table(
+        ["scheme", "ocean", "flashlite", "vcs"], rows,
+        title="CPU-isolation workload, percent of SMP",
+    ))
+    for app in ("ocean", "flashlite", "vcs"):
+        # Both isolate: within 10 points of each other, both below SMP+5.
+        assert abs(comparison.piso[app] - comparison.stride[app]) < 10
+        assert comparison.stride[app] < 112
+
+
+def test_stride_pays_more_affinity_cost_than_piso(run_once):
+    points = run_once(run_migration_sweep)
+    by_scheme = {}
+    for p in points:
+        by_scheme.setdefault(p.scheme, {})[p.migration_cost_us] = p.mean_response_s
+    top = max(by_scheme["SMP"])
+    penalties = {
+        scheme: costs[top] / costs[0] for scheme, costs in by_scheme.items()
+    }
+    print()
+    print("migration penalty at highest cost:",
+          {k: f"{100 * (v - 1):.1f}%" for k, v in penalties.items()})
+    assert penalties["PIso"] < penalties["Stride"] < penalties["SMP"] * 1.01

@@ -1,0 +1,47 @@
+"""Table 4 — the big-and-small-copy disk workload.
+
+Regenerates the full table for the Pos, Iso, and PIso policies.
+Paper (response s / wait ms / latency ms):
+  Pos  0.93 / 0.81   155.8 / 12.1   6.4
+  Iso  0.56 / 1.22    68.9 / 23.7   8.2
+  PIso 0.28 / 0.96    31.9 / 16.6   6.6
+"""
+
+from repro.experiments import PAPER_TABLE4, run_table_4
+from repro.metrics import format_table
+
+
+def test_table4_big_small_copy(run_once):
+    rows_by_policy = run_once(run_table_4)
+    rows = [
+        [
+            name,
+            f"{r.response_a_s:.2f}",
+            f"{r.response_b_s:.2f}",
+            f"{PAPER_TABLE4[name].response_a_s:.2f}/{PAPER_TABLE4[name].response_b_s:.2f}",
+            f"{r.wait_a_ms:.1f}",
+            f"{r.wait_b_ms:.1f}",
+            f"{r.latency_ms:.2f}",
+            f"{PAPER_TABLE4[name].latency_ms:.1f}",
+        ]
+        for name, r in rows_by_policy.items()
+    ]
+    print()
+    print(format_table(
+        ["policy", "small s", "big s", "paper", "wait S ms", "wait B ms",
+         "lat ms", "paper lat"],
+        rows,
+        title="Table 4 — big-and-small copy",
+    ))
+
+    pos, iso, piso = (rows_by_policy[k] for k in ("pos", "iso", "piso"))
+    # Pos: the big copy locks the small one out.
+    assert pos.response_a_s >= pos.response_b_s
+    assert pos.wait_a_ms > 4 * pos.wait_b_ms
+    # Iso: fairness for the small copy, but extra seek latency.
+    assert iso.response_a_s < 0.75 * pos.response_a_s
+    assert iso.latency_ms > 1.1 * pos.latency_ms
+    # PIso: best of both — beats Iso on both jobs at Pos-level latency.
+    assert piso.response_a_s <= iso.response_a_s
+    assert piso.response_b_s <= iso.response_b_s
+    assert piso.latency_ms < 1.15 * pos.latency_ms

@@ -1,0 +1,18 @@
+"""Regenerate every table and figure from the paper's evaluation.
+
+Runs the Pmake8 (Figures 2-3), CPU isolation (Figure 5), memory
+isolation (Figure 7), and disk bandwidth (Tables 3-4) experiments plus
+the ablations, printing paper-vs-measured for each.
+
+This is the same entry point as ``python -m repro.experiments.runner``;
+pass section names to run a subset, e.g.::
+
+    python examples/reproduce_paper.py table4 ablations
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

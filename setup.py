@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e . --no-use-pep517``
+works in offline environments that lack the ``wheel`` package (PEP 517
+editable installs need it; the legacy ``setup.py develop`` path does
+not).
+"""
+
+from setuptools import setup
+
+setup()

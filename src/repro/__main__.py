@@ -1,0 +1,12 @@
+"""``python -m repro`` — regenerate the paper's tables and figures.
+
+Delegates to :mod:`repro.experiments.runner`; pass section names
+(``pmake8 fig5 fig7 table3 table4 network ablations``) to run a subset.
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,85 @@
+"""Machine-sharing contracts: how the machine is divided among SPUs.
+
+A contract turns a total amount of a resource into per-SPU entitlements
+("project A owns a third of the machine, project B two thirds").  The
+implementation divides with the largest-remainder method so the shares
+are integers that sum exactly to the total.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+from repro.core.spu import SPU
+
+
+class ContractError(ValueError):
+    """Raised for ill-formed contracts."""
+
+
+def apportion(total: int, weights: Sequence[float]) -> List[int]:
+    """Split ``total`` into integer parts proportional to ``weights``.
+
+    Uses the largest-remainder method: every part gets the floor of its
+    exact share, then the leftover units go to the parts with the
+    largest fractional remainders (ties broken by position, which keeps
+    the result deterministic).
+    """
+    if total < 0:
+        raise ContractError(f"total must be >= 0, got {total}")
+    if not weights:
+        return []
+    if any(w < 0 for w in weights):
+        raise ContractError(f"weights must be >= 0, got {list(weights)}")
+    weight_sum = sum(weights)
+    if weight_sum == 0:
+        raise ContractError("at least one weight must be positive")
+    exact = [total * w / weight_sum for w in weights]
+    parts = [int(e) for e in exact]
+    leftover = total - sum(parts)
+    remainders = sorted(
+        range(len(weights)), key=lambda i: (-(exact[i] - parts[i]), i)
+    )
+    for i in remainders[:leftover]:
+        parts[i] += 1
+    return parts
+
+
+class SharingContract(abc.ABC):
+    """Maps (total resource, active SPUs) to per-SPU entitlements."""
+
+    @abc.abstractmethod
+    def weights(self, spus: Sequence[SPU]) -> List[float]:
+        """The relative share weight for each SPU, in the given order."""
+
+    def entitlements(self, total: int, spus: Sequence[SPU]) -> Dict[int, int]:
+        """Integer entitlement per SPU id, summing exactly to ``total``."""
+        parts = apportion(total, self.weights(spus))
+        return {spu.spu_id: part for spu, part in zip(spus, parts)}
+
+
+class EqualShareContract(SharingContract):
+    """All active SPUs get equal shares (the paper's implementation)."""
+
+    def weights(self, spus: Sequence[SPU]) -> List[float]:
+        return [1.0] * len(spus)
+
+
+class WeightedContract(SharingContract):
+    """Explicit per-SPU weights, keyed by SPU name.
+
+    SPUs without an entry get ``default_weight``.  With weights
+    ``{"A": 1, "B": 2}`` project B owns two thirds of the machine.
+    """
+
+    def __init__(self, weights_by_name: Dict[str, float], default_weight: float = 1.0):
+        if default_weight < 0:
+            raise ContractError("default_weight must be >= 0")
+        if any(w < 0 for w in weights_by_name.values()):
+            raise ContractError("weights must be >= 0")
+        self._weights = dict(weights_by_name)
+        self._default = default_weight
+
+    def weights(self, spus: Sequence[SPU]) -> List[float]:
+        return [self._weights.get(s.name, self._default) for s in spus]

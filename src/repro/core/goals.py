@@ -1,0 +1,188 @@
+"""Goal-driven entitlement management (an OS390-WLM-style layer).
+
+The paper's related work (Section 5) describes the IBM OS390 Workload
+Manager, which accepts high-level performance goals and continuously
+re-adjusts resource allocation to meet them, and observes that "the
+underlying controls in the OS390 systems seem to be sufficient to
+implement performance isolation should it be desired".  This module
+demonstrates the converse: the SPU's entitlement knob is sufficient to
+implement WLM-style goal management.
+
+A :class:`GoalManager` holds per-SPU goals — currently *velocity*
+goals: the fraction of ideal (uncontended) speed the SPU's work should
+achieve, measured as CPU received over CPU demanded — plus an
+importance ordering.  Each control period it measures attainment and
+shifts contract weight from over-achieving, less-important SPUs to
+under-achieving, more-important ones, then re-entitles the machine.
+
+This layer only moves *entitlements*; all the isolation and sharing
+mechanics underneath are untouched SPU machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.contracts import SharingContract
+from repro.core.spu import SPU
+from repro.sim.units import MSEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class VelocityGoal:
+    """Run at least ``target`` of uncontended speed.
+
+    Velocity is measured as CPU time received divided by the time the
+    SPU had runnable work wanting CPU — the OS390 "execution velocity"
+    idea reduced to what the simulator can observe cheaply.
+    """
+
+    target: float
+    #: Smaller numbers matter more (OS390 importance levels).
+    importance: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError(f"velocity target must be in (0, 1], got {self.target}")
+        if self.importance < 1:
+            raise ValueError("importance starts at 1")
+
+
+@dataclass
+class GoalReport:
+    """One control period's attainment for one SPU."""
+
+    time: int
+    spu_id: int
+    velocity: float
+    target: float
+    weight: float
+
+    @property
+    def satisfied(self) -> bool:
+        return self.velocity >= self.target
+
+
+class AdaptiveContract(SharingContract):
+    """A contract whose weights the GoalManager adjusts at runtime."""
+
+    def __init__(self, initial: Optional[Dict[str, float]] = None):
+        self._weights: Dict[str, float] = dict(initial or {})
+
+    def weight_of(self, name: str) -> float:
+        return self._weights.get(name, 1.0)
+
+    def set_weight(self, name: str, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError("weights must stay positive")
+        self._weights[name] = weight
+
+    def weights(self, spus) -> List[float]:
+        return [self.weight_of(s.name) for s in spus]
+
+
+class GoalManager:
+    """Measures goal attainment and re-weights the contract.
+
+    Attach to a booted kernel whose ``contract`` is an
+    :class:`AdaptiveContract`::
+
+        manager = GoalManager(kernel)
+        manager.set_goal(spu, VelocityGoal(0.9, importance=1))
+        manager.start()
+    """
+
+    #: Multiplicative weight step per control period.
+    STEP = 1.25
+
+    def __init__(self, kernel: "Kernel", period: int = 200 * MSEC):
+        contract = kernel.config.contract
+        if not isinstance(contract, AdaptiveContract):
+            raise TypeError(
+                "GoalManager needs a MachineConfig with an AdaptiveContract"
+            )
+        self.kernel = kernel
+        self.contract = contract
+        self.period = period
+        self.goals: Dict[int, VelocityGoal] = {}
+        self.history: List[GoalReport] = []
+        self._last_cpu: Dict[int, int] = {}
+        self._last_time = 0
+        self._timer = None
+
+    def set_goal(self, spu: SPU, goal: VelocityGoal) -> None:
+        self.goals[spu.spu_id] = goal
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("goal manager already started")
+        self._timer = self.kernel.engine.every(self.period, self.control)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # --- the control loop ------------------------------------------------------
+
+    def _velocity(self, spu: SPU, elapsed: int) -> Optional[float]:
+        """CPU received / CPU demanded over the last period.
+
+        Demand approximation: an SPU with N live CPU-hungry processes
+        wants min(N, ncpus) CPUs.  Idle SPUs return None (no basis for
+        adjustment).
+        """
+        live = [
+            p for p in self.kernel.processes.values()
+            if p.spu_id == spu.spu_id and p.alive
+        ]
+        if not live or elapsed <= 0:
+            return None
+        total = self.kernel.cpu_account.total(spu.spu_id)
+        received = total - self._last_cpu.get(spu.spu_id, 0)
+        self._last_cpu[spu.spu_id] = total
+        wanted_cpus = min(len(live), self.kernel.config.ncpus)
+        demanded = wanted_cpus * elapsed
+        return received / demanded
+
+    def control(self) -> None:
+        """One period: measure attainment, shift weight, re-entitle."""
+        now = self.kernel.engine.now
+        elapsed = now - self._last_time
+        self._last_time = now
+        unsatisfied: List[SPU] = []
+        donors: List[SPU] = []
+        for spu in self.kernel.registry.active_user_spus():
+            goal = self.goals.get(spu.spu_id)
+            if goal is None:
+                donors.append(spu)
+                continue
+            velocity = self._velocity(spu, elapsed)
+            if velocity is None:
+                continue
+            self.history.append(
+                GoalReport(now, spu.spu_id, velocity, goal.target,
+                           self.contract.weight_of(spu.name))
+            )
+            if velocity < goal.target:
+                unsatisfied.append(spu)
+            elif velocity > goal.target * 1.1:
+                donors.append(spu)
+        if not unsatisfied:
+            return
+        # Help the most important unsatisfied SPU first (OS390 style).
+        unsatisfied.sort(key=lambda s: self.goals[s.spu_id].importance)
+        needy = unsatisfied[0]
+        self.contract.set_weight(
+            needy.name, self.contract.weight_of(needy.name) * self.STEP
+        )
+        for donor in donors:
+            self.contract.set_weight(
+                donor.name,
+                max(0.05, self.contract.weight_of(donor.name) / self.STEP),
+            )
+        self.kernel.rebalance_spus()

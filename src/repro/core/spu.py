@@ -1,0 +1,187 @@
+"""The Software Performance Unit (SPU) and its registry.
+
+An SPU (paper Section 2.1) groups processes and owns a share of each
+machine resource.  Performance of a process is isolated from processes
+*outside* its SPU; processes inside one SPU compete freely.
+
+Two default SPUs exist in every system (Section 2.2):
+
+* ``kernel`` — kernel daemons, kernel code/data pages.  Unrestricted
+  access to all resources.
+* ``shared`` — resources used by multiple SPUs at once (shared library
+  pages, delayed disk writes carrying many SPUs' dirty data).  Its cost
+  is effectively borne by all user SPUs, because only the remainder of
+  the machine is divided among them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.accounting import DecayedCounter
+from repro.core.resources import Resource, ResourceLevels
+
+
+class SPUKind(enum.Enum):
+    USER = "user"
+    KERNEL = "kernel"
+    SHARED = "shared"
+
+
+class SPUState(enum.Enum):
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    DESTROYED = "destroyed"
+
+
+class SPUError(RuntimeError):
+    """Raised on illegal SPU lifecycle or membership operations."""
+
+
+KERNEL_SPU_ID = 0
+SHARED_SPU_ID = 1
+_FIRST_USER_SPU_ID = 2
+
+
+class SPU:
+    """One software performance unit.
+
+    Do not construct directly; use :meth:`SPURegistry.create`.
+    """
+
+    def __init__(self, spu_id: int, name: str, kind: SPUKind = SPUKind.USER):
+        self.spu_id = spu_id
+        self.name = name
+        self.kind = kind
+        self.state = SPUState.ACTIVE
+        self.levels: Dict[Resource, ResourceLevels] = {
+            r: ResourceLevels() for r in Resource
+        }
+        #: Processes currently assigned to this SPU (by pid).
+        self.pids: Set[int] = set()
+        #: Decayed sectors-transferred counter per disk id (Section 3.3).
+        self.disk_counters: Dict[int, DecayedCounter] = {}
+
+    # --- convenience accessors ------------------------------------------------
+
+    @property
+    def is_user(self) -> bool:
+        return self.kind is SPUKind.USER
+
+    def cpu(self) -> ResourceLevels:
+        return self.levels[Resource.CPU]
+
+    def memory(self) -> ResourceLevels:
+        return self.levels[Resource.MEMORY]
+
+    def disk_bw(self) -> ResourceLevels:
+        return self.levels[Resource.DISK_BW]
+
+    def disk_counter(self, disk_id: int, decay_period: int, now: int) -> DecayedCounter:
+        """The decayed sector counter for one disk, created on demand."""
+        counter = self.disk_counters.get(disk_id)
+        if counter is None:
+            counter = DecayedCounter(period=decay_period, now=now)
+            self.disk_counters[disk_id] = counter
+        return counter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SPU {self.spu_id} {self.name!r} {self.kind.value} {self.state.value}>"
+
+
+class SPURegistry:
+    """Creates, looks up, and retires SPUs; maps processes to SPUs.
+
+    The registry always contains the ``kernel`` and ``shared`` default
+    SPUs.  User SPUs can be created and destroyed dynamically, or
+    suspended while they have no active processes (Section 2.1).
+    """
+
+    def __init__(self):
+        self.kernel_spu = SPU(KERNEL_SPU_ID, "kernel", SPUKind.KERNEL)
+        self.shared_spu = SPU(SHARED_SPU_ID, "shared", SPUKind.SHARED)
+        self._spus: Dict[int, SPU] = {
+            KERNEL_SPU_ID: self.kernel_spu,
+            SHARED_SPU_ID: self.shared_spu,
+        }
+        self._next_id = itertools.count(_FIRST_USER_SPU_ID)
+        self._pid_to_spu: Dict[int, int] = {}
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def create(self, name: str) -> SPU:
+        """Create a new active user SPU."""
+        spu_id = next(self._next_id)
+        spu = SPU(spu_id, name, SPUKind.USER)
+        self._spus[spu_id] = spu
+        return spu
+
+    def destroy(self, spu: SPU) -> None:
+        """Destroy a user SPU; it must have no processes."""
+        if not spu.is_user:
+            raise SPUError(f"cannot destroy default SPU {spu.name!r}")
+        if spu.pids:
+            raise SPUError(f"SPU {spu.name!r} still has {len(spu.pids)} processes")
+        spu.state = SPUState.DESTROYED
+        del self._spus[spu.spu_id]
+
+    def suspend(self, spu: SPU) -> None:
+        """Suspend an SPU that has no active processes."""
+        if not spu.is_user:
+            raise SPUError(f"cannot suspend default SPU {spu.name!r}")
+        if spu.pids:
+            raise SPUError(f"SPU {spu.name!r} has active processes")
+        spu.state = SPUState.SUSPENDED
+
+    def resume(self, spu: SPU) -> None:
+        if spu.state is not SPUState.SUSPENDED:
+            raise SPUError(f"SPU {spu.name!r} is not suspended")
+        spu.state = SPUState.ACTIVE
+
+    # --- lookup ---------------------------------------------------------------
+
+    def get(self, spu_id: int) -> SPU:
+        try:
+            return self._spus[spu_id]
+        except KeyError:
+            raise SPUError(f"no SPU with id {spu_id}") from None
+
+    def user_spus(self) -> List[SPU]:
+        """All user SPUs, in creation order."""
+        return [s for s in self._spus.values() if s.is_user]
+
+    def active_user_spus(self) -> List[SPU]:
+        return [s for s in self.user_spus() if s.state is SPUState.ACTIVE]
+
+    def all_spus(self) -> List[SPU]:
+        return list(self._spus.values())
+
+    # --- process membership -----------------------------------------------------
+
+    def assign(self, pid: int, spu: SPU) -> None:
+        """Assign process ``pid`` to ``spu`` (moving it if already assigned)."""
+        if spu.state is SPUState.DESTROYED:
+            raise SPUError(f"SPU {spu.name!r} is destroyed")
+        old = self._pid_to_spu.get(pid)
+        if old is not None:
+            self._spus[old].pids.discard(pid)
+        spu.pids.add(pid)
+        self._pid_to_spu[pid] = spu.spu_id
+
+    def remove(self, pid: int) -> None:
+        """Remove a (terminating) process from its SPU."""
+        spu_id = self._pid_to_spu.pop(pid, None)
+        if spu_id is not None:
+            self._spus[spu_id].pids.discard(pid)
+
+    def spu_of(self, pid: int) -> SPU:
+        try:
+            return self._spus[self._pid_to_spu[pid]]
+        except KeyError:
+            raise SPUError(f"process {pid} is not assigned to any SPU") from None
+
+    def spu_of_or_none(self, pid: int) -> Optional[SPU]:
+        spu_id = self._pid_to_spu.get(pid)
+        return self._spus.get(spu_id) if spu_id is not None else None

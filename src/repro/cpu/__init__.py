@@ -1,0 +1,20 @@
+"""CPU substrate: IRIX-style priorities, hybrid space/time partitioning
+of CPUs to SPUs, and the SPU-aware scheduler with lending/revocation."""
+
+from repro.cpu.partition import CpuPartition, PartitionError, TimeSharedCpu
+from repro.cpu.priorities import ProcessPriority, USAGE_HALF_LIFE
+from repro.cpu.scheduler import CpuScheduler, Processor, SchedulableProcess
+from repro.cpu.stride import STRIDE1, StrideCpuScheduler
+
+__all__ = [
+    "StrideCpuScheduler",
+    "STRIDE1",
+    "ProcessPriority",
+    "USAGE_HALF_LIFE",
+    "CpuPartition",
+    "TimeSharedCpu",
+    "PartitionError",
+    "CpuScheduler",
+    "Processor",
+    "SchedulableProcess",
+]

@@ -1,0 +1,166 @@
+"""Hybrid space/time partitioning of CPUs to SPUs (paper Section 3.1).
+
+Each SPU first gets an integral number of dedicated CPUs from its
+entitlement ("space partitioning").  Fractional leftovers are packed
+onto the remaining CPUs, which are *time partitioned*: their home SPU
+rotates tick by tick in proportion to each SPU's fractional share,
+using a deficit (credit) scheme so long-run time matches the fractions
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.resources import MILLI_CPU
+
+
+class PartitionError(ValueError):
+    """Raised for infeasible partitions."""
+
+
+class TimeSharedCpu:
+    """Rotation state for one time-partitioned CPU.
+
+    ``shares`` maps SPU id to its fraction of this CPU in milli-CPUs
+    (summing to at most one CPU).  Each call to :meth:`advance` banks
+    every SPU's share as credit and grants the tick to the party with
+    the most credit, charging it one tick (deficit round-robin).  Idle
+    slack — shares summing below 1000 — is modelled as an implicit
+    idle party, so its ticks come out as ``None`` (the CPU is then free
+    for lending) in exact proportion, while a fully subscribed CPU
+    never idles.
+    """
+
+    #: Key for the implicit idle party in the credit table.
+    _IDLE = None
+
+    def __init__(self, cpu_id: int, shares: Dict[int, int]):
+        total = sum(shares.values())
+        if total > MILLI_CPU:
+            raise PartitionError(
+                f"shares on cpu {cpu_id} sum to {total} > {MILLI_CPU}"
+            )
+        if any(v <= 0 for v in shares.values()):
+            raise PartitionError("time shares must be positive")
+        self.cpu_id = cpu_id
+        self.shares = dict(shares)
+        self._credit: Dict[Optional[int], float] = {spu: 0.0 for spu in shares}
+        self._idle_share = MILLI_CPU - total
+        if self._idle_share:
+            self._credit[self._IDLE] = 0.0
+
+    def advance(self) -> Optional[int]:
+        """Bank one tick of credit and return the SPU that owns this tick."""
+        if not self.shares:
+            return None
+        for spu, share in self.shares.items():
+            self._credit[spu] += share / MILLI_CPU
+        if self._idle_share:
+            self._credit[self._IDLE] += self._idle_share / MILLI_CPU
+        # Ties go to a real SPU (smallest id) before the idle party.
+        owner = max(
+            self._credit,
+            key=lambda s: (self._credit[s], s is not self._IDLE, -(s or 0)),
+        )
+        self._credit[owner] -= 1.0
+        return owner
+
+
+class CpuPartition:
+    """The machine-wide CPU-to-SPU assignment."""
+
+    def __init__(
+        self,
+        ncpus: int,
+        entitlements: Dict[int, int],
+    ):
+        """``entitlements`` maps SPU id to milli-CPUs; must sum to at
+        most ``ncpus * 1000``."""
+        if ncpus <= 0:
+            raise PartitionError("machine must have at least one CPU")
+        total = sum(entitlements.values())
+        if total > ncpus * MILLI_CPU:
+            raise PartitionError(
+                f"entitlements sum to {total} > machine's {ncpus * MILLI_CPU}"
+            )
+        self.ncpus = ncpus
+        self.entitlements = dict(entitlements)
+        #: cpu id -> home SPU id, for dedicated (space-partitioned) CPUs.
+        self.dedicated: Dict[int, int] = {}
+        #: cpu id -> rotation state, for time-partitioned CPUs.
+        self.time_shared: Dict[int, TimeSharedCpu] = {}
+        self._home: Dict[int, Optional[int]] = {c: None for c in range(ncpus)}
+        self._build()
+
+    def _build(self) -> None:
+        next_cpu = 0
+        fractions: List[Tuple[int, int]] = []  # (spu_id, leftover milli-CPUs)
+        for spu_id in sorted(self.entitlements):
+            whole, frac = divmod(self.entitlements[spu_id], MILLI_CPU)
+            for _ in range(whole):
+                self.dedicated[next_cpu] = spu_id
+                self._home[next_cpu] = spu_id
+                next_cpu += 1
+            if frac:
+                fractions.append((spu_id, frac))
+
+        # Pack fractional shares onto the remaining CPUs, splitting a
+        # share across CPUs when it does not fit whole (an SPU then
+        # gets rotation ticks on more than one time-shared CPU, which
+        # adds up to the same fraction of the machine).
+        fractions.sort(key=lambda e: (-e[1], e[0]))
+        bins: List[Dict[int, int]] = []
+        capacities: List[int] = []
+        for spu_id, frac in fractions:
+            remaining = frac
+            for i, cap in enumerate(capacities):
+                if remaining == 0:
+                    break
+                if cap > 0:
+                    take = min(cap, remaining)
+                    bins[i][spu_id] = bins[i].get(spu_id, 0) + take
+                    capacities[i] -= take
+                    remaining -= take
+            while remaining > 0:
+                take = min(MILLI_CPU, remaining)
+                bins.append({spu_id: take})
+                capacities.append(MILLI_CPU - take)
+                remaining -= take
+        if next_cpu + len(bins) > self.ncpus:
+            raise PartitionError(
+                f"need {next_cpu + len(bins)} CPUs for this partition,"
+                f" machine has {self.ncpus}"
+            )
+        for shares in bins:
+            self.time_shared[next_cpu] = TimeSharedCpu(next_cpu, shares)
+            next_cpu += 1
+
+    # --- queries ---------------------------------------------------------
+
+    def home_of(self, cpu_id: int) -> Optional[int]:
+        """Current home SPU of a CPU (None for an unassigned CPU)."""
+        return self._home.get(cpu_id)
+
+    def cpus_of(self, spu_id: int) -> List[int]:
+        """CPUs currently homed to an SPU."""
+        return [c for c, s in self._home.items() if s == spu_id]
+
+    def is_time_shared(self, cpu_id: int) -> bool:
+        return cpu_id in self.time_shared
+
+    # --- tick rotation ------------------------------------------------------
+
+    def tick(self) -> List[int]:
+        """Advance time-shared CPUs one tick.
+
+        Returns the CPUs whose home SPU changed, so the kernel can
+        preempt and re-dispatch them.
+        """
+        changed: List[int] = []
+        for cpu_id, rotation in self.time_shared.items():
+            new_home = rotation.advance()
+            if new_home != self._home[cpu_id]:
+                self._home[cpu_id] = new_home
+                changed.append(cpu_id)
+        return changed

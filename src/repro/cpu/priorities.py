@@ -1,0 +1,53 @@
+"""IRIX-style degrading priorities.
+
+"A priority-based scheduling scheme is used in which the priority of a
+process drops as it uses CPU time" (Section 3.1).  Each process carries
+a base priority plus a decaying record of recent CPU usage; the
+scheduler always picks the runnable process with the *best* (lowest)
+effective priority.  Recent usage decays with a one-second half-life,
+applied lazily from timestamps so no periodic work is needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.units import MSEC, SEC
+
+#: Half-life of the recent-CPU-usage component.
+USAGE_HALF_LIFE = 1 * SEC
+
+#: How much effective priority worsens per millisecond of recent usage.
+USAGE_WEIGHT_PER_MS = 1.0 / 10.0
+
+
+class ProcessPriority:
+    """Priority state for one process; lower effective value runs first."""
+
+    def __init__(self, base: int = 20, now: int = 0):
+        self.base = base
+        self._recent_us = 0.0
+        self._stamp = now
+
+    def _decay_to(self, now: int) -> None:
+        if now <= self._stamp:
+            return
+        elapsed = now - self._stamp
+        self._recent_us *= math.pow(0.5, elapsed / USAGE_HALF_LIFE)
+        self._stamp = now
+
+    def charge(self, used_us: int, now: int) -> None:
+        """Record CPU time consumed; worsens the priority."""
+        if used_us < 0:
+            raise ValueError(f"cannot charge negative CPU time {used_us}")
+        self._decay_to(now)
+        self._recent_us += used_us
+
+    def recent_cpu_ms(self, now: int) -> float:
+        """Decayed recent usage in milliseconds."""
+        self._decay_to(now)
+        return self._recent_us / MSEC
+
+    def effective(self, now: int) -> float:
+        """The value the scheduler compares; lower is better."""
+        return self.base + self.recent_cpu_ms(now) * USAGE_WEIGHT_PER_MS

@@ -1,0 +1,223 @@
+"""SPU-aware CPU scheduling (paper Section 3.1).
+
+The scheduler owns the run queues and the processor table; the kernel
+drives it (dispatching is the kernel's job because only the kernel
+knows how long a process will run before blocking or faulting).
+
+Scheme behaviour:
+
+* **SMP** — one logical queue; any CPU picks the globally
+  best-priority runnable process.
+* **Quo** — CPUs pick only from their home SPU; an idle CPU with no
+  home work stays idle.
+* **PIso** — like Quo, but an idle CPU may *borrow*: it runs the best
+  foreign runnable process, and the loan is revoked — at the next
+  clock tick, bounding revocation latency at 10 ms — as soon as a
+  home-SPU process is runnable with no available home CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.core.schemes import SchemeConfig
+from repro.cpu.partition import CpuPartition
+from repro.cpu.priorities import ProcessPriority
+
+
+class SchedulableProcess(Protocol):
+    """What the scheduler needs to know about a process."""
+
+    pid: int
+    spu_id: int
+    priority: ProcessPriority
+
+
+class Processor:
+    """One CPU's scheduling state."""
+
+    def __init__(self, cpu_id: int):
+        self.cpu_id = cpu_id
+        self.running: Optional[SchedulableProcess] = None
+        #: Set when the running process belongs to a foreign SPU.
+        self.on_loan: bool = False
+        #: After a revocation, no new loans before this time (damps
+        #: loan ping-ponging; 0 = no hold-down in effect).
+        self.no_loan_until: int = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.running is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pid = self.running.pid if self.running else None
+        return f"<cpu{self.cpu_id} running={pid} loan={self.on_loan}>"
+
+
+class CpuScheduler:
+    """Run queues plus the pick/lend/revoke logic."""
+
+    def __init__(
+        self,
+        ncpus: int,
+        scheme: SchemeConfig,
+        partition: Optional[CpuPartition] = None,
+    ):
+        if scheme.cpu_partitioned and partition is None:
+            raise ValueError(f"scheme {scheme.name} requires a CPU partition")
+        self.scheme = scheme
+        self.partition = partition
+        self.processors = [Processor(i) for i in range(ncpus)]
+        #: Waiting (runnable but not running) processes per SPU.
+        self._queues: Dict[int, List[SchedulableProcess]] = {}
+        #: Loan/revocation counters for reporting.
+        self.loans_granted = 0
+        self.loans_revoked = 0
+        #: Optional dispatch filter (e.g. gang co-scheduling): a queued
+        #: process is only considered when this returns True.
+        self.eligibility: Optional[Callable[[SchedulableProcess, int], bool]] = None
+
+    # --- run queue ----------------------------------------------------------
+
+    def enqueue(self, proc: SchedulableProcess) -> None:
+        """Add a runnable process to its SPU's queue."""
+        queue = self._queues.setdefault(proc.spu_id, [])
+        if proc in queue:
+            raise ValueError(f"process {proc.pid} already queued")
+        queue.append(proc)
+
+    def dequeue(self, proc: SchedulableProcess) -> None:
+        """Remove a process from its queue (e.g. on kill)."""
+        queue = self._queues.get(proc.spu_id, [])
+        if proc in queue:
+            queue.remove(proc)
+
+    def waiting(self, spu_id: Optional[int] = None) -> int:
+        if spu_id is not None:
+            return len(self._queues.get(spu_id, []))
+        return sum(len(q) for q in self._queues.values())
+
+    def _best(self, procs: List[SchedulableProcess], now: int) -> SchedulableProcess:
+        return min(procs, key=lambda p: (p.priority.effective(now), p.pid))
+
+    def _eligible(self, procs: List[SchedulableProcess], now: int) -> List[SchedulableProcess]:
+        if self.eligibility is None:
+            return procs
+        return [p for p in procs if self.eligibility(p, now)]
+
+    def _pop_best(self, spu_id: int, now: int) -> Optional[SchedulableProcess]:
+        queue = self._eligible(self._queues.get(spu_id, []), now)
+        if not queue:
+            return None
+        best = self._best(queue, now)
+        self._queues[spu_id].remove(best)
+        return best
+
+    def _pop_best_foreign(self, home: Optional[int], now: int) -> Optional[SchedulableProcess]:
+        candidates = self._eligible(
+            [p for spu_id, q in self._queues.items() if spu_id != home for p in q],
+            now,
+        )
+        if not candidates:
+            return None
+        best = self._best(candidates, now)
+        self._queues[best.spu_id].remove(best)
+        return best
+
+    # --- dispatch decisions -----------------------------------------------------
+
+    def home_of(self, cpu: Processor) -> Optional[int]:
+        if self.partition is None:
+            return None
+        return self.partition.home_of(cpu.cpu_id)
+
+    def pick(self, cpu: Processor, now: int) -> Optional[SchedulableProcess]:
+        """Choose the next process for an idle CPU (marks it running)."""
+        if not cpu.idle:
+            raise ValueError(f"cpu{cpu.cpu_id} is not idle")
+        if not self.scheme.cpu_partitioned:
+            proc = self._pop_best_foreign(home=None, now=now)
+            loan = False
+        else:
+            home = self.home_of(cpu)
+            proc = self._pop_best(home, now) if home is not None else None
+            loan = False
+            if proc is None and self.scheme.cpu_lending and now >= cpu.no_loan_until:
+                proc = self._pop_best_foreign(home, now)
+                loan = proc is not None
+        if proc is None:
+            return None
+        cpu.running = proc
+        cpu.on_loan = loan
+        if loan:
+            self.loans_granted += 1
+        return proc
+
+    def release(self, cpu: Processor) -> None:
+        """The running process left the CPU (blocked, exited, preempted)."""
+        cpu.running = None
+        cpu.on_loan = False
+
+    def on_usage(self, spu_id: int, used_us: int) -> None:
+        """Usage feedback hook; the stride subclass advances passes."""
+        return None
+
+    def find_cpu_for(
+        self, proc: SchedulableProcess, now: int = 0
+    ) -> Optional[Processor]:
+        """An idle CPU that could run ``proc`` right now, if any.
+
+        Home CPUs are preferred; with lending enabled any idle CPU
+        whose loan hold-down has expired qualifies.  Used to wake a CPU
+        when a process becomes runnable rather than waiting for the
+        next natural dispatch.
+        """
+        idle = [c for c in self.processors if c.idle]
+        if not idle:
+            return None
+        if not self.scheme.cpu_partitioned:
+            return idle[0]
+        for cpu in idle:
+            if self.home_of(cpu) == proc.spu_id:
+                return cpu
+        if self.scheme.cpu_lending:
+            lendable = [c for c in idle if now >= c.no_loan_until]
+            return lendable[0] if lendable else None
+        return None
+
+    # --- loan revocation ---------------------------------------------------------
+
+    def revocations(self) -> List[Processor]:
+        """CPUs whose loans must be revoked at this clock tick.
+
+        A loan is revoked when the loaning (home) SPU has a runnable
+        process waiting and no available home CPU to run it.  One CPU
+        is revoked per waiting process.
+        """
+        if not (self.scheme.cpu_partitioned and self.scheme.cpu_lending):
+            return []
+        to_revoke: List[Processor] = []
+        for spu_id, queue in self._queues.items():
+            if not queue:
+                continue
+            home_cpus = [
+                c for c in self.processors if self.home_of(c) == spu_id
+            ]
+            # Idle home CPUs will be dispatched anyway; only loaned-out
+            # ones need revoking.
+            loaned = [c for c in home_cpus if c.on_loan]
+            needed = len(queue) - sum(1 for c in home_cpus if c.idle)
+            for cpu in loaned[: max(0, needed)]:
+                to_revoke.append(cpu)
+        for cpu in to_revoke:
+            self.loans_revoked += 1
+        return to_revoke
+
+    # --- time-partition rotation ---------------------------------------------------
+
+    def rotate_time_shared(self) -> List[Processor]:
+        """Advance time-shared CPUs; returns CPUs whose home changed."""
+        if self.partition is None:
+            return []
+        changed = self.partition.tick()
+        return [self.processors[c] for c in changed]

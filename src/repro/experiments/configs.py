@@ -1,0 +1,96 @@
+"""Tables 1 and 2 of the paper, encoded as data.
+
+Table 1 lists the four workloads with their machine parameters and SPU
+configurations; Table 2 lists the three resource-allocation schemes.
+These are configuration tables, not results — they are encoded here so
+the benches and docs can cite one authoritative description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of Table 1."""
+
+    name: str
+    ncpus: int
+    memory_mb: int
+    disks: str
+    applications: str
+    spu_configuration: str
+
+
+TABLE1: Dict[str, WorkloadSpec] = {
+    "pmake8": WorkloadSpec(
+        name="Pmake8",
+        ncpus=8,
+        memory_mb=44,
+        disks="separate fast disks",
+        applications="Multiple pmake jobs (two parallel compiles each)",
+        spu_configuration=(
+            "Balanced: 8 SPUs (1 job).  Unbalanced: 4 SPUs (1 job),"
+            " 4 SPUs (2 jobs)"
+        ),
+    ),
+    "cpu_isolation": WorkloadSpec(
+        name="CPU isolation",
+        ncpus=8,
+        memory_mb=64,
+        disks="separate fast disks",
+        applications="Ocean (4-way), 3 Flashlite, 3 VCS",
+        spu_configuration="2 SPUs: 1 SPU Ocean, 1 SPU Flashlite and VCS",
+    ),
+    "memory_isolation": WorkloadSpec(
+        name="Memory isolation",
+        ncpus=4,
+        memory_mb=16,
+        disks="separate fast disks",
+        applications="Multiple pmake jobs (four parallel compiles each)",
+        spu_configuration=(
+            "Balanced: 2 SPUs (1 job).  Unbalanced: 1 SPU (1 job),"
+            " 1 SPU (2 jobs)"
+        ),
+    ),
+    "disk_bandwidth": WorkloadSpec(
+        name="Disk bandwidth",
+        ncpus=2,
+        memory_mb=44,
+        disks="shared HP97560",
+        applications="Pmake and file copy",
+        spu_configuration="1 SPU pmake, 1 SPU file copy",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One row of Table 2."""
+
+    name: str
+    description: str
+    factory: Callable[[], SchemeConfig]
+
+
+TABLE2: Tuple[SchemeSpec, ...] = (
+    SchemeSpec(
+        name="Fixed Quota (Quo)",
+        description="Fixed quota for each SPU with no sharing. (Good isolation)",
+        factory=quota_scheme,
+    ),
+    SchemeSpec(
+        name="Performance Isolation (PIso)",
+        description="Performance isolation with policies for isolation and sharing.",
+        factory=piso_scheme,
+    ),
+    SchemeSpec(
+        name="SMP operating system (SMP)",
+        description="Unconstrained sharing with no isolation. (Good sharing)",
+        factory=smp_scheme,
+    ),
+)

@@ -1,0 +1,129 @@
+"""The CPU-isolation experiment: Figure 5.
+
+Compute-intensive jobs on an eight-way machine with 64 MB (Table 1,
+second row) — memory is never a constraint; only CPU time matters.
+
+* SPU 1: one four-process Ocean (barrier-synchronised gang).
+* SPU 2: three Flashlite and three VCS single-process simulators.
+
+Ten processes on eight processors.  Ocean's SPU is lightly loaded
+(4 processes / 4 CPUs), the other heavily (6 / 4).  The paper's result:
+PIso improves Ocean over SMP (isolation from the heavier SPU), with Quo
+slightly better still; Flashlite/VCS do far worse under Quo than under
+SMP or PIso (no sharing of Ocean's CPUs once Ocean finishes).
+Response times are normalised per-application to the SMP case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme
+from repro.disk.model import fast_disk
+from repro.kernel.kernel import Kernel
+from repro.kernel.machine import DiskSpec, MachineConfig
+from repro.metrics.stats import job_results, mean_response_us, normalize
+from repro.workloads.scientific import (
+    OceanParams,
+    SimulatorParams,
+    ocean_processes,
+    simulator_process,
+)
+
+#: Ocean: 4 processes, 2 s of CPU each in 20 barrier phases.
+DEFAULT_OCEAN = OceanParams(nprocs=4, phases=20, phase_ms=100.0, ws_pages=64)
+#: Flashlite and VCS run well past Ocean so sharing after Ocean's exit
+#: is visible (the paper notes this result depends on relative durations).
+DEFAULT_FLASHLITE = SimulatorParams(total_ms=6000.0, ws_pages=64)
+DEFAULT_VCS = SimulatorParams(total_ms=5000.0, ws_pages=64)
+
+
+@dataclass(frozen=True)
+class CpuIsolationRun:
+    """Mean response (us) per application for one scheme."""
+
+    scheme: str
+    ocean_us: float
+    flashlite_us: float
+    vcs_us: float
+
+
+@dataclass(frozen=True)
+class CpuIsolationResult:
+    """Figure 5 bars for one scheme: percent of the SMP case."""
+
+    scheme: str
+    ocean: float
+    flashlite: float
+    vcs: float
+
+
+def run_cpu_isolation(
+    scheme: SchemeConfig,
+    ocean: OceanParams = DEFAULT_OCEAN,
+    flashlite: SimulatorParams = DEFAULT_FLASHLITE,
+    vcs: SimulatorParams = DEFAULT_VCS,
+    seed: int = 0,
+) -> CpuIsolationRun:
+    """One simulation of the CPU-isolation workload."""
+    config = MachineConfig(
+        ncpus=8,
+        memory_mb=64,
+        disks=[DiskSpec(geometry=fast_disk()) for _ in range(2)],
+        scheme=scheme,
+        seed=seed,
+    )
+    kernel = Kernel(config)
+    spu1 = kernel.create_spu("ocean")
+    spu2 = kernel.create_spu("simulators")
+    kernel.boot()
+    kernel.set_swap_mount(spu1, 0)
+    kernel.set_swap_mount(spu2, 1)
+
+    for i, behavior in enumerate(ocean_processes(ocean)):
+        kernel.spawn(behavior, spu1, name=f"ocean{i}")
+    for i in range(3):
+        kernel.spawn(simulator_process(flashlite), spu2, name=f"flashlite{i}")
+    for i in range(3):
+        kernel.spawn(simulator_process(vcs), spu2, name=f"vcs{i}")
+
+    kernel.run()
+    results = job_results(kernel)
+
+    def mean_for(prefix: str) -> float:
+        return mean_response_us([r for r in results if r.name.startswith(prefix)])
+
+    return CpuIsolationRun(
+        scheme=scheme.name,
+        ocean_us=mean_for("ocean"),
+        flashlite_us=mean_for("flashlite"),
+        vcs_us=mean_for("vcs"),
+    )
+
+
+def run_figure_5(seed: int = 0) -> Dict[str, CpuIsolationResult]:
+    """All three schemes, normalised to SMP per application."""
+    runs = {
+        s.name: run_cpu_isolation(s, seed=seed)
+        for s in (smp_scheme(), quota_scheme(), piso_scheme())
+    }
+    base = runs["SMP"]
+    return {
+        name: CpuIsolationResult(
+            scheme=name,
+            ocean=normalize(run.ocean_us, base.ocean_us),
+            flashlite=normalize(run.flashlite_us, base.flashlite_us),
+            vcs=normalize(run.vcs_us, base.vcs_us),
+        )
+        for name, run in runs.items()
+    }
+
+
+#: Paper's qualitative Figure 5: Ocean improves under isolation (Quo
+#: the ideal, PIso close); Flashlite/VCS collapse only under Quo.
+PAPER_FIG5_SHAPE = {
+    "ocean": {"SMP": 100.0, "Quo": "< 100, best", "PIso": "< 100"},
+    "flashlite": {"SMP": 100.0, "Quo": "well over 100", "PIso": "about 100"},
+    "vcs": {"SMP": 100.0, "Quo": "well over 100", "PIso": "about 100"},
+}

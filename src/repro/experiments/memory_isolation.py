@@ -1,0 +1,151 @@
+"""The memory-isolation experiment: Figure 7.
+
+Two SPUs on a four-processor machine with deliberately small memory
+(16 MB, Table 1, third row).  Jobs are pmakes with four parallel
+compiles.  Memory fits one job per SPU but not two in one SPU:
+
+* **balanced** — one job per SPU (2 jobs).
+* **unbalanced** — SPU 1 one job, SPU 2 two jobs (3 jobs).
+
+The bottom graph of Figure 7 (isolation) follows SPU 1's job: the paper
+measured +45% under SMP (global page stealing plus CPU contention) but
+only +13% under PIso.  The top graph (sharing) follows SPU 2's jobs in
+the unbalanced placement: fixed quotas cost +145% over balanced (+100%
+from CPU, +45% from paging in half the memory), while PIso lands close
+to SMP by borrowing SPU 1's idle pages and CPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme
+from repro.disk.model import fast_disk
+from repro.kernel.kernel import Kernel
+from repro.kernel.machine import DiskSpec, MachineConfig
+from repro.metrics.stats import job_results, mean_response_us, normalize
+from repro.workloads.pmake import PmakeParams, create_pmake_files, pmake_job
+
+#: Pmake with "four parallel compiles each" and a working set sized so
+#: one job fits an SPU's half of 16 MB and two jobs thrash.
+DEFAULT_PMAKE = PmakeParams(
+    n_tasks=8,
+    parallelism=4,
+    compile_ms=600.0,
+    src_kb=32,
+    obj_kb=32,
+    ws_pages=420,
+    touches_per_ms=0.05,
+    fault_cluster_pages=16,
+    metadata_writes=2,
+    read_chunk_kb=32,
+)
+
+
+@dataclass(frozen=True)
+class MemoryIsolationRun:
+    """Raw responses (us) for one (scheme, placement) simulation."""
+
+    scheme: str
+    balanced: bool
+    spu1_response_us: float
+    spu2_response_us: float
+    spu1_faults: int
+    spu2_faults: int
+
+
+@dataclass(frozen=True)
+class MemoryIsolationResult:
+    """Figure 7 bars for one scheme, normalised to SMP-balanced."""
+
+    scheme: str
+    #: Bottom graph (isolation): SPU 1's job, balanced / unbalanced.
+    isolation_balanced: float
+    isolation_unbalanced: float
+    #: Top graph (sharing): SPU 2's jobs, balanced / unbalanced.
+    sharing_balanced: float
+    sharing_unbalanced: float
+
+
+def run_memory_isolation(
+    scheme: SchemeConfig,
+    balanced: bool,
+    params: PmakeParams = DEFAULT_PMAKE,
+    memory_mb: int = 16,
+    seed: int = 0,
+) -> MemoryIsolationRun:
+    """One simulation of the memory-isolation workload."""
+    config = MachineConfig(
+        ncpus=4,
+        memory_mb=memory_mb,
+        disks=[DiskSpec(geometry=fast_disk()) for _ in range(2)],
+        scheme=scheme,
+        seed=seed,
+    )
+    kernel = Kernel(config)
+    spu1 = kernel.create_spu("user1")
+    spu2 = kernel.create_spu("user2")
+    kernel.boot()
+    kernel.set_swap_mount(spu1, 0)
+    kernel.set_swap_mount(spu2, 1)
+
+    jobs = [(spu1, 0, 1), (spu2, 1, 1 if balanced else 2)]
+    for spu, mount, njobs in jobs:
+        for j in range(njobs):
+            files = create_pmake_files(
+                kernel.fs, mount=mount, params=params,
+                job_name=f"{spu.name}-job{j}",
+            )
+            kernel.spawn(pmake_job(files, params), spu, name=f"pmake-{spu.name}-{j}")
+
+    kernel.run()
+    results = job_results(kernel)
+    spu1_jobs = [r for r in results if r.spu_id == spu1.spu_id]
+    spu2_jobs = [r for r in results if r.spu_id == spu2.spu_id]
+    faults = {
+        s.spu_id: sum(
+            p.fault_count for p in kernel.processes.values() if p.spu_id == s.spu_id
+        )
+        for s in (spu1, spu2)
+    }
+    return MemoryIsolationRun(
+        scheme=scheme.name,
+        balanced=balanced,
+        spu1_response_us=mean_response_us(spu1_jobs),
+        spu2_response_us=mean_response_us(spu2_jobs),
+        spu1_faults=faults[spu1.spu_id],
+        spu2_faults=faults[spu2.spu_id],
+    )
+
+
+def run_figure_7(
+    params: PmakeParams = DEFAULT_PMAKE, seed: int = 0
+) -> Dict[str, MemoryIsolationResult]:
+    """All six simulations; results keyed by scheme name."""
+    schemes = [smp_scheme(), quota_scheme(), piso_scheme()]
+    runs: Dict[Tuple[str, bool], MemoryIsolationRun] = {}
+    for scheme in schemes:
+        for balanced in (True, False):
+            runs[(scheme.name, balanced)] = run_memory_isolation(
+                scheme, balanced, params=params, seed=seed
+            )
+    iso_base = runs[("SMP", True)].spu1_response_us
+    share_base = runs[("SMP", True)].spu2_response_us
+    return {
+        s.name: MemoryIsolationResult(
+            scheme=s.name,
+            isolation_balanced=normalize(runs[(s.name, True)].spu1_response_us, iso_base),
+            isolation_unbalanced=normalize(runs[(s.name, False)].spu1_response_us, iso_base),
+            sharing_balanced=normalize(runs[(s.name, True)].spu2_response_us, share_base),
+            sharing_unbalanced=normalize(runs[(s.name, False)].spu2_response_us, share_base),
+        )
+        for s in schemes
+    }
+
+
+#: Paper's Figure 7 (percent, SMP-balanced = 100).
+PAPER_FIG7 = {
+    "isolation": {"SMP": 145.0, "Quo": 100.0, "PIso": 113.0},
+    "sharing": {"SMP": 150.0, "Quo": 245.0, "PIso": 160.0},
+}

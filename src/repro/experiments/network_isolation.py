@@ -1,0 +1,99 @@
+"""Network-bandwidth isolation — the paper's sketched extension.
+
+Section 5: "Though we do not discuss performance isolation for network
+bandwidth, the implementation would be similar to that of disk
+bandwidth, without the complication of head position."  This experiment
+builds the workload that motivates it: an RPC-style job (many small
+messages with think time) sharing a 100 Mb/s link with a bulk sender
+streaming a large transfer, under three link schedulers:
+
+* **fifo** — stock behaviour; the bulk sender's packet trains queue
+  ahead of every RPC (the network version of the core-dump lockout);
+* **fair** — per-packet fair share by decayed bytes-per-share;
+* **threshold** — FIFO until a sender exceeds the mean usage by the
+  threshold (the BW-difference-threshold idea applied to the link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.schemes import piso_scheme
+from repro.disk.model import fast_disk
+from repro.kernel.kernel import Kernel
+from repro.kernel.machine import DiskSpec, MachineConfig, NicSpec
+from repro.kernel.syscalls import Behavior, SendNetwork, Sleep
+from repro.sim.units import KB, MB, msecs
+
+POLICIES = ("fifo", "fair", "threshold")
+
+#: RPC job: 200 requests of 2 KB with 1 ms think time.
+RPC_COUNT = 200
+RPC_BYTES = 2 * KB
+RPC_THINK_MS = 1.0
+#: Bulk job: 40 MB streamed in 64 KB messages.
+BULK_TOTAL = 40 * MB
+BULK_MESSAGE = 64 * KB
+
+
+@dataclass(frozen=True)
+class NetworkRow:
+    """One row of the network-isolation comparison."""
+
+    policy: str
+    rpc_response_s: float
+    bulk_response_s: float
+    #: Mean per-packet queue wait for the RPC SPU, milliseconds.
+    rpc_wait_ms: float
+    bulk_wait_ms: float
+    #: Link goodput over the run, Mb/s.
+    goodput_mbps: float
+
+
+def rpc_job(count: int = RPC_COUNT) -> Behavior:
+    from repro.workloads.interactive import rpc_client
+
+    return rpc_client(count=count, nbytes=RPC_BYTES, think_ms=RPC_THINK_MS)
+
+
+def bulk_job(total: int = BULK_TOTAL) -> Behavior:
+    from repro.workloads.interactive import bulk_sender
+
+    return bulk_sender(total, message_bytes=BULK_MESSAGE)
+
+
+def run_network_isolation(policy: str, seed: int = 0) -> NetworkRow:
+    """One simulation: RPC SPU vs bulk SPU on a shared 100 Mb/s link."""
+    config = MachineConfig(
+        ncpus=2,
+        memory_mb=32,
+        disks=[DiskSpec(geometry=fast_disk())],
+        nics=[NicSpec(bandwidth_mbps=100.0, policy=policy)],
+        scheme=piso_scheme(),
+        seed=seed,
+    )
+    kernel = Kernel(config)
+    rpc_spu = kernel.create_spu("rpc")
+    bulk_spu = kernel.create_spu("bulk")
+    kernel.boot()
+
+    rpc = kernel.spawn(rpc_job(), rpc_spu, name="rpc")
+    bulk = kernel.spawn(bulk_job(), bulk_spu, name="bulk")
+    kernel.run()
+
+    link = kernel.links[0]
+    elapsed_s = kernel.engine.now / 1e6
+    return NetworkRow(
+        policy=policy,
+        rpc_response_s=rpc.response_us / 1e6,
+        bulk_response_s=bulk.response_us / 1e6,
+        rpc_wait_ms=link.stats.mean_wait_ms(rpc_spu.spu_id),
+        bulk_wait_ms=link.stats.mean_wait_ms(bulk_spu.spu_id),
+        goodput_mbps=link.stats.total_bytes() * 8 / elapsed_s / 1e6,
+    )
+
+
+def run_network_table(seed: int = 0) -> Dict[str, NetworkRow]:
+    """All three link policies."""
+    return {p: run_network_isolation(p, seed) for p in POLICIES}

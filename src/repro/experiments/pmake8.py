@@ -1,0 +1,147 @@
+"""The Pmake8 experiment: Figures 2 and 3.
+
+Eight SPUs on an eight-way machine with 44 MB of memory and a separate
+fast disk per SPU (Table 1, first row).  Two job placements (Figure 1):
+
+* **balanced** — one pmake job per SPU (8 jobs); the baseline.
+* **unbalanced** — SPUs 1–4 run one job, SPUs 5–8 run two (12 jobs).
+
+Figure 2 (isolation): mean response of the jobs in SPUs 1–4, balanced
+vs unbalanced, normalised to SMP-balanced.  A kernel with good
+isolation keeps the unbalanced bar at the balanced level; the paper
+measured SMP at 156%.
+
+Figure 3 (sharing): mean response of the jobs in SPUs 5–8 in the
+unbalanced placement, same normalisation.  Paper: SMP 156, Quo 187,
+PIso 146 — PIso beats even SMP because the light SPUs finish early and
+their resources are lent out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme
+from repro.disk.model import fast_disk
+from repro.kernel.kernel import Kernel
+from repro.kernel.machine import DiskSpec, MachineConfig
+from repro.metrics.stats import job_results, mean_response_us, normalize
+from repro.workloads.pmake import PmakeParams, create_pmake_files, pmake_job
+
+#: Default pmake job for this experiment ("two parallel compiles each").
+#: Compiles are CPU-dominated (as real compiles are once sources are
+#: cached); the small working set ramps in quickly so CPU contention,
+#: not paging, drives Figures 2 and 3.
+DEFAULT_PMAKE = PmakeParams(
+    n_tasks=8,
+    parallelism=2,
+    compile_ms=600.0,
+    src_kb=32,
+    obj_kb=32,
+    ws_pages=96,
+    metadata_writes=2,
+    read_chunk_kb=32,
+)
+
+N_SPUS = 8
+LIGHT_SPUS = range(4)  # indices 0..3 == the paper's SPUs 1-4
+HEAVY_SPUS = range(4, 8)  # indices 4..7 == the paper's SPUs 5-8
+
+
+@dataclass(frozen=True)
+class Pmake8Run:
+    """Raw output of one (scheme, placement) simulation."""
+
+    scheme: str
+    balanced: bool
+    #: Mean job response (us) over the light SPUs (1-4).
+    light_response_us: float
+    #: Mean job response (us) over the heavy SPUs (5-8).
+    heavy_response_us: float
+    loans_granted: int
+    loans_revoked: int
+
+
+@dataclass(frozen=True)
+class Pmake8Result:
+    """Figures 2 and 3 for one scheme, normalised to SMP-balanced."""
+
+    scheme: str
+    #: Figure 2 bars: light SPUs, balanced and unbalanced (percent).
+    fig2_balanced: float
+    fig2_unbalanced: float
+    #: Figure 3 bar: heavy SPUs, unbalanced (percent).
+    fig3_unbalanced: float
+
+
+def run_pmake8(
+    scheme: SchemeConfig,
+    balanced: bool,
+    params: PmakeParams = DEFAULT_PMAKE,
+    memory_mb: int = 44,
+    seed: int = 0,
+) -> Pmake8Run:
+    """One simulation of the Pmake8 workload."""
+    config = MachineConfig(
+        ncpus=8,
+        memory_mb=memory_mb,
+        disks=[DiskSpec(geometry=fast_disk()) for _ in range(N_SPUS)],
+        scheme=scheme,
+        seed=seed,
+    )
+    kernel = Kernel(config)
+    spus = [kernel.create_spu(f"user{i + 1}") for i in range(N_SPUS)]
+    kernel.boot()
+    for i, spu in enumerate(spus):
+        kernel.set_swap_mount(spu, i)
+
+    for i, spu in enumerate(spus):
+        njobs = 1 if balanced or i in LIGHT_SPUS else 2
+        for j in range(njobs):
+            files = create_pmake_files(
+                kernel.fs, mount=i, params=params, job_name=f"spu{i + 1}-job{j}"
+            )
+            kernel.spawn(pmake_job(files, params), spu, name=f"pmake-spu{i + 1}-{j}")
+
+    kernel.run()
+    results = job_results(kernel)
+    light = [r for r in results if r.spu_id in {spus[i].spu_id for i in LIGHT_SPUS}]
+    heavy = [r for r in results if r.spu_id in {spus[i].spu_id for i in HEAVY_SPUS}]
+    sched = kernel.cpusched
+    return Pmake8Run(
+        scheme=scheme.name,
+        balanced=balanced,
+        light_response_us=mean_response_us(light),
+        heavy_response_us=mean_response_us(heavy),
+        loans_granted=sched.loans_granted,
+        loans_revoked=sched.loans_revoked,
+    )
+
+
+def run_figures_2_and_3(
+    params: PmakeParams = DEFAULT_PMAKE, seed: int = 0
+) -> Dict[str, Pmake8Result]:
+    """All six simulations; results keyed by scheme name."""
+    schemes = [smp_scheme(), quota_scheme(), piso_scheme()]
+    runs: Dict[Tuple[str, bool], Pmake8Run] = {}
+    for scheme in schemes:
+        for balanced in (True, False):
+            runs[(scheme.name, balanced)] = run_pmake8(
+                scheme, balanced, params=params, seed=seed
+            )
+    baseline = runs[("SMP", True)].light_response_us
+    out: Dict[str, Pmake8Result] = {}
+    for scheme in schemes:
+        out[scheme.name] = Pmake8Result(
+            scheme=scheme.name,
+            fig2_balanced=normalize(runs[(scheme.name, True)].light_response_us, baseline),
+            fig2_unbalanced=normalize(runs[(scheme.name, False)].light_response_us, baseline),
+            fig3_unbalanced=normalize(runs[(scheme.name, False)].heavy_response_us, baseline),
+        )
+    return out
+
+
+#: What the paper measured, for shape comparison in benches/tests.
+PAPER_FIG2 = {"SMP": (100.0, 156.0), "Quo": (100.0, 100.0), "PIso": (100.0, 100.0)}
+PAPER_FIG3 = {"SMP": 156.0, "Quo": 187.0, "PIso": 146.0}

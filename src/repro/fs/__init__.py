@@ -1,0 +1,29 @@
+"""Filesystem substrate: layout, buffer cache, read-ahead, writeback."""
+
+from repro.fs.buffercache import (
+    BlockKey,
+    BufferCache,
+    CacheBlock,
+    PageProvider,
+    UnlimitedPageProvider,
+)
+from repro.fs.filesystem import FileSystem, FileSystemError
+from repro.fs.layout import Extent, File, LayoutError, Volume
+from repro.fs.readahead import ReadAheadTracker
+from repro.fs.writeback import WritebackDaemon
+
+__all__ = [
+    "BufferCache",
+    "CacheBlock",
+    "BlockKey",
+    "PageProvider",
+    "UnlimitedPageProvider",
+    "FileSystem",
+    "FileSystemError",
+    "Volume",
+    "File",
+    "Extent",
+    "LayoutError",
+    "ReadAheadTracker",
+    "WritebackDaemon",
+]

@@ -1,0 +1,66 @@
+"""Sequential read-ahead detection.
+
+The copy workloads depend on the kernel's read-ahead ("there are
+multiple outstanding reads because of read-ahead by the kernel",
+Section 4.5): once a stream looks sequential, the next window of blocks
+is prefetched asynchronously, keeping several requests in the disk
+queue at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+StreamKey = Tuple[int, int]  # (pid, file_id)
+
+
+@dataclass
+class _StreamState:
+    expected_next: int
+    sequential_runs: int = 0
+    prefetched_through: int = -1
+
+
+class ReadAheadTracker:
+    """Per-(process, file) sequential access detection and window sizing."""
+
+    def __init__(self, window_blocks: int = 8, min_sequential_runs: int = 1):
+        if window_blocks < 0:
+            raise ValueError("window_blocks must be >= 0")
+        self.window_blocks = window_blocks
+        self.min_sequential_runs = min_sequential_runs
+        self._streams: Dict[StreamKey, _StreamState] = {}
+
+    def observe(
+        self, key: StreamKey, first_block: int, nblocks: int, file_nblocks: int
+    ) -> List[int]:
+        """Record an access; return the block numbers to prefetch (maybe [])."""
+        if nblocks <= 0:
+            raise ValueError("access must cover at least one block")
+        end = first_block + nblocks
+        state = self._streams.get(key)
+        if state is None or first_block not in (state.expected_next, state.expected_next - 1):
+            # New or non-sequential stream: reset detection.
+            self._streams[key] = _StreamState(expected_next=end)
+            return []
+        state.sequential_runs += 1
+        state.expected_next = end
+        if state.sequential_runs < self.min_sequential_runs or self.window_blocks == 0:
+            return []
+        # Refill in half-window batches: only top up once the reader has
+        # consumed half the window, so prefetch requests stay large
+        # instead of sliding one block at a time.
+        remaining_ahead = state.prefetched_through + 1 - end
+        if remaining_ahead > self.window_blocks // 2:
+            return []
+        start = max(end, state.prefetched_through + 1)
+        stop = min(end + self.window_blocks, file_nblocks)
+        if start >= stop:
+            return []
+        state.prefetched_through = stop - 1
+        return list(range(start, stop))
+
+    def forget(self, key: StreamKey) -> None:
+        """Drop state for a closed stream."""
+        self._streams.pop(key, None)

@@ -1,0 +1,149 @@
+"""Delayed-write flushing.
+
+Dirty buffer-cache blocks are written back by a daemon, not by the
+dirtying process.  A flush batch typically carries blocks from several
+SPUs, so the requests are *scheduled* under the ``shared`` SPU at the
+lowest disk priority, and the individual sectors are *charged* back to
+the owning user SPUs on completion (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.spu import SHARED_SPU_ID
+from repro.disk.drive import DiskDrive
+from repro.disk.request import DiskOp, DiskRequest
+from repro.fs.buffercache import BufferCache, CacheBlock
+from repro.fs.layout import File
+from repro.sim.engine import Engine, PeriodicTimer
+from repro.sim.units import SEC, SECTORS_PER_PAGE
+
+
+#: Resolves a file_id to its File object and the drive holding it.
+FileResolver = Callable[[int], Tuple[File, DiskDrive]]
+
+
+class WritebackDaemon:
+    """Flushes dirty blocks, clustering physically contiguous sectors."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cache: BufferCache,
+        resolve: FileResolver,
+        period: int = 1 * SEC,
+        max_cluster_sectors: int = 128,
+    ):
+        if max_cluster_sectors < SECTORS_PER_PAGE:
+            raise ValueError("cluster must hold at least one block")
+        self.engine = engine
+        self.cache = cache
+        self.resolve = resolve
+        self.period = period
+        self.max_cluster_sectors = max_cluster_sectors
+        self._timer: Optional[PeriodicTimer] = None
+        #: Total flush requests issued, for reporting.
+        self.flushes_issued = 0
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("writeback daemon already started")
+        self._timer = self.engine.every(self.period, self.flush_all)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # --- flushing --------------------------------------------------------------
+
+    def flush_all(self, on_done: Optional[Callable[[], None]] = None) -> int:
+        """Flush every dirty, unpinned block.  Returns requests issued."""
+        return self._flush(self.cache.dirty_blocks(), on_done)
+
+    def flush_spu(self, spu_id: int, on_done: Optional[Callable[[], None]] = None) -> int:
+        """Flush one SPU's dirty blocks (memory-pressure path)."""
+        return self._flush(self.cache.dirty_blocks(spu_id), on_done)
+
+    def _flush(
+        self, blocks: List[CacheBlock], on_done: Optional[Callable[[], None]]
+    ) -> int:
+        if not blocks:
+            if on_done is not None:
+                self.engine.after(0, on_done)
+            return 0
+
+        # Map blocks to physical position, group per drive, sort by
+        # sector, and cut clusters at physical discontinuities.
+        by_drive: Dict[int, List[Tuple[int, CacheBlock]]] = {}
+        drives: Dict[int, DiskDrive] = {}
+        for block in blocks:
+            file, drive = self.resolve(block.file_id)
+            sector = file.block_sector(block.block)
+            by_drive.setdefault(id(drive), []).append((sector, block))
+            drives[id(drive)] = drive
+
+        outstanding = 0
+        requests: List[Tuple[DiskDrive, DiskRequest]] = []
+        for drive_key, entries in by_drive.items():
+            entries.sort(key=lambda e: e[0])
+            cluster: List[Tuple[int, CacheBlock]] = []
+            for sector, block in entries:
+                if cluster and (
+                    sector != cluster[-1][0] + SECTORS_PER_PAGE
+                    or (len(cluster) + 1) * SECTORS_PER_PAGE > self.max_cluster_sectors
+                ):
+                    requests.append((drives[drive_key], self._build(cluster)))
+                    cluster = []
+                cluster.append((sector, block))
+            if cluster:
+                requests.append((drives[drive_key], self._build(cluster)))
+
+        done_state = {"remaining": len(requests)}
+
+        def one_done(_req: DiskRequest) -> None:
+            done_state["remaining"] -= 1
+            if done_state["remaining"] == 0 and on_done is not None:
+                on_done()
+
+        for drive, request in requests:
+            request.on_complete = self._completion(request, one_done)
+            self.flushes_issued += 1
+            outstanding += 1
+            drive.submit(request)
+        return outstanding
+
+    def _build(self, cluster: List[Tuple[int, CacheBlock]]) -> DiskRequest:
+        """One write request for a physically contiguous cluster."""
+        charges: Dict[int, int] = {}
+        for _sector, block in cluster:
+            block.pinned = True
+            charges[block.spu_charged] = (
+                charges.get(block.spu_charged, 0) + SECTORS_PER_PAGE
+            )
+        request = DiskRequest(
+            spu_id=SHARED_SPU_ID,
+            op=DiskOp.WRITE,
+            sector=cluster[0][0],
+            nsectors=len(cluster) * SECTORS_PER_PAGE,
+            charges=charges,
+        )
+        # Stash the blocks and their epochs so completion can tell
+        # whether a block was re-dirtied mid-flight.
+        request._flush_blocks = [(b, b.epoch) for _s, b in cluster]  # type: ignore[attr-defined]
+        return request
+
+    def _completion(
+        self, request: DiskRequest, then: Callable[[DiskRequest], None]
+    ) -> Callable[[DiskRequest], None]:
+        def complete(req: DiskRequest) -> None:
+            for block, epoch in request._flush_blocks:  # type: ignore[attr-defined]
+                block.pinned = False
+                if block.key in self.cache.blocks and block.epoch == epoch:
+                    self.cache.mark_clean(block.key)
+            then(req)
+
+        return complete

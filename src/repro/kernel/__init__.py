@@ -1,0 +1,52 @@
+"""Kernel glue: machine configuration, process model, syscalls, locks,
+and the kernel that boots and drives everything."""
+
+from repro.kernel.gang import Gang
+from repro.kernel.kernel import Kernel, KernelError
+from repro.kernel.locks import Barrier, KernelLock, LockError
+from repro.kernel.machine import DiskSpec, MachineConfig, NicSpec
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.syscalls import (
+    Acquire,
+    BarrierWait,
+    Behavior,
+    Checkpoint,
+    Compute,
+    ReadFile,
+    Release,
+    SendNetwork,
+    SetWorkingSet,
+    Sleep,
+    Spawn,
+    WaitChildren,
+    WriteFile,
+    WriteMetadata,
+)
+
+__all__ = [
+    "Kernel",
+    "KernelError",
+    "MachineConfig",
+    "DiskSpec",
+    "NicSpec",
+    "SendNetwork",
+    "Process",
+    "ProcessState",
+    "KernelLock",
+    "Barrier",
+    "Gang",
+    "LockError",
+    "Behavior",
+    "Checkpoint",
+    "Compute",
+    "SetWorkingSet",
+    "ReadFile",
+    "WriteFile",
+    "WriteMetadata",
+    "Sleep",
+    "Spawn",
+    "WaitChildren",
+    "BarrierWait",
+    "Acquire",
+    "Release",
+]

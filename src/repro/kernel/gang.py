@@ -1,0 +1,55 @@
+"""Gang (co-)scheduling support.
+
+The paper notes that "accommodating gang-scheduled [Ous82] parallel
+applications would require some modifications" to its space-partitioned
+scheme.  This module supplies that modification: processes spawned as a
+*gang* are only dispatched while every live member is either running or
+ready to run, so barrier-synchronised members progress together instead
+of being scattered across time slices (which stretches every barrier
+phase to the slowest member's queueing luck).
+
+Gangs never deadlock the machine: while a gang is ineligible its
+members just wait in the queue, and non-gang work runs instead.  A
+gang larger than its SPU's CPUs still runs — eligibility gates on
+members being *ready*, not on all of them holding CPUs at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.process import Process
+
+_gang_ids = itertools.count(1)
+
+
+class Gang:
+    """A set of processes that should be co-scheduled."""
+
+    def __init__(self, name: str = ""):
+        self.gang_id = next(_gang_ids)
+        self.name = name or f"gang{self.gang_id}"
+        self.members: List["Process"] = []
+
+    def add(self, proc: "Process") -> None:
+        self.members.append(proc)
+        proc.gang = self
+
+    def schedulable(self) -> bool:
+        """True when no live member is blocked outside the run queue.
+
+        Members that have exited no longer count; a member blocked on
+        I/O, a fault, or an un-tripped barrier makes the whole gang
+        ineligible, which is exactly the co-scheduling property.
+        """
+        from repro.kernel.process import ProcessState  # local: avoids import cycle at module load
+
+        for member in self.members:
+            if member.state in (ProcessState.BLOCKED, ProcessState.NEW):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gang {self.name} members={len(self.members)}>"

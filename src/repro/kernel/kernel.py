@@ -1,0 +1,950 @@
+"""The simulated operating system kernel.
+
+The :class:`Kernel` assembles the whole machine from a
+:class:`~repro.kernel.machine.MachineConfig` — CPUs and their
+scheduler, the page pool, one drive+volume per disk, the buffer-cached
+filesystem — and runs processes written as syscall-yielding generators.
+
+The lifecycle of an experiment::
+
+    kernel = Kernel(MachineConfig(ncpus=8, memory_mb=44, scheme=piso_scheme()))
+    spu = kernel.create_spu("user1")
+    kernel.boot()                      # divide the machine per contract
+    src = kernel.fs.create(0, "src.c", 64 * KB)
+    kernel.spawn(my_behavior(src), spu)
+    kernel.run()                       # until all processes exit
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from functools import partial
+from typing import Dict, List, Optional
+
+from repro.core.accounting import CpuTimeAccount
+from repro.core.resources import MILLI_CPU, Resource
+from repro.core.spu import SPU, SPURegistry
+from repro.cpu.partition import CpuPartition
+from repro.cpu.scheduler import CpuScheduler, Processor
+from repro.disk.drive import DiskDrive, SpuBandwidthLedger
+from repro.disk.request import DiskOp, DiskRequest
+from repro.disk.schedulers import make_scheduler
+from repro.fs.buffercache import BufferCache
+from repro.fs.filesystem import FileSystem
+from repro.fs.layout import Volume
+from repro.kernel.machine import MachineConfig
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.syscalls import (
+    Acquire,
+    BarrierWait,
+    Behavior,
+    Checkpoint,
+    Compute,
+    ReadFile,
+    Release,
+    SendNetwork,
+    SetWorkingSet,
+    Sleep,
+    Spawn,
+    WaitChildren,
+    WriteFile,
+    WriteMetadata,
+)
+from repro.net.link import NetByteLedger, NetworkLink
+from repro.net.schedulers import make_link_scheduler
+from repro.mem.manager import MemoryManager
+from repro.mem.pageout import PageoutDaemon
+from repro.mem.sharing import MemorySharingDaemon
+from repro.mem.workingset import WorkingSetModel
+from repro.sim.engine import Engine
+from repro.sim.trace import NullTracer, Tracer
+from repro.sim.units import SECTORS_PER_PAGE
+
+
+class KernelError(RuntimeError):
+    """Raised for kernel API misuse (spawning before boot, etc.)."""
+
+
+class Kernel:
+    """Boots the machine and interprets process behaviour."""
+
+    def __init__(self, config: MachineConfig, tracer: Optional[Tracer] = None):
+        self.config = config
+        self.scheme = config.scheme
+        self.engine = Engine(config.seed)
+        #: Structured event trace; a NullTracer (free) unless one is
+        #: passed in.  Categories: proc, sched, mem.
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.registry = SPURegistry()
+        self.memory = MemoryManager(
+            self.registry,
+            config.total_pages,
+            config.scheme,
+            kernel_pages=config.boot_kernel_pages,
+            rng=self.engine.fork_rng("mem-victim"),
+        )
+
+        # --- disks and filesystem ----------------------------------------
+        self.drives: List[DiskDrive] = []
+        self._swap_base: List[int] = []
+        self._swap_sectors: List[int] = []
+        cache = BufferCache(self.memory)
+        self.fs = FileSystem(self.engine, cache)
+        for i, spec in enumerate(config.disks):
+            policy = spec.policy if spec.policy is not None else config.scheme.disk_policy
+            scheduler = make_scheduler(
+                policy.value, config.scheme.params.bw_difference_threshold
+            )
+            ledger = SpuBandwidthLedger(
+                i, self.registry, config.scheme.params.disk_decay_period
+            )
+            drive = DiskDrive(self.engine, spec.geometry, scheduler, ledger, disk_id=i)
+            volume = Volume(
+                spec.geometry.total_sectors - spec.swap_sectors,
+                self.engine.fork_rng(f"volume-{i}"),
+            )
+            self.fs.mount(drive, volume)
+            self.drives.append(drive)
+            self._swap_base.append(spec.geometry.total_sectors - spec.swap_sectors)
+            self._swap_sectors.append(spec.swap_sectors)
+
+        # --- network interfaces ------------------------------------------
+        self.links: List[NetworkLink] = []
+        for i, nic in enumerate(config.nics):
+            ledger = NetByteLedger(
+                self.registry, decay_period=config.scheme.params.disk_decay_period
+            )
+            self.links.append(
+                NetworkLink(
+                    self.engine,
+                    make_link_scheduler(nic.policy, nic.threshold),
+                    ledger,
+                    bandwidth_mbps=nic.bandwidth_mbps,
+                    link_id=i,
+                )
+            )
+
+        # --- CPU side (built at boot, once the SPUs exist) -------------------
+        self.cpusched: Optional[CpuScheduler] = None
+        self.memdaemon: Optional[MemorySharingDaemon] = None
+        self.pageout: Optional[PageoutDaemon] = None
+        self.cpu_account = CpuTimeAccount()
+        #: Busy microseconds per CPU, for utilization reporting.
+        self.cpu_busy_us: Dict[int, int] = {}
+        #: Total slice transitions (a context-switch proxy).
+        self.context_switches = 0
+
+        # --- processes -----------------------------------------------------
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = itertools.count(1)
+        #: SPU id -> mount index used for its swap I/O (default mount 0).
+        self._swap_mount: Dict[int, int] = {}
+
+        self._swap_rng = self.engine.fork_rng("kernel-swap")
+        self._dirty_rng = self.engine.fork_rng("kernel-dirty")
+        #: Probability a stolen anonymous page is dirty and must be
+        #: written to swap before reuse.
+        self.dirty_eviction_fraction = 0.5
+
+        self._booted = False
+
+    # --- configuration ---------------------------------------------------------
+
+    def create_spu(self, name: str) -> SPU:
+        """Create a user SPU; must happen before :meth:`boot`."""
+        if self._booted:
+            raise KernelError("create SPUs before boot()")
+        spu = self.registry.create(name)
+        spu.disk_bw().set_entitled(1)
+        return spu
+
+    # --- dynamic SPU lifecycle (paper Section 2.1: SPUs "can be
+    # created and destroyed dynamically, or could be suspended when
+    # they have no active processes and awakened at a later time") -----
+
+    def add_spu(self, name: str) -> SPU:
+        """Create a user SPU after boot; the machine is re-divided."""
+        if not self._booted:
+            return self.create_spu(name)
+        spu = self.registry.create(name)
+        spu.disk_bw().set_entitled(1)
+        self.rebalance_spus()
+        return spu
+
+    def retire_spu(self, spu: SPU) -> None:
+        """Destroy an SPU (it must have no processes) and re-divide."""
+        self.registry.destroy(spu)
+        if self._booted:
+            self.rebalance_spus()
+
+    def suspend_spu(self, spu: SPU) -> None:
+        """Suspend an idle SPU; its shares go back into the pool."""
+        self.registry.suspend(spu)
+        if self._booted:
+            self.rebalance_spus()
+
+    def resume_spu(self, spu: SPU) -> None:
+        """Wake a suspended SPU; it gets its share back."""
+        self.registry.resume(spu)
+        if self._booted:
+            self.rebalance_spus()
+
+    def rebalance_spus(self) -> None:
+        """Re-divide CPUs and memory over the active user SPUs.
+
+        Called when the SPU population changes.  The CPU partition is
+        rebuilt from scratch; CPUs whose home changed are preempted at
+        once (this is a rare administrative event, so the cost of a
+        machine-wide reshuffle is acceptable).
+        """
+        if not self._booted:
+            raise KernelError("boot() before rebalancing")
+        users = self.registry.active_user_spus()
+        if not users:
+            return
+        sched = self._sched()
+        cpu_entitlements = self.config.contract.entitlements(
+            self.config.ncpus * MILLI_CPU, users
+        )
+        for spu_id, millicpus in cpu_entitlements.items():
+            levels = self.registry.get(spu_id).cpu()
+            levels.set_entitled(millicpus)
+            levels.set_allowed(
+                millicpus if not self.scheme.cpu_lending
+                else self.config.ncpus * MILLI_CPU
+            )
+        if self.scheme.cpu_stride:
+            from repro.cpu.stride import StrideCpuScheduler
+
+            assert isinstance(sched, StrideCpuScheduler)
+            for spu_id, millicpus in cpu_entitlements.items():
+                sched.set_tickets(spu_id, millicpus)
+        elif self.scheme.cpu_partitioned:
+            old_home = {c.cpu_id: sched.home_of(c) for c in sched.processors}
+            sched.partition = CpuPartition(self.config.ncpus, cpu_entitlements)
+            for cpu in sched.processors:
+                if old_home[cpu.cpu_id] == sched.home_of(cpu):
+                    continue
+                if cpu.running is not None:
+                    self._preempt(cpu)
+                else:
+                    self._dispatch(cpu)
+        if self.memdaemon is not None:
+            self.memdaemon.rebalance()
+
+    def set_swap_mount(self, spu: SPU, mount: int) -> None:
+        """Route an SPU's paging I/O to a specific disk."""
+        if not 0 <= mount < len(self.drives):
+            raise KernelError(f"no mount {mount}")
+        self._swap_mount[spu.spu_id] = mount
+
+    def boot(self) -> None:
+        """Divide the machine per the contract and start the daemons."""
+        if self._booted:
+            raise KernelError("kernel already booted")
+        users = self.registry.active_user_spus()
+        if not users:
+            raise KernelError("create at least one SPU before boot()")
+
+        # CPU entitlements in milli-CPUs.
+        cpu_entitlements = self.config.contract.entitlements(
+            self.config.ncpus * MILLI_CPU, users
+        )
+        for spu_id, millicpus in cpu_entitlements.items():
+            levels = self.registry.get(spu_id).cpu()
+            levels.set_entitled(millicpus)
+            levels.set_allowed(
+                millicpus if not self.scheme.cpu_lending
+                else self.config.ncpus * MILLI_CPU
+            )
+        if self.scheme.cpu_stride:
+            from repro.cpu.stride import StrideCpuScheduler
+
+            self.cpusched = StrideCpuScheduler(
+                self.config.ncpus, self.scheme, cpu_entitlements
+            )
+        else:
+            partition = (
+                CpuPartition(self.config.ncpus, cpu_entitlements)
+                if self.scheme.cpu_partitioned
+                else None
+            )
+            self.cpusched = CpuScheduler(self.config.ncpus, self.scheme, partition)
+
+        # Memory entitlements; without per-SPU limits (SMP) the cap is
+        # the whole machine.
+        pool = self.memory.user_pool()
+        for spu_id, pages in self.config.contract.entitlements(pool, users).items():
+            levels = self.registry.get(spu_id).memory()
+            levels.set_entitled(pages)
+            if not self.scheme.mem_limits:
+                levels.set_allowed(self.config.total_pages)
+        if self.scheme.mem_limits:
+            self.memdaemon = MemorySharingDaemon(
+                self.engine, self.memory, self.config.contract
+            )
+            self.memdaemon.start()
+        if self.scheme.params.proactive_pageout:
+            self.pageout = PageoutDaemon(
+                self.engine,
+                self.memory,
+                steal_from=lambda spu_id: self._steal_page(self.registry.get(spu_id)),
+                period=self.scheme.params.pageout_period,
+            )
+            self.pageout.start()
+
+        self.fs.start_daemons()
+        self.engine.every(self.scheme.params.clock_tick, self._tick)
+        self._booted = True
+
+    # --- process lifecycle --------------------------------------------------------
+
+    def spawn(
+        self,
+        behavior: Behavior,
+        spu: SPU,
+        name: str = "",
+        parent: Optional[int] = None,
+        base_priority: int = 20,
+    ) -> Process:
+        """Create a process in ``spu`` and start interpreting it."""
+        if not self._booted:
+            raise KernelError("boot() before spawning processes")
+        pid = next(self._next_pid)
+        proc = Process(
+            pid,
+            spu.spu_id,
+            behavior,
+            name=name,
+            base_priority=base_priority,
+            created=self.engine.now,
+            parent=parent,
+        )
+        self.processes[pid] = proc
+        self.registry.assign(pid, spu)
+        proc._ws_rng = self.engine.fork_rng(f"ws-{pid}")  # type: ignore[attr-defined]
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "proc", "spawn",
+                             pid=pid, name=proc.name, spu=spu.spu_id)
+        self._advance(proc)
+        return proc
+
+    def spawn_gang(
+        self,
+        behaviors: List[Behavior],
+        spu: SPU,
+        name: str = "",
+        base_priority: int = 20,
+    ) -> List[Process]:
+        """Spawn co-scheduled processes (see :mod:`repro.kernel.gang`).
+
+        Installing the first gang activates the scheduler's eligibility
+        filter; non-gang processes are unaffected by it.
+        """
+        from repro.kernel.gang import Gang
+
+        gang = Gang(name=name)
+        procs = []
+        for i, behavior in enumerate(behaviors):
+            proc = Process(
+                next(self._next_pid),
+                spu.spu_id,
+                behavior,
+                name=f"{gang.name}.{i}",
+                base_priority=base_priority,
+                created=self.engine.now,
+            )
+            gang.add(proc)
+            self.processes[proc.pid] = proc
+            self.registry.assign(proc.pid, spu)
+            proc._ws_rng = self.engine.fork_rng(f"ws-{proc.pid}")  # type: ignore[attr-defined]
+        if self._sched().eligibility is None:
+            self._sched().eligibility = self._gang_eligible
+        # Start interpreting only after every member exists, so the
+        # gang is never observed half-constructed.
+        for proc in gang.members:
+            procs.append(proc)
+            self._advance(proc)
+        # The first members enqueued while the gang looked incomplete;
+        # now that it is whole, give every idle CPU a chance.
+        for cpu in self._sched().processors:
+            if cpu.idle:
+                self._dispatch(cpu)
+        return procs
+
+    def _gang_eligible(self, proc: Process, now: int) -> bool:
+        """All-or-nothing gang dispatch (Ousterhout-style).
+
+        A gang member may be dispatched only when no member is blocked
+        and the gang can actually start as a unit: either members are
+        already running, or enough CPUs sit idle to place every
+        runnable member at once.  (With spin barriers, a partial gang
+        burns CPU in busy-waits — exactly what this gate prevents.)
+        """
+        gang = getattr(proc, "gang", None)
+        if gang is None:
+            return True
+        if not gang.schedulable():
+            return False
+        sched = self._sched()
+        running = sum(
+            1 for m in gang.members if m.state is ProcessState.RUNNING
+        )
+        if running:
+            return True
+        runnable = sum(
+            1 for m in gang.members if m.state is ProcessState.RUNNABLE
+        )
+        if self.scheme.cpu_partitioned and sched.partition is not None:
+            cpus = [
+                c for c in sched.processors
+                if sched.home_of(c) == proc.spu_id
+            ]
+            # With lending, foreign idle CPUs can host overflow members.
+            if self.scheme.cpu_lending:
+                cpus = sched.processors
+        else:
+            cpus = sched.processors
+        idle = sum(1 for c in cpus if c.idle)
+        return idle >= min(runnable, len(cpus))
+
+    def _gang_boost(self) -> None:
+        """Anti-starvation: clear space for a gang stuck behind other
+        work (the time-slot rotation of classical gang scheduling,
+        approximated at clock-tick granularity)."""
+        sched = self._sched()
+        seen = set()
+        for proc in list(self.processes.values()):
+            gang = getattr(proc, "gang", None)
+            if gang is None or gang.gang_id in seen:
+                continue
+            seen.add(gang.gang_id)
+            if not gang.schedulable():
+                continue
+            members = [
+                m for m in gang.members if m.state is ProcessState.RUNNABLE
+            ]
+            if not members or any(
+                m.state is ProcessState.RUNNING for m in gang.members
+            ):
+                continue
+            waited = self.engine.now - max(m.runnable_since for m in members)
+            if waited < self.scheme.params.time_slice:
+                continue
+            # Preempt enough non-gang work to fit the whole gang, then
+            # dispatch; the gang's rested priorities win the CPUs.
+            needed = min(len(members), len(sched.processors))
+            idle = sum(1 for c in sched.processors if c.idle)
+            victims = [
+                c for c in sched.processors
+                if c.running is not None
+                and getattr(c.running, "gang", None) is None
+            ]
+            for cpu in victims[: max(0, needed - idle)]:
+                self._preempt(cpu, dispatch=False)
+            for cpu in sched.processors:
+                if cpu.idle:
+                    self._dispatch(cpu)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation (to quiescence, or to ``until``)."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def jobs_done(self) -> bool:
+        return all(p.state is ProcessState.EXITED for p in self.processes.values())
+
+    def cpu_utilization(self) -> float:
+        """Machine-wide busy fraction since boot."""
+        if self.engine.now == 0:
+            return 0.0
+        busy = sum(self.cpu_busy_us.values())
+        return busy / (self.engine.now * self.config.ncpus)
+
+    # --- the syscall interpreter -----------------------------------------------
+
+    def _advance(self, proc: Process, value: object = None) -> None:
+        """Drive the behaviour generator until it blocks or exits."""
+        while True:
+            try:
+                if value is None or not hasattr(proc.behavior, "send"):
+                    # next() also accepts plain (non-generator)
+                    # iterators, e.g. a list of ops; those cannot
+                    # receive values (Spawn results are dropped).
+                    op = next(proc.behavior)
+                else:
+                    op = proc.behavior.send(value)
+            except StopIteration:
+                self._exit(proc)
+                return
+            value = None
+
+            if isinstance(op, Compute):
+                proc.pending_compute = op.duration_us
+                self._make_runnable(proc)
+                return
+            if isinstance(op, SetWorkingSet):
+                self._set_working_set(proc, op)
+                continue
+            if isinstance(op, Checkpoint):
+                proc.checkpoints.append((op.label, self.engine.now))
+                continue
+            if isinstance(op, ReadFile):
+                proc.state = ProcessState.BLOCKED
+                self.fs.read(
+                    proc.pid, proc.spu_id, op.file, op.offset, op.nbytes,
+                    partial(self._resume, proc),
+                )
+                return
+            if isinstance(op, WriteFile):
+                proc.state = ProcessState.BLOCKED
+                self.fs.write(
+                    proc.pid, proc.spu_id, op.file, op.offset, op.nbytes,
+                    partial(self._resume, proc),
+                )
+                return
+            if isinstance(op, WriteMetadata):
+                proc.state = ProcessState.BLOCKED
+                self.fs.write_metadata(
+                    proc.pid, proc.spu_id, op.file, partial(self._resume, proc)
+                )
+                return
+            if isinstance(op, SendNetwork):
+                try:
+                    link = self.links[op.nic]
+                except IndexError:
+                    raise KernelError(f"no NIC {op.nic}") from None
+                proc.state = ProcessState.BLOCKED
+                link.send(
+                    proc.spu_id, op.nbytes,
+                    on_complete=partial(self._resume, proc), pid=proc.pid,
+                )
+                return
+            if isinstance(op, Sleep):
+                proc.state = ProcessState.BLOCKED
+                self.engine.after(op.duration_us, partial(self._resume, proc))
+                return
+            if isinstance(op, Spawn):
+                child = self.spawn(
+                    op.behavior,
+                    self.registry.get(proc.spu_id),
+                    name=op.name,
+                    parent=proc.pid,
+                )
+                proc.children.add(child.pid)
+                value = child.pid
+                continue
+            if isinstance(op, WaitChildren):
+                if self._children_done(proc):
+                    continue
+                proc.waiting_for_children = True
+                proc.state = ProcessState.BLOCKED
+                return
+            if isinstance(op, BarrierWait):
+                if op.spin:
+                    self._spin_barrier(proc, op)
+                else:
+                    proc.state = ProcessState.BLOCKED
+                    released = op.barrier.arrive(partial(self._resume, proc))
+                    for resume in released:
+                        resume()
+                return
+            if isinstance(op, Acquire):
+                if op.lock.acquire(proc, op.shared, partial(self._resume, proc)):
+                    continue
+                proc.state = ProcessState.BLOCKED
+                return
+            if isinstance(op, Release):
+                for grant in op.lock.release(proc):
+                    grant()
+                continue
+            raise KernelError(f"process {proc.pid} yielded unknown op {op!r}")
+
+    def _resume(self, proc: Process) -> None:
+        """A blocking syscall finished; continue the generator."""
+        self._advance(proc)
+
+    # --- spin barriers ---------------------------------------------------------
+
+    #: Sentinel compute length for a busy-wait (cancelled when the
+    #: barrier trips; never runs to completion).
+    _SPIN_COMPUTE = 10**12
+
+    def _spin_barrier(self, proc: Process, op: BarrierWait) -> None:
+        """Busy-wait at the barrier: the process keeps consuming CPU."""
+        released = op.barrier.arrive(partial(self._end_spin, proc))
+        if released:
+            # This arrival tripped the barrier: fire every waiter's
+            # release (including this process's own).
+            proc.spinning = True
+            proc.pending_compute = self._SPIN_COMPUTE
+            for resume in released:
+                resume()
+            return
+        proc.spinning = True
+        proc.pending_compute = self._SPIN_COMPUTE
+        self._make_runnable(proc)
+
+    def _end_spin(self, proc: Process) -> None:
+        """The barrier tripped; stop the busy-wait wherever it is."""
+        proc.spinning = False
+        if proc.cpu is not None:
+            # Mid-spin on a CPU: cancel the slice and move on.
+            cpu = proc.cpu
+            if proc.slice_handle is not None:
+                proc.slice_handle.cancel()
+                proc.slice_handle = None
+            self._charge_slice(proc)
+            proc.pending_compute = 0
+            self._sched().release(cpu)
+            proc.cpu = None
+            self._advance(proc)
+            self._dispatch(cpu)
+            return
+        proc.pending_compute = 0
+        if proc.state is ProcessState.RUNNABLE:
+            self._sched().dequeue(proc)
+        # Otherwise this is the arrival that tripped the barrier,
+        # still in the interpreter; just continue it.
+        self._advance(proc)
+
+    def _set_working_set(self, proc: Process, op: SetWorkingSet) -> None:
+        proc.working_set = WorkingSetModel(
+            op.pages,
+            proc._ws_rng,  # type: ignore[attr-defined]
+            touches_per_ms=op.touches_per_ms,
+            fault_cluster_pages=op.fault_cluster_pages,
+        )
+        # Shrinking releases the excess immediately.
+        if proc.resident > op.pages:
+            excess = proc.resident - op.pages
+            for _ in range(excess):
+                self.memory.free(proc.spu_id)
+            proc.resident = op.pages
+        # Pages on swap beyond the new working set will never be
+        # touched again.
+        proc.paged_out = min(proc.paged_out, max(0, op.pages - proc.resident))
+
+    def _children_done(self, proc: Process) -> bool:
+        return all(
+            self.processes[pid].state is ProcessState.EXITED
+            for pid in proc.children
+        )
+
+    def _exit(self, proc: Process) -> None:
+        proc.state = ProcessState.EXITED
+        proc.finished = self.engine.now
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "proc", "exit",
+                             pid=proc.pid, response_us=proc.response_us,
+                             cpu_us=proc.cpu_time_us, faults=proc.fault_count)
+        for _ in range(proc.resident):
+            self.memory.free(proc.spu_id)
+        proc.resident = 0
+        self.registry.remove(proc.pid)
+        if proc.parent is not None:
+            parent = self.processes[proc.parent]
+            if parent.waiting_for_children and self._children_done(parent):
+                parent.waiting_for_children = False
+                self._advance(parent)
+
+    # --- CPU dispatch ---------------------------------------------------------
+
+    def _make_runnable(self, proc: Process) -> None:
+        proc.state = ProcessState.RUNNABLE
+        proc.runnable_since = self.engine.now
+        sched = self._sched()
+        sched.enqueue(proc)
+        cpu = sched.find_cpu_for(proc, self.engine.now)
+        if cpu is not None:
+            self._dispatch(cpu)
+            return
+        if self.scheme.params.revocation_mode == "ipi":
+            self._send_revocation_ipi(proc)
+        self._arm_dispatch_retry(proc)
+
+    def _arm_dispatch_retry(self, proc: Process) -> None:
+        """Keep the simulation alive for a process whose only route to
+        a CPU is the tick-driven home rotation of a time-shared CPU.
+
+        The rotation itself runs off daemon clock ticks, which do not
+        keep :meth:`Engine.run` alive; without this non-daemon retry a
+        lone process waiting for its rotation slot would strand when
+        the rest of the event queue drained.
+        """
+        sched = self._sched()
+        if sched.partition is None or not sched.partition.time_shared:
+            return
+        if proc.dispatch_retry_pending:
+            return
+        proc.dispatch_retry_pending = True
+
+        def retry() -> None:
+            proc.dispatch_retry_pending = False
+            if proc.state is not ProcessState.RUNNABLE:
+                return
+            cpu = sched.find_cpu_for(proc, self.engine.now)
+            if cpu is not None:
+                self._dispatch(cpu)
+            if proc.state is ProcessState.RUNNABLE:
+                self._arm_dispatch_retry(proc)
+
+        self.engine.after(self.scheme.params.clock_tick, retry)
+
+    def _send_revocation_ipi(self, proc: Process) -> None:
+        """Immediate loan revocation for a newly runnable home process.
+
+        With tick-mode revocation (the paper's implementation) the
+        process waits up to one clock tick; IPI mode claws a loaned
+        home CPU back right away, for interactive response-time
+        guarantees.
+        """
+        sched = self._sched()
+        if not (self.scheme.cpu_partitioned and self.scheme.cpu_lending):
+            return
+        loaned = [
+            c for c in sched.processors
+            if c.on_loan and sched.home_of(c) == proc.spu_id
+        ]
+        if not loaned:
+            return
+        target = loaned[0]
+
+        def deliver() -> None:
+            # The world may have changed while the IPI was in flight.
+            if target.on_loan and sched.home_of(target) == proc.spu_id \
+                    and sched.waiting(proc.spu_id):
+                sched.loans_revoked += 1
+                self._preempt(target)
+
+        self.engine.after(self.scheme.params.ipi_cost, deliver)
+
+    def _sched(self) -> CpuScheduler:
+        if self.cpusched is None:
+            raise KernelError("kernel not booted")
+        return self.cpusched
+
+    def _dispatch(self, cpu: Processor) -> None:
+        if not cpu.idle:
+            return
+        proc = self._sched().pick(cpu, self.engine.now)
+        if proc is None:
+            return
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "sched", "dispatch",
+                             cpu=cpu.cpu_id, pid=proc.pid, loan=cpu.on_loan)
+        self._begin_slice(cpu, proc)
+
+    def _begin_slice(self, cpu: Processor, proc: Process) -> None:
+        proc.state = ProcessState.RUNNING
+        proc.cpu = cpu
+        # Cache-affinity warm-up when moving to a different CPU; no
+        # compute progress during it (Section 3.1's "cache pollution").
+        warmup = 0
+        if (
+            self.scheme.params.migration_cost
+            and proc.last_cpu_id is not None
+            and proc.last_cpu_id != cpu.cpu_id
+        ):
+            warmup = self.scheme.params.migration_cost
+        proc.slice_warmup = warmup
+        proc.last_cpu_id = cpu.cpu_id
+        remaining = proc.pending_compute
+        length, reason = remaining, "done"
+        quantum = self.scheme.params.time_slice
+        if quantum < length:
+            length, reason = quantum, "slice"
+        if proc.working_set is not None and not proc.spinning:
+            to_fault = proc.working_set.time_to_next_fault(proc.resident)
+            if to_fault is not None and to_fault < length:
+                length, reason = to_fault, "fault"
+        proc.slice_started = self.engine.now
+        proc.slice_handle = self.engine.after(
+            max(1, warmup + length), self._end_slice, cpu, proc, reason
+        )
+
+    def _end_slice(self, cpu: Processor, proc: Process, reason: str) -> None:
+        proc.slice_handle = None
+        self._charge_slice(proc)
+        self._sched().release(cpu)
+        proc.cpu = None
+        if reason == "done":
+            self._advance(proc)
+        elif reason == "fault":
+            self._page_fault(proc)
+        else:
+            self._make_runnable(proc)
+        self._dispatch(cpu)
+
+    def _charge_slice(self, proc: Process) -> None:
+        elapsed = self.engine.now - proc.slice_started
+        # The warm-up portion burns CPU time without making progress.
+        progress = max(0, elapsed - proc.slice_warmup)
+        proc.pending_compute = max(0, proc.pending_compute - progress)
+        proc.cpu_time_us += elapsed
+        if proc.cpu is not None:
+            self.cpu_busy_us[proc.cpu.cpu_id] = (
+                self.cpu_busy_us.get(proc.cpu.cpu_id, 0) + elapsed
+            )
+        self.context_switches += 1
+        proc.priority.charge(elapsed, self.engine.now)
+        self.cpu_account.charge(proc.spu_id, elapsed)
+        self._sched().on_usage(proc.spu_id, elapsed)
+
+    def _preempt(self, cpu: Processor, dispatch: bool = True) -> None:
+        """Take the CPU away (loan revocation, rotation, gang boost)."""
+        proc = cpu.running
+        if proc is None:
+            return
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "sched", "preempt",
+                             cpu=cpu.cpu_id, pid=proc.pid, loan=cpu.on_loan)
+        if cpu.on_loan and self.scheme.params.loan_holddown:
+            cpu.no_loan_until = self.engine.now + self.scheme.params.loan_holddown
+        if proc.slice_handle is not None:
+            proc.slice_handle.cancel()
+            proc.slice_handle = None
+        self._charge_slice(proc)
+        self._sched().release(cpu)
+        proc.cpu = None
+        self._make_runnable(proc)
+        if dispatch:
+            self._dispatch(cpu)
+
+    def _tick(self) -> None:
+        """The 10 ms clock tick: rotation, loan revocation, dispatch."""
+        sched = self._sched()
+        for cpu in sched.rotate_time_shared():
+            if cpu.running is None:
+                continue
+            new_home = sched.home_of(cpu)
+            if new_home == cpu.running.spu_id:
+                continue
+            # With lending (PIso/SMP) the slot is only reclaimed when
+            # the new owner has waiting work — otherwise the running
+            # process borrows the slack.  Without lending (Quo) the
+            # quota is strict: the slot is vacated even if it will sit
+            # idle.
+            if not self.scheme.cpu_lending:
+                self._preempt(cpu)
+            elif new_home is not None and sched.waiting(new_home):
+                self._preempt(cpu)
+        for cpu in sched.revocations():
+            self._preempt(cpu)
+        if sched.eligibility is not None:
+            self._gang_boost()
+        for cpu in sched.processors:
+            if cpu.idle:
+                self._dispatch(cpu)
+
+    # --- demand paging -----------------------------------------------------------
+
+    def _page_fault(self, proc: Process) -> None:
+        """Service a fault: get pages (stealing if needed), then either
+        zero-fill (first touch, no I/O) or page in from swap.
+
+        Only pages previously stolen from the process live on swap; a
+        growing working set is satisfied by zero-filled pages at a
+        small fixed cost.  This distinction is what makes memory
+        pressure — not working-set size — the thing that generates
+        paging I/O.
+        """
+        proc.state = ProcessState.BLOCKED
+        proc.fault_count += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "mem", "fault",
+                             pid=proc.pid, resident=proc.resident,
+                             paged_out=proc.paged_out)
+        assert proc.working_set is not None
+        want = proc.working_set.pages_per_fault(proc.resident)
+        got = 0
+        for _ in range(want):
+            if self._allocate_page(proc.spu_id):
+                got += 1
+            else:
+                break
+        swapped = min(got, proc.paged_out) if got else min(1, proc.paged_out)
+        if swapped == 0:
+            # Zero-fill fault: a fixed kernel cost per page, no disk.
+            self.engine.after(
+                max(1, got) * self.ZERO_FILL_US_PER_PAGE,
+                self._fault_done, proc, got, 0,
+            )
+            return
+        mount = self._swap_mount.get(proc.spu_id, 0)
+        drive = self.drives[mount]
+        span = max(1, swapped) * SECTORS_PER_PAGE
+        base = self._swap_base[mount]
+        sector = base + self._swap_rng.randrange(
+            max(1, self._swap_sectors[mount] - span)
+        )
+        drive.submit(
+            DiskRequest(
+                spu_id=proc.spu_id,
+                op=DiskOp.READ,
+                sector=sector,
+                nsectors=span,
+                on_complete=lambda _req: self._fault_done(proc, got, swapped),
+                pid=proc.pid,
+            )
+        )
+
+    #: Kernel cost of zero-filling one freshly allocated page.
+    ZERO_FILL_US_PER_PAGE = 40
+
+    def _fault_done(self, proc: Process, got: int, swapped: int) -> None:
+        proc.resident += got
+        proc.paged_out = max(0, proc.paged_out - swapped)
+        self._make_runnable(proc)
+
+    def _allocate_page(self, spu_id: int) -> bool:
+        """Allocate one page, stealing a victim page if necessary."""
+        if self.memory.try_allocate(spu_id):
+            return True
+        victim = self.memory.victim_spu(spu_id)
+        if victim is not None and self._steal_page(victim):
+            return self.memory.try_allocate(spu_id)
+        return False
+
+    def _steal_page(self, victim: SPU) -> bool:
+        """Free one of the victim SPU's pages.
+
+        Cheapest first: a clean buffer-cache block; then an anonymous
+        page from the victim's biggest process (paying a swap write if
+        dirty); as a last resort, kick writeback so a later attempt
+        finds clean blocks.
+        """
+        if self.fs.cache.evict_clean(victim.spu_id):
+            return True
+        procs = [
+            p
+            for p in self.processes.values()
+            if p.spu_id == victim.spu_id and p.alive and p.resident > 0
+        ]
+        if procs:
+            target = max(procs, key=lambda p: (p.resident, p.pid))
+            target.resident -= 1
+            target.paged_out += 1
+            self.memory.free(victim.spu_id)
+            if self._dirty_rng.random() < self.dirty_eviction_fraction:
+                self._swap_out(victim.spu_id)
+            return True
+        self.fs.writeback.flush_spu(victim.spu_id)
+        return False
+
+    def _swap_out(self, spu_id: int) -> None:
+        """Asynchronously write one stolen dirty page to swap."""
+        mount = self._swap_mount.get(spu_id, 0)
+        drive = self.drives[mount]
+        base = self._swap_base[mount]
+        sector = base + self._swap_rng.randrange(
+            max(1, self._swap_sectors[mount] - SECTORS_PER_PAGE)
+        )
+        drive.submit(
+            DiskRequest(
+                spu_id=spu_id,
+                op=DiskOp.WRITE,
+                sector=sector,
+                nsectors=SECTORS_PER_PAGE,
+            )
+        )

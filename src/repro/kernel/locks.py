@@ -1,0 +1,174 @@
+"""Kernel synchronisation: locks and barriers (paper Section 3.4).
+
+Shared kernel structures are protected by semaphores; contention on
+them can cross SPU boundaries and break isolation.  The paper's two
+fixes are modelled here:
+
+* the inode lock became a **multiple-readers/one-writer** semaphore
+  because lookups dominate — :class:`KernelLock` supports both mutual
+  exclusion and reader/writer modes, so the ablation bench can compare
+  the two;
+* a process blocking on a semaphore should transfer its resources to
+  the holder (priority inheritance, [SRL90]) — acquiring with
+  ``inheritance=True`` boosts the holder's scheduling priority to the
+  best waiter's.
+
+:class:`Barrier` supports gang phases in parallel applications (Ocean).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.process import Process
+
+Grant = Callable[[], None]
+
+
+class LockError(RuntimeError):
+    """Raised on protocol violations (double release, bad holder)."""
+
+
+class KernelLock:
+    """A kernel semaphore, mutual-exclusion or readers/writer.
+
+    The kernel drives it with continuations: :meth:`acquire` either
+    grants immediately (returns True) or queues the continuation to be
+    called when the lock is granted.
+    """
+
+    def __init__(self, name: str, reader_writer: bool = False, inheritance: bool = False):
+        self.name = name
+        self.reader_writer = reader_writer
+        self.inheritance = inheritance
+        #: Current exclusive holder, if any.
+        self._writer: Optional["Process"] = None
+        #: Current shared holders (readers).
+        self._readers: List["Process"] = []
+        #: FIFO of (process, shared, continuation).
+        self._waiters: List[Tuple["Process", bool, Grant]] = []
+        #: Contention statistics for the ablation bench.
+        self.acquisitions = 0
+        self.contentions = 0
+
+    # --- queries ---------------------------------------------------------
+
+    @property
+    def held(self) -> bool:
+        return self._writer is not None or bool(self._readers)
+
+    def holders(self) -> List["Process"]:
+        if self._writer is not None:
+            return [self._writer]
+        return list(self._readers)
+
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    # --- acquire / release ------------------------------------------------------
+
+    def acquire(self, proc: "Process", shared: bool, granted: Grant) -> bool:
+        """Try to take the lock; returns True if granted immediately.
+
+        Without ``reader_writer``, every acquisition is exclusive
+        regardless of ``shared`` — that is exactly the unfixed
+        inode-lock behaviour the paper measured.
+        """
+        shared = shared and self.reader_writer
+        if self._grantable(shared):
+            self._grant(proc, shared)
+            return True
+        self.contentions += 1
+        self._waiters.append((proc, shared, granted))
+        if self.inheritance:
+            self._boost_holders(proc)
+        return False
+
+    def _grantable(self, shared: bool) -> bool:
+        if self._writer is not None:
+            return False
+        if shared:
+            # Readers may pile on unless a writer is already queued
+            # (prevents writer starvation).
+            return not any(not s for _p, s, _g in self._waiters)
+        return not self._readers
+
+    def _grant(self, proc: "Process", shared: bool) -> None:
+        self.acquisitions += 1
+        if shared:
+            self._readers.append(proc)
+        else:
+            self._writer = proc
+
+    def release(self, proc: "Process") -> List[Grant]:
+        """Release; returns continuations of newly granted waiters.
+
+        The kernel invokes the continuations (which make the waiters
+        runnable) — the lock itself never touches the scheduler.
+        """
+        if self._writer is proc:
+            self._writer = None
+            self._writer_boost_clear(proc)
+        elif proc in self._readers:
+            self._readers.remove(proc)
+        else:
+            raise LockError(f"{proc.pid} does not hold lock {self.name!r}")
+        if self.held:
+            return []
+        grants: List[Grant] = []
+        while self._waiters:
+            waiter, shared, cont = self._waiters[0]
+            if not grants:
+                # First waiter always gets in (FIFO).
+                self._waiters.pop(0)
+                self._grant(waiter, shared)
+                grants.append(cont)
+                if not shared:
+                    break
+            elif shared:
+                self._waiters.pop(0)
+                self._grant(waiter, shared)
+                grants.append(cont)
+            else:
+                break
+        return grants
+
+    # --- priority inheritance ---------------------------------------------------
+
+    def _boost_holders(self, waiter: "Process") -> None:
+        waiter_base = waiter.priority.base
+        for holder in self.holders():
+            if waiter_base < holder.priority.base:
+                holder.priority.base = waiter_base
+
+    def _writer_boost_clear(self, proc: "Process") -> None:
+        if self.inheritance:
+            proc.priority.base = proc.default_base_priority
+
+
+class Barrier:
+    """An N-party barrier; the last arrival releases everyone."""
+
+    def __init__(self, parties: int, name: str = "barrier"):
+        if parties <= 0:
+            raise ValueError(f"barrier needs >= 1 party, got {parties}")
+        self.parties = parties
+        self.name = name
+        self._waiting: List[Grant] = []
+        #: Completed phases, for tracing/tests.
+        self.generation = 0
+
+    def arrive(self, resume: Grant) -> List[Grant]:
+        """One party arrives.
+
+        Returns the continuations to run: empty while the barrier
+        holds, everyone's (including this arrival's) when it trips.
+        """
+        self._waiting.append(resume)
+        if len(self._waiting) < self.parties:
+            return []
+        released = self._waiting
+        self._waiting = []
+        self.generation += 1
+        return released

@@ -1,0 +1,90 @@
+"""Machine configuration.
+
+A :class:`MachineConfig` describes the simulated hardware and the
+resource-allocation scheme; the :class:`~repro.kernel.kernel.Kernel`
+builds the whole system from it.  The defaults mirror the paper's
+SimOS CHALLENGE configuration where it matters (the experiments set
+their own CPU/memory/disk sizes per Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.contracts import EqualShareContract, SharingContract
+from repro.core.schemes import DiskSchedPolicy, SchemeConfig, smp_scheme
+from repro.disk.model import DiskGeometry, fast_disk
+from repro.sim.units import MB, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """One disk: geometry, scheduling policy, and swap reservation."""
+
+    geometry: DiskGeometry = field(default_factory=fast_disk)
+    #: Override of the scheme's disk policy for this disk (None = use
+    #: the scheme's).
+    policy: Optional[DiskSchedPolicy] = None
+    #: Sectors at the top of the disk reserved as swap space.
+    swap_sectors: int = 16384
+
+    def __post_init__(self) -> None:
+        if self.swap_sectors < 0:
+            raise ValueError("swap_sectors must be >= 0")
+        if self.swap_sectors >= self.geometry.total_sectors:
+            raise ValueError("swap reservation covers the whole disk")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """One network interface: line rate and scheduling policy.
+
+    ``policy`` is a link-scheduler name: ``"fifo"`` (no isolation),
+    ``"fair"`` (per-SPU fair share), or ``"threshold"`` (FIFO until an
+    SPU exceeds the mean usage by ``threshold`` decayed bytes/share).
+    """
+
+    bandwidth_mbps: float = 100.0
+    policy: str = "fair"
+    threshold: float = 16384.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("NIC rate must be positive")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The simulated machine plus the allocation scheme to run."""
+
+    ncpus: int = 8
+    memory_mb: int = 64
+    disks: List[DiskSpec] = field(default_factory=lambda: [DiskSpec()])
+    #: Network interfaces; empty by default (most experiments are
+    #: CPU/memory/disk-bound, like the paper's).
+    nics: List[NicSpec] = field(default_factory=list)
+    scheme: SchemeConfig = field(default_factory=smp_scheme)
+    contract: SharingContract = field(default_factory=EqualShareContract)
+    seed: int = 0
+    #: Pages taken by kernel code/data at boot; defaults (when None) to
+    #: 1/16th of memory.
+    kernel_pages: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ncpus <= 0:
+            raise ValueError("machine needs at least one CPU")
+        if self.memory_mb <= 0:
+            raise ValueError("machine needs memory")
+        if not self.disks:
+            raise ValueError("machine needs at least one disk")
+
+    @property
+    def total_pages(self) -> int:
+        return self.memory_mb * MB // PAGE_SIZE
+
+    @property
+    def boot_kernel_pages(self) -> int:
+        if self.kernel_pages is not None:
+            return self.kernel_pages
+        return self.total_pages // 16

@@ -1,0 +1,15 @@
+"""Memory substrate: the page pool with per-SPU accounting, the
+idle-memory sharing daemon, and the working-set demand-paging model."""
+
+from repro.mem.manager import MemoryManager, OutOfMemoryError
+from repro.mem.pageout import PageoutDaemon
+from repro.mem.sharing import MemorySharingDaemon
+from repro.mem.workingset import WorkingSetModel
+
+__all__ = [
+    "MemoryManager",
+    "OutOfMemoryError",
+    "MemorySharingDaemon",
+    "PageoutDaemon",
+    "WorkingSetModel",
+]

@@ -1,0 +1,182 @@
+"""Physical memory management with per-SPU page accounting.
+
+The manager is the single source of pages: process anonymous memory and
+the file buffer cache both allocate here (it implements the
+filesystem's ``PageProvider`` protocol).  Per the paper (Section 3.2):
+
+* every allocation records the requesting SPU's id and bumps its page
+  count (the *used* level);
+* with isolation enabled, a request is denied once the SPU has used its
+  *allowed* pages — even if the machine still has free memory;
+* without isolation (the SMP scheme) a request fails only when there is
+  no free page in the whole system;
+* the kernel SPU is never denied.
+
+Denials are counted per SPU between rebalance periods; the sharing
+daemon uses them as the memory-pressure signal.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.core.resources import Resource
+from repro.core.schemes import SchemeConfig
+from repro.core.spu import SPU, SPURegistry
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an internal invariant on the page pool breaks."""
+
+
+class MemoryManager:
+    """The physical page pool, charged per SPU."""
+
+    def __init__(
+        self,
+        registry: SPURegistry,
+        total_pages: int,
+        scheme: SchemeConfig,
+        kernel_pages: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
+        if total_pages <= 0:
+            raise ValueError("machine must have at least one page")
+        if not 0 <= kernel_pages < total_pages:
+            raise ValueError(
+                f"kernel_pages ({kernel_pages}) must leave user pages"
+                f" out of {total_pages}"
+            )
+        self.registry = registry
+        self.total_pages = total_pages
+        self.scheme = scheme
+        self.free_pages = total_pages
+        self._rng = rng if rng is not None else random.Random(0)
+        #: Allocation denials per SPU since the last rebalance; the
+        #: sharing daemon's memory-pressure signal.
+        self.denials: Dict[int, int] = {}
+
+        # The kernel and shared SPUs are capped only by the machine.
+        for spu in (registry.kernel_spu, registry.shared_spu):
+            spu.memory().set_allowed(total_pages)
+
+        # Boot-time kernel code/data pages.
+        if kernel_pages:
+            for _ in range(kernel_pages):
+                if not self.try_allocate(registry.kernel_spu.spu_id):
+                    raise OutOfMemoryError("kernel pages exceed machine memory")
+
+    # --- derived quantities ------------------------------------------------
+
+    @property
+    def reserve_pages(self) -> int:
+        """Pages kept free to hide memory revocation cost (Section 3.2)."""
+        return int(self.total_pages * self.scheme.params.reserve_threshold)
+
+    def user_pool(self) -> int:
+        """Pages divisible among *active* user SPUs.
+
+        Total memory less kernel and shared usage, and less pages still
+        held by suspended/inactive user SPUs (e.g. their leftover
+        buffer-cache blocks) — entitling active SPUs to pages someone
+        else holds would over-commit the machine.
+        """
+        active_ids = {s.spu_id for s in self.registry.active_user_spus()}
+        unavailable = sum(
+            spu.memory().used
+            for spu in self.registry.all_spus()
+            if spu.spu_id not in active_ids and spu.is_user
+        )
+        kernel_used = self.registry.kernel_spu.memory().used
+        shared_used = self.registry.shared_spu.memory().used
+        return max(0, self.total_pages - kernel_used - shared_used - unavailable)
+
+    def used_by(self, spu_id: int) -> int:
+        return self.registry.get(spu_id).memory().used
+
+    # --- PageProvider protocol -----------------------------------------------
+
+    def try_allocate(self, spu_id: int) -> bool:
+        """Charge one page to ``spu_id``; False on denial."""
+        spu = self.registry.get(spu_id)
+        if self.free_pages <= 0:
+            self.denials[spu_id] = self.denials.get(spu_id, 0) + 1
+            return False
+        if self._capped(spu) and not spu.memory().can_use(1):
+            self.denials[spu_id] = self.denials.get(spu_id, 0) + 1
+            return False
+        spu.memory().acquire(1)
+        self.free_pages -= 1
+        return True
+
+    def free(self, spu_id: int) -> None:
+        """Return one page charged to ``spu_id``."""
+        self.registry.get(spu_id).memory().release(1)
+        self.free_pages += 1
+        if self.free_pages > self.total_pages:  # pragma: no cover - invariant
+            raise OutOfMemoryError("freed more pages than the machine has")
+
+    def transfer(self, from_spu: int, to_spu: int) -> bool:
+        """Move one page's charge between SPUs (shared-page marking).
+
+        The destination's cap is deliberately not enforced: marking a
+        page shared must not fail, and the shared/kernel SPUs are only
+        capped by the machine.
+        """
+        source = self.registry.get(from_spu)
+        dest = self.registry.get(to_spu)
+        if source.memory().used <= 0:
+            return False
+        source.memory().release(1)
+        levels = dest.memory()
+        if not levels.can_use(1):
+            levels.set_allowed(levels.used + 1)
+        levels.acquire(1)
+        return True
+
+    def _capped(self, spu: SPU) -> bool:
+        """Whether per-SPU limits apply to this SPU under this scheme."""
+        return self.scheme.mem_limits and spu.is_user
+
+    # --- pressure signals ----------------------------------------------------
+
+    def take_denials(self) -> Dict[int, int]:
+        """Return and reset the per-SPU denial counts."""
+        out = self.denials
+        self.denials = {}
+        return out
+
+    def under_pressure(self, spu: SPU) -> bool:
+        """An SPU at (or over) its cap with recent denials wants pages."""
+        return self.denials.get(spu.spu_id, 0) > 0
+
+    # --- victim selection for page stealing --------------------------------------
+
+    def victim_spu(self, requester_id: int) -> Optional[SPU]:
+        """Whose page should be stolen so ``requester`` can allocate?
+
+        * Isolation schemes: if the requester is at its own cap, it must
+          steal from itself.  If the machine is out of free pages while
+          the requester still has headroom, the pages are held by a
+          *borrower* — revoke from the user SPU borrowing the most.
+        * SMP: global replacement — any page in the machine is fair
+          game, so the victim SPU is drawn at random weighted by pages
+          held, approximating a global clock/LRU sweep (this is exactly
+          how a heavy job hurts a light one on a stock kernel).
+        """
+        requester = self.registry.get(requester_id)
+        users = self.registry.active_user_spus()
+        if not users:
+            return None
+        if self._capped(requester):
+            if not requester.memory().can_use(1):
+                return requester if requester.memory().used > 0 else None
+            borrowers = [s for s in users if s.memory().over_entitlement]
+            if borrowers:
+                return max(borrowers, key=lambda s: s.memory().used - s.memory().entitled)
+        holders = [s for s in users if s.memory().used > 0]
+        if not holders:
+            return None
+        weights = [s.memory().used for s in holders]
+        return self._rng.choices(holders, weights=weights, k=1)[0]

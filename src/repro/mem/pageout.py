@@ -1,0 +1,91 @@
+"""The pageout daemon.
+
+IRIX keeps a pager/swapper pair that replenishes the free-page pool in
+the background; the paper's implementation made "the paging and
+swapping functions ... aware of SPUs and per-SPU memory limits"
+(Section 3.2).  This daemon periodically steals pages — preferring
+SPUs that are over their entitlement — until the free pool is back at
+the Reserve Threshold, taking reclamation off the page-fault critical
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mem.manager import MemoryManager
+from repro.sim.engine import Engine, PeriodicTimer
+from repro.sim.units import MSEC
+
+#: Evicts one page from the given SPU; returns False if nothing to take.
+StealFn = Callable[[int], bool]
+
+
+class PageoutDaemon:
+    """Keeps ``free_pages`` at or above the Reserve Threshold."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        manager: MemoryManager,
+        steal_from: StealFn,
+        period: int = 250 * MSEC,
+        max_batch: int = 64,
+    ):
+        if max_batch <= 0:
+            raise ValueError("batch must be positive")
+        self.engine = engine
+        self.manager = manager
+        self.steal_from = steal_from
+        self.period = period
+        self.max_batch = max_batch
+        self._timer: Optional[PeriodicTimer] = None
+        #: Pages reclaimed over the run, for reporting.
+        self.reclaimed = 0
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("pageout daemon already started")
+        self._timer = self.engine.every(self.period, self.scan)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def scan(self) -> int:
+        """One pass: steal until the reserve is met or the batch caps out."""
+        stolen = 0
+        target = self.manager.reserve_pages
+        while self.manager.free_pages < target and stolen < self.max_batch:
+            victim = self._victim()
+            if victim is None or not self.steal_from(victim):
+                break
+            stolen += 1
+        self.reclaimed += stolen
+        return stolen
+
+    def _victim(self) -> Optional[int]:
+        """Whose page to reclaim: borrowers first, then biggest holders.
+
+        Under isolation schemes, background reclaim must never eat into
+        an SPU's entitled-and-used pages while a borrower exists; only
+        when nobody is over entitlement does it fall back to the
+        largest user (which is also the SMP behaviour).
+        """
+        users = self.manager.registry.active_user_spus()
+        if not users:
+            return None
+        if self.manager.scheme.mem_limits:
+            borrowers = [s for s in users if s.memory().over_entitlement]
+            if borrowers:
+                victim = max(
+                    borrowers,
+                    key=lambda s: s.memory().used - s.memory().entitled,
+                )
+                return victim.spu_id
+            return None
+        holders = [s for s in users if s.memory().used > 0]
+        if not holders:
+            return None
+        return max(holders, key=lambda s: s.memory().used).spu_id

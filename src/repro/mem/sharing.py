@@ -1,0 +1,126 @@
+"""The memory-sharing daemon (paper Section 3.2).
+
+Periodically:
+
+1. recomputes user-SPU *entitlements* from the pool left over after the
+   kernel and shared SPUs' usage (their cost is effectively borne by
+   everyone);
+2. under PIso, redistributes idle pages — total free pages less the
+   Reserve Threshold — to SPUs under memory pressure by raising their
+   *allowed* level;
+3. lowers the *allowed* level of SPUs whose loans should shrink (the
+   lender changed its mind, or pressure moved elsewhere).  ``allowed``
+   never drops below ``max(entitled, used)``; actually taking pages
+   back is the page-stealing path's job, so revocation is gradual, as
+   in the paper ("the memory re-allocation is temporary, and can be
+   reset if the memory situation ... changes").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.contracts import SharingContract
+from repro.core.resources import Resource
+from repro.core.spu import SPU, SPURegistry
+from repro.mem.manager import MemoryManager
+from repro.sim.engine import Engine, PeriodicTimer
+
+
+class MemorySharingDaemon:
+    """Recomputes entitlements and lends idle pages."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        manager: MemoryManager,
+        contract: SharingContract,
+    ):
+        self.engine = engine
+        self.manager = manager
+        self.contract = contract
+        self.registry: SPURegistry = manager.registry
+        self._timer: Optional[PeriodicTimer] = None
+        #: Loans granted (SPU id -> extra pages above entitlement), for
+        #: reporting.
+        self.loans: Dict[int, int] = {}
+
+    # --- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("memory daemon already started")
+        period = self.manager.scheme.params.memory_rebalance_period
+        self._timer = self.engine.every(period, self.rebalance)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # --- the rebalance pass ---------------------------------------------------
+
+    def rebalance(self) -> None:
+        """One pass: re-entitle, then lend or revoke."""
+        users = self.registry.active_user_spus()
+        if not users:
+            return
+        self._update_entitlements(users)
+        denials = self.manager.take_denials()
+        if self.manager.scheme.mem_sharing:
+            self._share_idle(users, denials)
+        else:
+            self._clamp_allowed(users)
+        self.loans = {
+            s.spu_id: s.memory().borrowed for s in users if s.memory().borrowed
+        }
+
+    def _update_entitlements(self, users) -> None:
+        """Divide the non-kernel, non-shared pool among user SPUs.
+
+        The allocation of pages to SPUs is "periodically updated to
+        account for changes in the usage of the shared and kernel SPUs"
+        — so entitlements shrink as shared/kernel usage grows.
+        """
+        pool = self.manager.user_pool()
+        for spu, entitled in self.contract.entitlements(pool, users).items():
+            levels = self.registry.get(spu).memory()
+            levels.set_entitled(entitled)
+
+    def _clamp_allowed(self, users) -> None:
+        """No sharing (Quo): caps stay at the entitlement."""
+        for spu in users:
+            levels = spu.memory()
+            levels.set_allowed(max(levels.entitled, levels.used))
+
+    def _share_idle(self, users, denials: Dict[int, int]) -> None:
+        """Lend idle pages to pressured SPUs; shrink stale loans."""
+        pressured = [s for s in users if denials.get(s.spu_id, 0) > 0]
+
+        # Idle supply: what the lenders' policies are willing to give,
+        # bounded by actually-free memory beyond the Reserve Threshold.
+        policy = self.manager.scheme.sharing_policy
+        willing = sum(policy.lendable(s, Resource.MEMORY) for s in users)
+        free_beyond_reserve = max(
+            0, self.manager.free_pages - self.manager.reserve_pages
+        )
+        excess = min(willing, free_beyond_reserve)
+
+        # First shrink every cap to its floor; loans are then re-granted
+        # from scratch, which both revokes stale loans and keeps the
+        # bookkeeping simple.
+        for spu in users:
+            levels = spu.memory()
+            levels.set_allowed(max(levels.entitled, levels.used))
+
+        if excess <= 0 or not pressured:
+            return
+        # Split the excess among pressured borrowers, weighted by their
+        # recent denial counts (a needier SPU gets a larger loan).
+        total_denials = sum(denials[s.spu_id] for s in pressured)
+        for spu in pressured:
+            share = round(excess * denials[spu.spu_id] / total_denials)
+            if share <= 0:
+                continue
+            levels = spu.memory()
+            levels.set_allowed(levels.allowed + share)

@@ -1,0 +1,86 @@
+"""Working-set model for demand paging.
+
+Processes are modelled by their working-set size rather than by
+individual references: while computing, a process touches its working
+set; if fewer pages are resident than the working set, touches miss at
+a rate proportional to the deficit, and each miss is a page fault
+serviced from disk.  This is the classical working-set miss model, and
+it is all the memory experiments need — their results are driven by
+*how often* jobs fault under a given page budget, not by which
+addresses miss.
+
+Fault inter-arrival times are drawn from an exponential distribution
+over a deterministic per-process RNG stream, so runs replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class WorkingSetModel:
+    """Fault timing for one process.
+
+    Parameters
+    ----------
+    ws_pages:
+        The working-set size in pages.  A process with ``resident >=
+        ws_pages`` never faults.
+    touches_per_ms:
+        How many distinct-page touches the process makes per
+        millisecond of CPU time.  Together with the deficit fraction
+        this sets the fault rate: ``rate = touches_per_ms * (1 -
+        resident / ws_pages)``.
+    fault_cluster_pages:
+        Pages brought in per fault (page-in plus read-around), so a
+        cold start ramps in ``ws_pages / fault_cluster_pages`` faults.
+    rng:
+        Deterministic random stream for inter-arrival draws.
+    """
+
+    def __init__(
+        self,
+        ws_pages: int,
+        rng: random.Random,
+        touches_per_ms: float = 4.0,
+        fault_cluster_pages: int = 8,
+    ):
+        if ws_pages < 0:
+            raise ValueError(f"working set must be >= 0 pages, got {ws_pages}")
+        if touches_per_ms <= 0:
+            raise ValueError("touch rate must be positive")
+        if fault_cluster_pages <= 0:
+            raise ValueError("fault cluster must be >= 1 page")
+        self.ws_pages = ws_pages
+        self.touches_per_ms = touches_per_ms
+        self.fault_cluster_pages = fault_cluster_pages
+        self._rng = rng
+
+    def miss_fraction(self, resident: int) -> float:
+        """Fraction of touches that miss with ``resident`` pages in core."""
+        if self.ws_pages == 0 or resident >= self.ws_pages:
+            return 0.0
+        return 1.0 - resident / self.ws_pages
+
+    def time_to_next_fault(self, resident: int) -> Optional[int]:
+        """Microseconds of CPU time until the next fault, or None.
+
+        ``None`` means the process will not fault (working set fully
+        resident).
+        """
+        miss = self.miss_fraction(resident)
+        if miss <= 0.0:
+            return None
+        rate_per_us = self.touches_per_ms * miss / 1000.0
+        draw = self._rng.expovariate(rate_per_us)
+        # Clamp to at least one microsecond so a tiny deficit cannot
+        # schedule a zero-length run and livelock the scheduler.
+        return max(1, round(draw))
+
+    def pages_per_fault(self, resident: int) -> int:
+        """How many pages the fault service brings in (clipped to need)."""
+        deficit = self.ws_pages - resident
+        if deficit <= 0:
+            return 0
+        return min(self.fault_cluster_pages, deficit)

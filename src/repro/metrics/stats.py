@@ -1,0 +1,79 @@
+"""Job- and SPU-level statistics over a finished simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process, ProcessState
+
+
+class MetricsError(RuntimeError):
+    """Raised when asked for statistics that do not exist."""
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Response time and resource usage of one finished process."""
+
+    pid: int
+    name: str
+    spu_id: int
+    response_us: int
+    cpu_time_us: int
+    fault_count: int
+
+
+def job_results(
+    kernel: Kernel,
+    spu_ids: Optional[Iterable[int]] = None,
+    top_level_only: bool = True,
+) -> List[JobResult]:
+    """Collect results for finished processes.
+
+    ``top_level_only`` skips children (a pmake's compile tasks are part
+    of the pmake job, not jobs themselves).
+    """
+    wanted = set(spu_ids) if spu_ids is not None else None
+    out: List[JobResult] = []
+    for proc in kernel.processes.values():
+        if proc.state is not ProcessState.EXITED:
+            raise MetricsError(f"process {proc.pid} ({proc.name}) has not finished")
+        if top_level_only and proc.parent is not None:
+            continue
+        if wanted is not None and proc.spu_id not in wanted:
+            continue
+        out.append(
+            JobResult(
+                pid=proc.pid,
+                name=proc.name,
+                spu_id=proc.spu_id,
+                response_us=proc.response_us,
+                cpu_time_us=proc.cpu_time_us,
+                fault_count=proc.fault_count,
+            )
+        )
+    return out
+
+
+def mean_response_us(results: Sequence[JobResult]) -> float:
+    """Average job response time in microseconds."""
+    if not results:
+        raise MetricsError("no job results to average")
+    return sum(r.response_us for r in results) / len(results)
+
+
+def mean_response_by_spu(results: Sequence[JobResult]) -> Dict[int, float]:
+    """Average response per SPU id."""
+    by_spu: Dict[int, List[JobResult]] = {}
+    for r in results:
+        by_spu.setdefault(r.spu_id, []).append(r)
+    return {spu: mean_response_us(rs) for spu, rs in by_spu.items()}
+
+
+def normalize(value: float, baseline: float) -> float:
+    """Express ``value`` as the paper's percent-of-baseline (100 = equal)."""
+    if baseline <= 0:
+        raise MetricsError(f"baseline must be positive, got {baseline}")
+    return 100.0 * value / baseline

@@ -1,0 +1,27 @@
+"""Network substrate: the paper's sketched extension of performance
+isolation to network bandwidth ("similar to that of disk bandwidth,
+without the complication of head position", Section 5)."""
+
+from repro.net.link import NetByteLedger, NetworkLink
+from repro.net.packet import LinkStats, MTU_BYTES, NetOp, Packet
+from repro.net.schedulers import (
+    FairShareLinkScheduler,
+    FifoLinkScheduler,
+    LinkScheduler,
+    ThresholdFairLinkScheduler,
+    make_link_scheduler,
+)
+
+__all__ = [
+    "NetworkLink",
+    "NetByteLedger",
+    "Packet",
+    "NetOp",
+    "LinkStats",
+    "MTU_BYTES",
+    "LinkScheduler",
+    "FifoLinkScheduler",
+    "FairShareLinkScheduler",
+    "ThresholdFairLinkScheduler",
+    "make_link_scheduler",
+]

@@ -1,0 +1,86 @@
+"""Network packets and per-link statistics.
+
+The paper does not implement network-bandwidth isolation but states
+(Section 5) that "the implementation would be similar to that of disk
+bandwidth, without the complication of head position".  This package
+builds exactly that: per-SPU decayed byte counters and a fair link
+scheduler, next to a FIFO baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class NetOp(enum.Enum):
+    SEND = "send"
+    RECEIVE = "receive"
+
+
+#: Maximum transmission unit; larger messages are sent as packet trains.
+MTU_BYTES = 1500
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One packet queued for a link."""
+
+    spu_id: int
+    op: NetOp
+    nbytes: int
+    on_complete: Optional[Callable[["Packet"], None]] = None
+    pid: int = -1
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    # --- filled in by the link --------------------------------------------
+    enqueue_time: int = -1
+    start_time: int = -1
+    finish_time: int = -1
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"packet must carry >= 1 byte, got {self.nbytes}")
+
+    @property
+    def wait_us(self) -> int:
+        """Time queued before transmission began."""
+        if self.start_time < 0 or self.enqueue_time < 0:
+            raise ValueError("packet has not been transmitted yet")
+        return self.start_time - self.enqueue_time
+
+    @property
+    def response_us(self) -> int:
+        if self.finish_time < 0:
+            raise ValueError("packet has not finished yet")
+        return self.finish_time - self.enqueue_time
+
+
+@dataclass
+class LinkStats:
+    """Aggregated statistics over transmitted packets."""
+
+    completed: List[Packet] = field(default_factory=list)
+
+    def record(self, packet: Packet) -> None:
+        self.completed.append(packet)
+
+    def for_spu(self, spu_id: int) -> List[Packet]:
+        return [p for p in self.completed if p.spu_id == spu_id]
+
+    def mean_wait_ms(self, spu_id: Optional[int] = None) -> float:
+        packets = self.completed if spu_id is None else self.for_spu(spu_id)
+        if not packets:
+            return 0.0
+        return sum(p.wait_us for p in packets) / len(packets) / 1000.0
+
+    def total_bytes(self, spu_id: Optional[int] = None) -> int:
+        packets = self.completed if spu_id is None else self.for_spu(spu_id)
+        return sum(p.nbytes for p in packets)
+
+    def count(self, spu_id: Optional[int] = None) -> int:
+        return len(self.completed if spu_id is None else self.for_spu(spu_id))

@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate.
+
+The engine (:class:`~repro.sim.engine.Engine`) provides the simulated
+clock, event queue, and deterministic randomness that every other
+subsystem builds on.  Nothing in this package knows about CPUs, memory,
+or disks.
+"""
+
+from repro.sim.engine import Engine, EventHandle, PeriodicTimer, SimulationError
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+from repro.sim import units
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "PeriodicTimer",
+    "SimulationError",
+    "Tracer",
+    "NullTracer",
+    "TraceRecord",
+    "units",
+]

@@ -1,0 +1,253 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine owns simulated time (integer microseconds) and a binary-heap
+event queue.  Components schedule callbacks with :meth:`Engine.at` /
+:meth:`Engine.after`; both return an :class:`EventHandle` that can be
+cancelled, which is how pre-emptions and timer resets are expressed.
+
+Events scheduled for the same instant fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so a run is a
+pure function of the initial configuration and the RNG seed.
+
+**Daemon events.**  Periodic infrastructure (clock ticks, writeback,
+memory rebalancing) reschedules itself forever, which would keep
+:meth:`Engine.run` from ever returning.  Such events are marked
+``daemon=True``: like daemon threads, they do not keep the simulation
+alive.  ``run()`` with no deadline returns once only daemon events
+remain.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the engine (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon", "_engine")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        daemon: bool,
+        engine: "Engine",
+    ):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.daemon = daemon
+        self.cancelled = False
+        self._engine = engine
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        if not self.cancelled:
+            self.cancelled = True
+            if not self.daemon:
+                self._engine._live -= 1
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<EventHandle t={self.time} {name} {state}>"
+
+
+class Engine:
+    """The simulation clock and event loop.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the engine-owned :class:`random.Random`.  Every source
+        of randomness in a simulation must draw from :attr:`rng` (or a
+        stream forked from it via :meth:`fork_rng`) so runs replay
+        exactly.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0
+        self._seq = 0
+        self._queue: List[EventHandle] = []
+        #: Count of pending non-daemon events; run() without a deadline
+        #: returns when this reaches zero.
+        self._live = 0
+        self.rng = random.Random(seed)
+        self._seed = seed
+        self._running = False
+
+    # --- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        """The seed this engine was constructed with."""
+        return self._seed
+
+    def fork_rng(self, name: str) -> random.Random:
+        """Create an independent, deterministic RNG stream.
+
+        The stream depends only on the engine seed and ``name``, so
+        adding a new consumer of randomness does not perturb existing
+        streams.
+        """
+        return random.Random(f"{self._seed}/{name}")
+
+    # --- scheduling --------------------------------------------------------
+
+    def at(
+        self, time: int, fn: Callable[..., None], *args: Any, daemon: bool = False
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now ({self._now})"
+            )
+        handle = EventHandle(time, self._seq, fn, args, daemon, self)
+        self._seq += 1
+        if not daemon:
+            self._live += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def after(
+        self, delay: int, fn: Callable[..., None], *args: Any, daemon: bool = False
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, fn, *args, daemon=daemon)
+
+    def every(
+        self,
+        period: int,
+        fn: Callable[..., None],
+        *args: Any,
+        start: Optional[int] = None,
+        daemon: bool = True,
+    ) -> "PeriodicTimer":
+        """Run ``fn(*args)`` every ``period`` microseconds until stopped.
+
+        Periodic timers default to daemon events: they do not keep
+        :meth:`run` alive once all real work has drained.
+        """
+        if period <= 0:
+            raise SimulationError(f"non-positive period {period}")
+        timer = PeriodicTimer(self, period, fn, args, daemon)
+        timer.start(self._now + period if start is None else start)
+        return timer
+
+    # --- execution ---------------------------------------------------------
+
+    def _pop_and_run(self, handle: EventHandle) -> None:
+        self._now = handle.time
+        if not handle.daemon:
+            self._live -= 1
+        handle.fn(*handle.args)
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._pop_and_run(handle)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        With no ``until``, runs until no non-daemon events remain (or
+        ``max_events`` fire).  With ``until``, runs all events —
+        daemons included — up to and including that time, then sets the
+        clock to ``until``.  Returns the number of events executed.
+        """
+        if self._running:
+            raise SimulationError("engine is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                if until is None and self._live == 0:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._pop_and_run(head)
+                executed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def pending(self) -> int:
+        """Number of scheduled, uncancelled events."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    def live_events(self) -> int:
+        """Number of pending non-daemon events."""
+        return self._live
+
+
+class PeriodicTimer:
+    """A repeating event; reschedules itself after each firing."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        period: int,
+        fn: Callable[..., None],
+        args: tuple,
+        daemon: bool = True,
+    ):
+        self._engine = engine
+        self.period = period
+        self.daemon = daemon
+        self._fn = fn
+        self._args = args
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+
+    def start(self, first_time: int) -> None:
+        if self._stopped:
+            raise SimulationError("timer already stopped")
+        self._handle = self._engine.at(first_time, self._fire, daemon=self.daemon)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fn(*self._args)
+        if not self._stopped:
+            self._handle = self._engine.after(self.period, self._fire, daemon=self.daemon)
+
+    def stop(self) -> None:
+        """Stop the timer.  Idempotent."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

@@ -1,0 +1,65 @@
+"""Lightweight structured tracing for simulations.
+
+A :class:`Tracer` collects ``(time, category, message, fields)`` records.
+Tracing is off by default (the kernel holds a :class:`NullTracer`), so
+instrumentation costs one attribute lookup and a truthiness test on the
+hot paths.  Experiments enable it to debug scheduling decisions or to
+build time-series of SPU resource usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: int
+    category: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:>12d}us] {self.category:<10s} {self.message} {extras}".rstrip()
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by category."""
+
+    enabled = True
+
+    def __init__(self, categories: Optional[Iterable[str]] = None):
+        self.records: List[TraceRecord] = []
+        self._categories = set(categories) if categories is not None else None
+
+    def emit(self, time: int, category: str, message: str, **fields: Any) -> None:
+        """Record one event if its category is selected."""
+        if self._categories is not None and category not in self._categories:
+            return
+        self.records.append(TraceRecord(time, category, message, dict(fields)))
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records with the given category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything; the default."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(categories=())
+
+    def emit(self, time: int, category: str, message: str, **fields: Any) -> None:
+        return None

@@ -1,0 +1,60 @@
+"""Units and conversion helpers for the simulator.
+
+Simulated time is kept as an integer number of **microseconds** so that
+event ordering is exact and runs are reproducible bit-for-bit.  Sizes
+are kept in bytes, with pages and sectors as the two granularities the
+kernel and disk care about.
+"""
+
+from __future__ import annotations
+
+# --- time ----------------------------------------------------------------
+
+USEC = 1
+MSEC = 1000 * USEC
+SEC = 1000 * MSEC
+
+
+def usecs(n: float) -> int:
+    """Convert a count of microseconds to simulator ticks."""
+    return round(n * USEC)
+
+
+def msecs(n: float) -> int:
+    """Convert a count of milliseconds to simulator ticks."""
+    return round(n * MSEC)
+
+
+def secs(n: float) -> int:
+    """Convert a count of seconds to simulator ticks."""
+    return round(n * SEC)
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert simulator ticks back to (float) seconds for reporting."""
+    return ticks / SEC
+
+
+def to_millis(ticks: int) -> float:
+    """Convert simulator ticks back to (float) milliseconds for reporting."""
+    return ticks / MSEC
+
+
+# --- sizes ---------------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+
+SECTOR_SIZE = 512
+PAGE_SIZE = 4 * KB
+SECTORS_PER_PAGE = PAGE_SIZE // SECTOR_SIZE
+
+
+def pages(nbytes: int) -> int:
+    """Number of whole pages needed to hold ``nbytes`` (rounded up)."""
+    return -(-nbytes // PAGE_SIZE)
+
+
+def sectors(nbytes: int) -> int:
+    """Number of whole sectors needed to hold ``nbytes`` (rounded up)."""
+    return -(-nbytes // SECTOR_SIZE)

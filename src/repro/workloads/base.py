@@ -1,0 +1,29 @@
+"""Shared helpers for workload generators."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def waves(items: Sequence[T], width: int) -> Iterator[List[T]]:
+    """Split ``items`` into consecutive groups of at most ``width``.
+
+    A pmake with parallelism N runs its compile tasks in waves of N.
+    """
+    if width <= 0:
+        raise ValueError(f"wave width must be positive, got {width}")
+    for start in range(0, len(items), width):
+        yield list(items[start : start + width])
+
+
+def chunks(total_bytes: int, chunk_bytes: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(offset, nbytes)`` pairs covering ``total_bytes``."""
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk_bytes}")
+    offset = 0
+    while offset < total_bytes:
+        n = min(chunk_bytes, total_bytes - offset)
+        yield offset, n
+        offset += n

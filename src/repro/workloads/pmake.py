@@ -1,0 +1,134 @@
+"""The pmake workload: a parallel make of many small compiles.
+
+A pmake job is a master process that runs compile tasks in waves of
+``parallelism``.  Each compile task reads a scattered source file,
+computes, writes an object file, and issues the repeated single-sector
+metadata writes the paper calls out ("many repeated writes of meta-data
+to a single sector", Section 4.5).  Source and object files are laid
+out *fragmented*, so a pmake's disk requests are small and irregular —
+exactly what loses to a streaming copy under position-only scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from repro.fs.filesystem import FileSystem
+from repro.fs.layout import File
+from repro.kernel.syscalls import (
+    Behavior,
+    Compute,
+    ReadFile,
+    SetWorkingSet,
+    Spawn,
+    WaitChildren,
+    WriteFile,
+    WriteMetadata,
+)
+from repro.sim.units import KB, msecs
+from repro.workloads.base import chunks, waves
+
+
+@dataclass(frozen=True)
+class PmakeParams:
+    """Knobs for one pmake job."""
+
+    #: Number of compile tasks in the job.
+    n_tasks: int = 8
+    #: Simultaneous compiles ("two parallel compiles each", Table 1).
+    parallelism: int = 2
+    #: CPU time per compile.
+    compile_ms: float = 400.0
+    #: Source / object file sizes.
+    src_kb: int = 48
+    obj_kb: int = 32
+    #: Compiler working set (pages) while compiling; 0 disables paging.
+    ws_pages: int = 0
+    touches_per_ms: float = 4.0
+    #: Pages brought in per fault (page-in plus read-around).
+    fault_cluster_pages: int = 16
+    #: Metadata writes per task (all to the job's hot metadata sector).
+    metadata_writes: int = 3
+    #: Read chunk size: compiles read sources in pieces, interleaving
+    #: with other tasks' I/O.
+    read_chunk_kb: int = 16
+    #: Fragmented-extent size for source/object layout.
+    extent_sectors: int = 16
+
+
+_job_counter = itertools.count(1)
+
+
+@dataclass
+class PmakeFiles:
+    """The on-disk footprint of one pmake job."""
+
+    sources: List[File]
+    objects: List[File]
+    #: Every task's metadata writes go to this file's metadata sector.
+    makefile: File
+
+
+def create_pmake_files(
+    fs: FileSystem, mount: int, params: PmakeParams, job_name: str = ""
+) -> PmakeFiles:
+    """Lay out one pmake job's files on ``mount``."""
+    job = job_name or f"pmake{next(_job_counter)}"
+    makefile = fs.create(mount, f"{job}/Makefile", 4 * KB, fragmented=True)
+    sources, objects = [], []
+    for t in range(params.n_tasks):
+        sources.append(
+            fs.create(
+                mount,
+                f"{job}/src{t}.c",
+                params.src_kb * KB,
+                fragmented=True,
+                extent_sectors=params.extent_sectors,
+            )
+        )
+        objects.append(
+            fs.create(
+                mount,
+                f"{job}/src{t}.o",
+                params.obj_kb * KB,
+                fragmented=True,
+                extent_sectors=params.extent_sectors,
+            )
+        )
+    return PmakeFiles(sources, objects, makefile)
+
+
+def compile_task(src: File, obj: File, makefile: File, params: PmakeParams) -> Behavior:
+    """One compile: read source, compute, write object, update metadata."""
+    if params.ws_pages:
+        yield SetWorkingSet(
+            params.ws_pages,
+            touches_per_ms=params.touches_per_ms,
+            fault_cluster_pages=params.fault_cluster_pages,
+        )
+    for offset, nbytes in chunks(src.size_bytes, params.read_chunk_kb * KB):
+        yield ReadFile(src, offset, nbytes)
+    yield Compute(msecs(params.compile_ms))
+    yield WriteFile(obj, 0, obj.size_bytes)
+    for _ in range(params.metadata_writes):
+        yield WriteMetadata(makefile)
+
+
+def pmake_job(files: PmakeFiles, params: PmakeParams) -> Behavior:
+    """The master process: run compiles in waves, then a final link pass."""
+    tasks = list(zip(files.sources, files.objects))
+    for wave in waves(tasks, params.parallelism):
+        for src, obj in wave:
+            yield Spawn(
+                compile_task(src, obj, files.makefile, params),
+                name=f"cc:{src.name}",
+            )
+        yield WaitChildren()
+    # The "link" step: re-read the objects and write the result's
+    # metadata, serial and cheap.
+    for obj in files.objects:
+        yield ReadFile(obj, 0, obj.size_bytes)
+    yield Compute(msecs(params.compile_ms / 4))
+    yield WriteMetadata(files.makefile)

@@ -1,0 +1,102 @@
+"""Unit and property tests for contracts and apportionment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ContractError,
+    EqualShareContract,
+    SPURegistry,
+    WeightedContract,
+    apportion,
+)
+
+
+class TestApportion:
+    def test_even_split(self):
+        assert apportion(12, [1, 1, 1]) == [4, 4, 4]
+
+    def test_largest_remainder_gets_leftover(self):
+        assert apportion(10, [1, 1, 1]) == [4, 3, 3]
+
+    def test_weighted(self):
+        assert apportion(9, [1, 2]) == [3, 6]
+
+    def test_zero_total(self):
+        assert apportion(0, [1, 2, 3]) == [0, 0, 0]
+
+    def test_zero_weight_gets_nothing(self):
+        assert apportion(10, [0, 1]) == [0, 10]
+
+    def test_empty_weights(self):
+        assert apportion(10, []) == []
+
+    def test_negative_total_raises(self):
+        with pytest.raises(ContractError):
+            apportion(-1, [1])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ContractError):
+            apportion(10, [1, -1])
+
+    def test_all_zero_weights_raise(self):
+        with pytest.raises(ContractError):
+            apportion(10, [0, 0])
+
+    @given(
+        total=st.integers(0, 10_000),
+        weights=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20).filter(
+            lambda ws: sum(ws) > 0
+        ),
+    )
+    def test_property_sums_exactly(self, total, weights):
+        parts = apportion(total, weights)
+        assert sum(parts) == total
+        assert all(p >= 0 for p in parts)
+
+    @given(
+        total=st.integers(1, 10_000),
+        n=st.integers(1, 20),
+    )
+    def test_property_equal_weights_differ_by_at_most_one(self, total, n):
+        parts = apportion(total, [1.0] * n)
+        assert max(parts) - min(parts) <= 1
+
+    @given(total=st.integers(0, 1000))
+    def test_property_single_weight_takes_all(self, total):
+        assert apportion(total, [3.7]) == [total]
+
+
+class TestContracts:
+    @pytest.fixture
+    def registry(self):
+        return SPURegistry()
+
+    def test_equal_share(self, registry):
+        spus = [registry.create(n) for n in "abc"]
+        shares = EqualShareContract().entitlements(9, spus)
+        assert sorted(shares.values()) == [3, 3, 3]
+
+    def test_weighted_by_name(self, registry):
+        a = registry.create("a")
+        b = registry.create("b")
+        contract = WeightedContract({"a": 1, "b": 2})
+        shares = contract.entitlements(9, [a, b])
+        assert shares[a.spu_id] == 3
+        assert shares[b.spu_id] == 6
+
+    def test_weighted_default_weight(self, registry):
+        a = registry.create("a")
+        b = registry.create("unlisted")
+        contract = WeightedContract({"a": 3}, default_weight=1)
+        shares = contract.entitlements(8, [a, b])
+        assert shares[a.spu_id] == 6
+        assert shares[b.spu_id] == 2
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ContractError):
+            WeightedContract({"a": -1})
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(ContractError):
+            WeightedContract({}, default_weight=-1)

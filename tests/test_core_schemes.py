@@ -1,0 +1,77 @@
+"""Unit tests for scheme configurations."""
+
+import pytest
+
+from repro.core import (
+    AlwaysShare,
+    DiskSchedPolicy,
+    IsolationParams,
+    NeverShare,
+    ShareIdle,
+    piso_scheme,
+    quota_scheme,
+    scheme_by_name,
+    smp_scheme,
+)
+
+
+class TestSchemeBundles:
+    def test_smp_is_unconstrained(self):
+        scheme = smp_scheme()
+        assert not scheme.cpu_partitioned
+        assert not scheme.mem_limits
+        assert scheme.disk_policy is DiskSchedPolicy.POS
+        assert isinstance(scheme.sharing_policy, AlwaysShare)
+
+    def test_quota_isolates_without_sharing(self):
+        scheme = quota_scheme()
+        assert scheme.cpu_partitioned
+        assert not scheme.cpu_lending
+        assert scheme.mem_limits
+        assert not scheme.mem_sharing
+        assert isinstance(scheme.sharing_policy, NeverShare)
+
+    def test_piso_isolates_and_shares(self):
+        scheme = piso_scheme()
+        assert scheme.cpu_partitioned
+        assert scheme.cpu_lending
+        assert scheme.mem_limits
+        assert scheme.mem_sharing
+        assert scheme.disk_policy is DiskSchedPolicy.PISO
+        assert isinstance(scheme.sharing_policy, ShareIdle)
+
+    def test_with_disk_policy_copies(self):
+        scheme = piso_scheme()
+        modified = scheme.with_disk_policy(DiskSchedPolicy.POS)
+        assert modified.disk_policy is DiskSchedPolicy.POS
+        assert scheme.disk_policy is DiskSchedPolicy.PISO
+        assert modified.name == scheme.name
+
+    def test_with_params_copies(self):
+        params = IsolationParams(bw_difference_threshold=7.0)
+        modified = piso_scheme().with_params(params)
+        assert modified.params.bw_difference_threshold == 7.0
+
+
+class TestParams:
+    def test_paper_defaults(self):
+        params = IsolationParams()
+        assert params.time_slice == 30_000
+        assert params.clock_tick == 10_000
+        assert params.reserve_threshold == 0.08
+        assert params.disk_decay_period == 500_000
+
+
+class TestLookup:
+    def test_by_name_case_insensitive(self):
+        assert scheme_by_name("SMP").name == "SMP"
+        assert scheme_by_name("piso").name == "PIso"
+        assert scheme_by_name("Quo").name == "Quo"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("bogus")
+
+    def test_params_are_threaded_through(self):
+        params = IsolationParams(time_slice=1234)
+        assert scheme_by_name("piso", params).params.time_slice == 1234

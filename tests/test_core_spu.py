@@ -1,0 +1,148 @@
+"""Unit tests for SPUs and the registry."""
+
+import pytest
+
+from repro.core import (
+    KERNEL_SPU_ID,
+    SHARED_SPU_ID,
+    SPUError,
+    SPUKind,
+    SPURegistry,
+    SPUState,
+)
+
+
+@pytest.fixture
+def registry():
+    return SPURegistry()
+
+
+class TestDefaults:
+    def test_kernel_and_shared_exist(self, registry):
+        assert registry.kernel_spu.kind is SPUKind.KERNEL
+        assert registry.shared_spu.kind is SPUKind.SHARED
+
+    def test_default_ids_are_stable(self, registry):
+        assert registry.kernel_spu.spu_id == KERNEL_SPU_ID
+        assert registry.shared_spu.spu_id == SHARED_SPU_ID
+
+    def test_defaults_are_not_user_spus(self, registry):
+        assert registry.user_spus() == []
+
+    def test_all_spus_includes_defaults(self, registry):
+        assert len(registry.all_spus()) == 2
+
+
+class TestLifecycle:
+    def test_create_assigns_increasing_ids(self, registry):
+        a = registry.create("a")
+        b = registry.create("b")
+        assert b.spu_id == a.spu_id + 1
+
+    def test_created_spu_is_active_user(self, registry):
+        spu = registry.create("u")
+        assert spu.is_user
+        assert spu.state is SPUState.ACTIVE
+        assert spu in registry.active_user_spus()
+
+    def test_destroy_removes(self, registry):
+        spu = registry.create("u")
+        registry.destroy(spu)
+        assert spu not in registry.user_spus()
+        with pytest.raises(SPUError):
+            registry.get(spu.spu_id)
+
+    def test_destroy_with_processes_fails(self, registry):
+        spu = registry.create("u")
+        registry.assign(1, spu)
+        with pytest.raises(SPUError):
+            registry.destroy(spu)
+
+    def test_cannot_destroy_defaults(self, registry):
+        with pytest.raises(SPUError):
+            registry.destroy(registry.kernel_spu)
+
+    def test_suspend_resume(self, registry):
+        spu = registry.create("u")
+        registry.suspend(spu)
+        assert spu.state is SPUState.SUSPENDED
+        assert spu not in registry.active_user_spus()
+        registry.resume(spu)
+        assert spu.state is SPUState.ACTIVE
+
+    def test_suspend_with_processes_fails(self, registry):
+        spu = registry.create("u")
+        registry.assign(1, spu)
+        with pytest.raises(SPUError):
+            registry.suspend(spu)
+
+    def test_resume_active_fails(self, registry):
+        spu = registry.create("u")
+        with pytest.raises(SPUError):
+            registry.resume(spu)
+
+    def test_cannot_suspend_defaults(self, registry):
+        with pytest.raises(SPUError):
+            registry.suspend(registry.shared_spu)
+
+
+class TestMembership:
+    def test_assign_and_lookup(self, registry):
+        spu = registry.create("u")
+        registry.assign(42, spu)
+        assert registry.spu_of(42) is spu
+        assert 42 in spu.pids
+
+    def test_reassign_moves_process(self, registry):
+        a = registry.create("a")
+        b = registry.create("b")
+        registry.assign(1, a)
+        registry.assign(1, b)
+        assert registry.spu_of(1) is b
+        assert 1 not in a.pids
+
+    def test_remove(self, registry):
+        spu = registry.create("u")
+        registry.assign(1, spu)
+        registry.remove(1)
+        assert 1 not in spu.pids
+        with pytest.raises(SPUError):
+            registry.spu_of(1)
+
+    def test_remove_unknown_is_noop(self, registry):
+        registry.remove(999)
+
+    def test_spu_of_unassigned_raises(self, registry):
+        with pytest.raises(SPUError):
+            registry.spu_of(5)
+
+    def test_spu_of_or_none(self, registry):
+        assert registry.spu_of_or_none(5) is None
+        spu = registry.create("u")
+        registry.assign(5, spu)
+        assert registry.spu_of_or_none(5) is spu
+
+    def test_assign_to_destroyed_fails(self, registry):
+        spu = registry.create("u")
+        registry.destroy(spu)
+        with pytest.raises(SPUError):
+            registry.assign(1, spu)
+
+
+class TestSpuAccessors:
+    def test_levels_exist_for_all_resources(self, registry):
+        spu = registry.create("u")
+        assert spu.cpu() is not None
+        assert spu.memory() is not None
+        assert spu.disk_bw() is not None
+
+    def test_disk_counter_created_on_demand(self, registry):
+        spu = registry.create("u")
+        counter = spu.disk_counter(0, decay_period=1000, now=0)
+        assert spu.disk_counter(0, decay_period=1000, now=0) is counter
+
+    def test_disk_counters_are_per_disk(self, registry):
+        spu = registry.create("u")
+        c0 = spu.disk_counter(0, decay_period=1000, now=0)
+        c1 = spu.disk_counter(1, decay_period=1000, now=0)
+        assert c0 is not c1

@@ -1,0 +1,126 @@
+"""Unit and property tests for the hybrid space/time CPU partition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import MILLI_CPU
+from repro.cpu import CpuPartition, PartitionError, TimeSharedCpu
+
+
+class TestIntegralPartition:
+    def test_one_cpu_per_spu(self):
+        partition = CpuPartition(4, {10: 1000, 11: 1000, 12: 1000, 13: 1000})
+        homes = [partition.home_of(c) for c in range(4)]
+        assert sorted(homes) == [10, 11, 12, 13]
+        assert not any(partition.is_time_shared(c) for c in range(4))
+
+    def test_multiple_cpus_per_spu(self):
+        partition = CpuPartition(8, {1: 4000, 2: 4000})
+        assert len(partition.cpus_of(1)) == 4
+        assert len(partition.cpus_of(2)) == 4
+
+    def test_unassigned_cpu_has_no_home(self):
+        partition = CpuPartition(4, {1: 2000})
+        unhomed = [c for c in range(4) if partition.home_of(c) is None]
+        assert len(unhomed) == 2
+
+    def test_over_committed_rejected(self):
+        with pytest.raises(PartitionError):
+            CpuPartition(2, {1: 3000})
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(PartitionError):
+            CpuPartition(0, {})
+
+
+class TestFractionalPartition:
+    def test_halves_share_one_cpu(self):
+        partition = CpuPartition(1, {1: 500, 2: 500})
+        assert partition.is_time_shared(0)
+
+    def test_three_way_split_of_eight(self):
+        # 8 CPUs / 3 SPUs = 2666.67 each: 2 dedicated + fractions
+        # split across the remaining CPUs.
+        shares = {1: 2667, 2: 2667, 3: 2666}
+        partition = CpuPartition(8, shares)
+        dedicated = sum(len(partition.cpus_of(s)) >= 2 for s in shares)
+        assert dedicated == 3
+
+    def test_fraction_split_across_cpus_when_needed(self):
+        # 667 * 3 = 2001 > 2 CPUs, fits in 3 only by splitting.
+        partition = CpuPartition(3, {1: 667, 2: 667, 3: 666})
+        total_by_spu = {1: 0, 2: 0, 3: 0}
+        for rotation in partition.time_shared.values():
+            for spu, share in rotation.shares.items():
+                total_by_spu[spu] += share
+        assert total_by_spu == {1: 667, 2: 667, 3: 666}
+
+    def test_tick_returns_changed_cpus(self):
+        partition = CpuPartition(1, {1: 500, 2: 500})
+        changed = partition.tick()
+        assert changed == [0]
+        assert partition.home_of(0) in (1, 2)
+
+
+class TestRotationCredits:
+    def test_equal_shares_alternate(self):
+        rotation = TimeSharedCpu(0, {1: 500, 2: 500})
+        owners = [rotation.advance() for _ in range(10)]
+        assert owners.count(1) == owners.count(2) == 5
+
+    def test_proportional_long_run(self):
+        rotation = TimeSharedCpu(0, {1: 750, 2: 250})
+        owners = [rotation.advance() for _ in range(1000)]
+        assert owners.count(1) == 750
+        assert owners.count(2) == 250
+
+    def test_idle_slack_yields_none(self):
+        rotation = TimeSharedCpu(0, {1: 250})
+        owners = [rotation.advance() for _ in range(8)]
+        assert owners.count(1) == 2
+        assert owners.count(None) == 6
+
+    def test_overcommitted_cpu_rejected(self):
+        with pytest.raises(PartitionError):
+            TimeSharedCpu(0, {1: 700, 2: 700})
+
+    def test_zero_share_rejected(self):
+        with pytest.raises(PartitionError):
+            TimeSharedCpu(0, {1: 0})
+
+    def test_empty_shares_always_none(self):
+        rotation = TimeSharedCpu(0, {})
+        assert rotation.advance() is None
+
+    @given(
+        shares=st.lists(st.integers(1, 500), min_size=1, max_size=4).filter(
+            lambda s: sum(s) <= MILLI_CPU
+        ),
+        ticks=st.integers(100, 2000),
+    )
+    def test_property_long_run_matches_shares(self, shares, ticks):
+        mapping = {i + 1: share for i, share in enumerate(shares)}
+        rotation = TimeSharedCpu(0, mapping)
+        owners = [rotation.advance() for _ in range(ticks)]
+        for spu, share in mapping.items():
+            expected = ticks * share / MILLI_CPU
+            # Deficit round-robin's lag bound is one tick per
+            # competing party (including the implicit idle party).
+            assert abs(owners.count(spu) - expected) <= 2
+
+
+@given(
+    ncpus=st.integers(1, 16),
+    nspus=st.integers(1, 8),
+)
+def test_property_equal_contract_fits_and_covers(ncpus, nspus):
+    """An equal split of any machine always builds, and entitled
+    milli-CPUs are fully assigned to dedicated or time-shared CPUs."""
+    share = ncpus * MILLI_CPU // nspus
+    entitlements = {i + 1: share for i in range(nspus)}
+    partition = CpuPartition(ncpus, entitlements)
+    assigned = sum(1000 for _c in partition.dedicated)
+    assigned += sum(
+        sum(r.shares.values()) for r in partition.time_shared.values()
+    )
+    assert assigned == share * nspus

@@ -1,0 +1,52 @@
+"""Unit tests for IRIX-style degrading priorities."""
+
+import pytest
+
+from repro.cpu import ProcessPriority
+from repro.sim.units import MSEC, SEC
+
+
+class TestPriority:
+    def test_fresh_process_runs_at_base(self):
+        assert ProcessPriority(base=20).effective(0) == 20.0
+
+    def test_cpu_usage_worsens_priority(self):
+        p = ProcessPriority(base=20)
+        p.charge(30 * MSEC, now=30 * MSEC)
+        assert p.effective(30 * MSEC) > 20.0
+
+    def test_usage_decays_with_half_life(self):
+        p = ProcessPriority(base=0, now=0)
+        p.charge(100 * MSEC, now=0)
+        assert p.recent_cpu_ms(0) == pytest.approx(100.0)
+        assert p.recent_cpu_ms(1 * SEC) == pytest.approx(50.0, rel=1e-6)
+        assert p.recent_cpu_ms(2 * SEC) == pytest.approx(25.0, rel=1e-6)
+
+    def test_heavier_user_has_worse_priority(self):
+        hog = ProcessPriority(base=20)
+        light = ProcessPriority(base=20)
+        hog.charge(300 * MSEC, now=0)
+        light.charge(10 * MSEC, now=0)
+        assert hog.effective(0) > light.effective(0)
+
+    def test_lower_base_wins_despite_some_usage(self):
+        urgent = ProcessPriority(base=0)
+        urgent.charge(10 * MSEC, now=0)
+        normal = ProcessPriority(base=20)
+        assert urgent.effective(0) < normal.effective(0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPriority().charge(-1, now=0)
+
+    def test_charges_accumulate_before_decay(self):
+        p = ProcessPriority(base=0, now=0)
+        p.charge(10 * MSEC, now=0)
+        p.charge(10 * MSEC, now=0)
+        assert p.recent_cpu_ms(0) == pytest.approx(20.0)
+
+    def test_stale_timestamp_is_ignored(self):
+        p = ProcessPriority(base=0, now=0)
+        p.charge(10 * MSEC, now=1 * SEC)
+        # Asking about the past does not rewind the decay state.
+        assert p.recent_cpu_ms(500 * MSEC) == pytest.approx(10.0)

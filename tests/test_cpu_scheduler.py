@@ -1,0 +1,201 @@
+"""Unit tests for the SPU-aware CPU scheduler."""
+
+import pytest
+
+from repro.core import MILLI_CPU, piso_scheme, quota_scheme, smp_scheme
+from repro.cpu import CpuPartition, CpuScheduler, ProcessPriority
+
+
+class FakeProc:
+    def __init__(self, pid, spu_id, base=20):
+        self.pid = pid
+        self.spu_id = spu_id
+        self.priority = ProcessPriority(base=base)
+
+    def __repr__(self):
+        return f"P{self.pid}@{self.spu_id}"
+
+
+def build(scheme, ncpus=2, spus=(1, 2)):
+    partition = None
+    if scheme.cpu_partitioned:
+        share = ncpus * MILLI_CPU // len(spus)
+        partition = CpuPartition(ncpus, {s: share for s in spus})
+    return CpuScheduler(ncpus, scheme, partition)
+
+
+class TestQueue:
+    def test_enqueue_dequeue(self):
+        sched = build(smp_scheme())
+        proc = FakeProc(1, 1)
+        sched.enqueue(proc)
+        assert sched.waiting() == 1
+        sched.dequeue(proc)
+        assert sched.waiting() == 0
+
+    def test_double_enqueue_rejected(self):
+        sched = build(smp_scheme())
+        proc = FakeProc(1, 1)
+        sched.enqueue(proc)
+        with pytest.raises(ValueError):
+            sched.enqueue(proc)
+
+    def test_waiting_by_spu(self):
+        sched = build(smp_scheme())
+        sched.enqueue(FakeProc(1, 1))
+        sched.enqueue(FakeProc(2, 2))
+        assert sched.waiting(1) == 1
+        assert sched.waiting(2) == 1
+
+
+class TestSmpPick:
+    def test_any_cpu_takes_best_priority(self):
+        sched = build(smp_scheme())
+        low = FakeProc(1, 1, base=30)
+        high = FakeProc(2, 2, base=10)
+        sched.enqueue(low)
+        sched.enqueue(high)
+        picked = sched.pick(sched.processors[0], now=0)
+        assert picked is high
+
+    def test_pick_marks_running(self):
+        sched = build(smp_scheme())
+        proc = FakeProc(1, 1)
+        sched.enqueue(proc)
+        cpu = sched.processors[0]
+        sched.pick(cpu, 0)
+        assert cpu.running is proc
+        assert not cpu.on_loan
+
+    def test_pick_on_busy_cpu_rejected(self):
+        sched = build(smp_scheme())
+        sched.enqueue(FakeProc(1, 1))
+        cpu = sched.processors[0]
+        sched.pick(cpu, 0)
+        with pytest.raises(ValueError):
+            sched.pick(cpu, 0)
+
+    def test_empty_queue_picks_none(self):
+        sched = build(smp_scheme())
+        assert sched.pick(sched.processors[0], 0) is None
+
+    def test_release(self):
+        sched = build(smp_scheme())
+        proc = FakeProc(1, 1)
+        sched.enqueue(proc)
+        cpu = sched.processors[0]
+        sched.pick(cpu, 0)
+        sched.release(cpu)
+        assert cpu.idle
+
+
+class TestPartitionedPick:
+    def test_home_process_preferred(self):
+        sched = build(quota_scheme())
+        home_cpu = next(
+            c for c in sched.processors if sched.home_of(c) == 1
+        )
+        foreign = FakeProc(1, 2, base=0)  # better priority, wrong SPU
+        home = FakeProc(2, 1, base=30)
+        sched.enqueue(foreign)
+        sched.enqueue(home)
+        assert sched.pick(home_cpu, 0) is home
+
+    def test_quota_never_borrows(self):
+        sched = build(quota_scheme())
+        cpu1 = next(c for c in sched.processors if sched.home_of(c) == 1)
+        sched.enqueue(FakeProc(1, 2))
+        assert sched.pick(cpu1, 0) is None
+
+    def test_piso_borrows_when_home_idle(self):
+        sched = build(piso_scheme())
+        cpu1 = next(c for c in sched.processors if sched.home_of(c) == 1)
+        foreign = FakeProc(1, 2)
+        sched.enqueue(foreign)
+        picked = sched.pick(cpu1, 0)
+        assert picked is foreign
+        assert cpu1.on_loan
+        assert sched.loans_granted == 1
+
+
+class TestFindCpu:
+    def test_prefers_home_cpu(self):
+        sched = build(piso_scheme())
+        proc = FakeProc(1, 2)
+        cpu = sched.find_cpu_for(proc)
+        assert sched.home_of(cpu) == 2
+
+    def test_lends_any_idle_when_home_busy(self):
+        sched = build(piso_scheme())
+        cpu2 = next(c for c in sched.processors if sched.home_of(c) == 2)
+        blocker = FakeProc(9, 2)
+        sched.enqueue(blocker)
+        sched.pick(cpu2, 0)
+        cpu = sched.find_cpu_for(FakeProc(1, 2))
+        assert cpu is not None and sched.home_of(cpu) == 1
+
+    def test_quota_returns_none_when_home_busy(self):
+        sched = build(quota_scheme())
+        cpu2 = next(c for c in sched.processors if sched.home_of(c) == 2)
+        sched.enqueue(FakeProc(9, 2))
+        sched.pick(cpu2, 0)
+        assert sched.find_cpu_for(FakeProc(1, 2)) is None
+
+    def test_none_when_all_busy(self):
+        sched = build(smp_scheme())
+        for i, cpu in enumerate(sched.processors):
+            sched.enqueue(FakeProc(i, 1))
+            sched.pick(cpu, 0)
+        assert sched.find_cpu_for(FakeProc(99, 1)) is None
+
+
+class TestRevocation:
+    def test_loan_revoked_when_home_work_waits(self):
+        sched = build(piso_scheme())
+        cpu1 = next(c for c in sched.processors if sched.home_of(c) == 1)
+        foreign = FakeProc(1, 2)
+        sched.enqueue(foreign)
+        sched.pick(cpu1, 0)  # SPU 2's process borrowed SPU 1's CPU
+        sched.enqueue(FakeProc(2, 1))  # now SPU 1 has waiting work
+        revoked = sched.revocations()
+        assert revoked == [cpu1]
+        assert sched.loans_revoked == 1
+
+    def test_no_revocation_when_home_cpu_idle(self):
+        sched = build(piso_scheme(), ncpus=4, spus=(1, 2))
+        cpus1 = [c for c in sched.processors if sched.home_of(c) == 1]
+        foreign = FakeProc(1, 2)
+        sched.enqueue(foreign)
+        sched.pick(cpus1[0], 0)
+        sched.enqueue(FakeProc(2, 1))
+        # The other home CPU is idle and can serve the waiter.
+        assert sched.revocations() == []
+
+    def test_no_revocation_without_waiting_work(self):
+        sched = build(piso_scheme())
+        cpu1 = next(c for c in sched.processors if sched.home_of(c) == 1)
+        sched.enqueue(FakeProc(1, 2))
+        sched.pick(cpu1, 0)
+        assert sched.revocations() == []
+
+    def test_smp_never_revokes(self):
+        sched = build(smp_scheme())
+        sched.enqueue(FakeProc(1, 1))
+        sched.pick(sched.processors[0], 0)
+        sched.enqueue(FakeProc(2, 1))
+        assert sched.revocations() == []
+
+    def test_one_revocation_per_waiter(self):
+        sched = build(piso_scheme(), ncpus=4, spus=(1, 2))
+        cpus1 = [c for c in sched.processors if sched.home_of(c) == 1]
+        for i, cpu in enumerate(cpus1):
+            sched.enqueue(FakeProc(i, 2))
+            sched.pick(cpu, 0)  # both SPU-1 CPUs loaned out
+        sched.enqueue(FakeProc(10, 1))  # one waiter
+        assert len(sched.revocations()) == 1
+
+
+class TestConstruction:
+    def test_partitioned_scheme_requires_partition(self):
+        with pytest.raises(ValueError):
+            CpuScheduler(2, piso_scheme(), partition=None)

@@ -1,0 +1,161 @@
+"""Unit tests for the disk drive and bandwidth ledger."""
+
+import pytest
+
+from repro.core import SPURegistry
+from repro.disk import (
+    DiskDrive,
+    DiskOp,
+    DiskRequest,
+    SpuBandwidthLedger,
+    hp97560,
+    make_scheduler,
+)
+from repro.sim import Engine
+
+
+@pytest.fixture
+def setup():
+    engine = Engine(seed=1)
+    registry = SPURegistry()
+    a = registry.create("a")
+    b = registry.create("b")
+    for spu in (a, b):
+        spu.disk_bw().set_entitled(1)
+    ledger = SpuBandwidthLedger(0, registry, decay_period=500_000)
+    drive = DiskDrive(engine, hp97560(), make_scheduler("pos"), ledger)
+    return engine, registry, drive, a, b
+
+
+class TestLifecycle:
+    def test_request_completes_with_timing(self, setup):
+        engine, _reg, drive, a, _b = setup
+        done = []
+        drive.submit(
+            DiskRequest(a.spu_id, DiskOp.READ, 1000, 8, on_complete=done.append)
+        )
+        engine.run()
+        (request,) = done
+        assert request.finish_time > 0
+        assert request.service_us == (
+            request.seek_us + request.rotation_us + request.transfer_us
+        )
+        assert request.wait_us == 0  # queue was empty
+
+    def test_head_moves_past_request(self, setup):
+        engine, _reg, drive, a, _b = setup
+        drive.submit(DiskRequest(a.spu_id, DiskOp.READ, 1000, 8))
+        engine.run()
+        assert drive.head_sector == 1008
+
+    def test_second_request_waits(self, setup):
+        engine, _reg, drive, a, _b = setup
+        drive.submit(DiskRequest(a.spu_id, DiskOp.READ, 1000, 8))
+        second = DiskRequest(a.spu_id, DiskOp.READ, 2000, 8)
+        drive.submit(second)
+        engine.run()
+        assert second.wait_us > 0
+
+    def test_stats_accumulate(self, setup):
+        engine, _reg, drive, a, b = setup
+        drive.submit(DiskRequest(a.spu_id, DiskOp.READ, 0, 8))
+        drive.submit(DiskRequest(b.spu_id, DiskOp.WRITE, 5000, 16))
+        engine.run()
+        assert drive.stats.count() == 2
+        assert drive.stats.count(a.spu_id) == 1
+        assert drive.stats.total_sectors() == 24
+        assert drive.stats.total_sectors(b.spu_id) == 16
+
+    def test_request_beyond_disk_rejected(self, setup):
+        _engine, _reg, drive, a, _b = setup
+        with pytest.raises(ValueError):
+            drive.submit(
+                DiskRequest(a.spu_id, DiskOp.READ, drive.geometry.total_sectors, 1)
+            )
+
+    def test_queue_drains_in_order(self, setup):
+        engine, _reg, drive, a, _b = setup
+        order = []
+        for sector in (9000, 3000, 6000):
+            drive.submit(
+                DiskRequest(
+                    a.spu_id, DiskOp.READ, sector, 8,
+                    on_complete=lambda r: order.append(r.sector),
+                )
+            )
+        engine.run()
+        # First request (9000) starts immediately; C-SCAN then sweeps
+        # from 9008: nothing ahead in {3000,6000}? 3000 and 6000 are
+        # behind, so it wraps to the lowest.
+        assert order == [9000, 3000, 6000]
+
+
+class TestCharging:
+    def test_sectors_charged_to_spu_counter(self, setup):
+        engine, _reg, drive, a, _b = setup
+        drive.submit(DiskRequest(a.spu_id, DiskOp.READ, 0, 32))
+        engine.run()
+        assert drive.ledger.usage_ratio(a.spu_id, engine.now) == 32.0
+
+    def test_charges_map_overrides_owner(self, setup):
+        engine, reg, drive, a, b = setup
+        drive.submit(
+            DiskRequest(
+                reg.shared_spu.spu_id,
+                DiskOp.WRITE,
+                0,
+                24,
+                charges={a.spu_id: 16, b.spu_id: 8},
+            )
+        )
+        engine.run()
+        assert drive.ledger.usage_ratio(a.spu_id, engine.now) == 16.0
+        assert drive.ledger.usage_ratio(b.spu_id, engine.now) == 8.0
+        assert drive.ledger.usage_ratio(reg.shared_spu.spu_id, engine.now) == 0.0
+
+    def test_ratio_respects_share_weight(self, setup):
+        engine, _reg, drive, a, b = setup
+        b.disk_bw().set_entitled(4)
+        drive.submit(DiskRequest(a.spu_id, DiskOp.READ, 0, 32))
+        drive.submit(DiskRequest(b.spu_id, DiskOp.READ, 5000, 32))
+        engine.run()
+        assert drive.ledger.usage_ratio(b.spu_id, engine.now) == pytest.approx(
+            drive.ledger.usage_ratio(a.spu_id, engine.now) / 4
+        )
+
+    def test_ledger_background_is_shared_spu(self, setup):
+        _engine, reg, drive, a, _b = setup
+        assert drive.ledger.is_background(reg.shared_spu.spu_id)
+        assert not drive.ledger.is_background(a.spu_id)
+
+    def test_counter_decays(self, setup):
+        engine, _reg, drive, a, _b = setup
+        drive.submit(DiskRequest(a.spu_id, DiskOp.READ, 0, 32))
+        engine.run()
+        now = engine.now
+        assert drive.ledger.usage_ratio(a.spu_id, now + 500_000) <= 16.0
+
+
+class TestRequestValidation:
+    def test_zero_sectors_rejected(self):
+        with pytest.raises(ValueError):
+            DiskRequest(1, DiskOp.READ, 0, 0)
+
+    def test_negative_sector_rejected(self):
+        with pytest.raises(ValueError):
+            DiskRequest(1, DiskOp.READ, -1, 8)
+
+    def test_wait_before_service_raises(self):
+        request = DiskRequest(1, DiskOp.READ, 0, 8)
+        with pytest.raises(ValueError):
+            _ = request.wait_us
+
+    def test_response_before_completion_raises(self):
+        request = DiskRequest(1, DiskOp.READ, 0, 8)
+        request.enqueue_time = 0
+        request.start_time = 10
+        with pytest.raises(ValueError):
+            _ = request.response_us
+
+    def test_last_sector(self):
+        assert DiskRequest(1, DiskOp.READ, 100, 8).last_sector == 107

@@ -1,0 +1,167 @@
+"""Unit tests for the HP 97560 mechanical model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk import DiskGeometry, hp97560, service_time
+from repro.disk.model import fast_disk
+
+
+@pytest.fixture
+def geom():
+    return hp97560()
+
+
+class TestGeometry:
+    def test_hp97560_parameters(self, geom):
+        assert geom.cylinders == 1962
+        assert geom.tracks_per_cylinder == 19
+        assert geom.sectors_per_track == 72
+        assert geom.rpm == 4002
+
+    def test_total_sectors(self, geom):
+        assert geom.total_sectors == 1962 * 19 * 72
+
+    def test_rotation_time(self, geom):
+        assert geom.rotation_us == pytest.approx(60_000_000 / 4002)
+
+    def test_sector_time(self, geom):
+        assert geom.sector_time_us == pytest.approx(geom.rotation_us / 72)
+
+    def test_media_scale_multiplies_track_capacity(self):
+        scaled = hp97560(media_scale=4)
+        assert scaled.sectors_per_track == 288
+        assert scaled.sector_time_us == pytest.approx(hp97560().sector_time_us / 4)
+
+    def test_bad_media_scale(self):
+        with pytest.raises(ValueError):
+            hp97560(media_scale=0)
+
+    def test_fast_disk_is_faster(self):
+        assert fast_disk().seek_us(0, 500) < hp97560().seek_us(0, 500)
+
+
+class TestAddressMapping:
+    def test_sector_zero(self, geom):
+        assert geom.cylinder_of(0) == 0
+        assert geom.track_of(0) == 0
+        assert geom.offset_of(0) == 0
+
+    def test_track_boundary(self, geom):
+        assert geom.track_of(71) == 0
+        assert geom.track_of(72) == 1
+        assert geom.offset_of(72) == 0
+
+    def test_cylinder_boundary(self, geom):
+        spc = geom.sectors_per_cylinder
+        assert geom.cylinder_of(spc - 1) == 0
+        assert geom.cylinder_of(spc) == 1
+
+    def test_out_of_range_rejected(self, geom):
+        with pytest.raises(ValueError):
+            geom.cylinder_of(-1)
+        with pytest.raises(ValueError):
+            geom.cylinder_of(geom.total_sectors)
+
+    @given(sector=st.integers(0, 1962 * 19 * 72 - 1))
+    def test_property_mapping_roundtrip(self, sector):
+        geom = hp97560()
+        reconstructed = (
+            geom.cylinder_of(sector) * geom.sectors_per_cylinder
+            + geom.track_of(sector) * geom.sectors_per_track
+            + geom.offset_of(sector)
+        )
+        assert reconstructed == sector
+
+
+class TestSeek:
+    def test_zero_distance_is_free(self, geom):
+        assert geom.seek_us(100, 100) == 0
+
+    def test_short_seek_uses_sqrt_regime(self, geom):
+        assert geom.seek_us(0, 100) == round((3.24 + 0.4 * 100 ** 0.5) * 1000)
+
+    def test_long_seek_uses_linear_regime(self, geom):
+        assert geom.seek_us(0, 1000) == round((8.0 + 0.008 * 1000) * 1000)
+
+    def test_seek_is_symmetric(self, geom):
+        assert geom.seek_us(10, 500) == geom.seek_us(500, 10)
+
+    def test_seek_scale_halves(self):
+        full = hp97560()
+        half = hp97560(seek_scale=0.5)
+        assert half.seek_us(0, 1000) == round(full.seek_us(0, 1000) / 2)
+
+    def test_scaled_copy(self, geom):
+        assert geom.scaled(0.5).seek_scale == 0.5
+        assert geom.seek_scale == 1.0
+
+    @given(
+        a=st.integers(0, 1961), b=st.integers(0, 1961), c=st.integers(0, 1961)
+    )
+    def test_property_seek_monotone_in_distance(self, a, b, c):
+        geom = hp97560()
+        d1, d2 = abs(a - b), abs(a - c)
+        if d1 <= d2:
+            assert geom.seek_us(a, b) <= geom.seek_us(a, c)
+
+
+class TestRotation:
+    def test_aligned_target_is_free(self, geom):
+        # At t=0 the head is over offset 0.
+        assert geom.rotation_delay_us(0, 0) == 0
+
+    def test_one_sector_ahead(self, geom):
+        delay = geom.rotation_delay_us(0, 1)
+        assert delay == pytest.approx(geom.sector_time_us, abs=1)
+
+    def test_just_missed_costs_nearly_full_rotation(self, geom):
+        # Head 2 sectors past the target: wait for it to come around.
+        at = round(2 * geom.sector_time_us)
+        delay = geom.rotation_delay_us(at, 0)
+        assert delay == pytest.approx(geom.rotation_us - 2 * geom.sector_time_us, abs=2)
+
+    def test_hairline_miss_is_forgiven(self, geom):
+        # Integer-rounded event times leave the head a fraction of a
+        # sector past the target; that must not cost a revolution.
+        at = round(5 * geom.sector_time_us)  # lands at angle 5.0007...
+        assert geom.rotation_delay_us(at, 5) < geom.sector_time_us
+
+    def test_sequential_chain_stays_aligned(self, geom):
+        # Back-to-back transfers: end of one lines up with the next.
+        t = 0
+        breakdown = service_time(geom, 0, t, 0, 64)
+        t += breakdown.total_us
+        nxt = service_time(geom, geom.cylinder_of(63), t, 64, 8)
+        assert nxt.rotation_us < geom.sector_time_us
+
+
+class TestTransfer:
+    def test_single_sector(self, geom):
+        assert geom.transfer_us(0, 1) == round(geom.sector_time_us)
+
+    def test_scales_linearly_with_skew(self, geom):
+        assert geom.transfer_us(0, 144) == round(144 * geom.sector_time_us)
+
+    def test_no_skew_charges_track_switches(self):
+        geom = DiskGeometry(ideal_track_skew=False)
+        crossing = geom.transfer_us(0, 144)  # crosses one track boundary
+        flat = round(144 * geom.sector_time_us)
+        assert crossing == flat + round(geom.head_switch_ms * 1000)
+
+    def test_out_of_range_rejected(self, geom):
+        with pytest.raises(ValueError):
+            geom.transfer_us(geom.total_sectors - 1, 2)
+
+
+class TestServiceTime:
+    def test_components_sum(self, geom):
+        breakdown = service_time(geom, 0, 0, 500_000, 16)
+        assert breakdown.total_us == (
+            breakdown.seek_us + breakdown.rotation_us + breakdown.transfer_us
+        )
+
+    def test_far_request_pays_seek(self, geom):
+        near = service_time(geom, 0, 0, 64, 8)
+        far = service_time(geom, 0, 0, geom.total_sectors // 2, 8)
+        assert far.seek_us > near.seek_us

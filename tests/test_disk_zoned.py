@@ -1,0 +1,148 @@
+"""Tests for the zoned (ZBR) disk geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import SPURegistry, piso_scheme
+from repro.disk import (
+    DiskDrive,
+    DiskOp,
+    DiskRequest,
+    ZonedGeometry,
+    hp97560_zoned,
+    make_scheduler,
+    service_time,
+)
+from repro.disk.drive import SpuBandwidthLedger
+from repro.sim import Engine
+
+
+@pytest.fixture
+def geom():
+    return ZonedGeometry(zones=[(10, 100), (10, 80), (10, 60)],
+                         tracks_per_cylinder=2)
+
+
+class TestConstruction:
+    def test_totals(self, geom):
+        assert geom.cylinders == 30
+        assert geom.total_sectors == 10 * 2 * 100 + 10 * 2 * 80 + 10 * 2 * 60
+
+    def test_needs_zones(self):
+        with pytest.raises(ValueError):
+            ZonedGeometry(zones=[])
+
+    def test_rejects_bad_zone(self):
+        with pytest.raises(ValueError):
+            ZonedGeometry(zones=[(0, 100)])
+        with pytest.raises(ValueError):
+            ZonedGeometry(zones=[(10, 0)])
+
+
+class TestMapping:
+    def test_zone_boundaries(self, geom):
+        assert geom.zone_of_sector(0) == 0
+        assert geom.zone_of_sector(1999) == 0
+        assert geom.zone_of_sector(2000) == 1
+        assert geom.zone_of_sector(3599) == 1
+        assert geom.zone_of_sector(3600) == 2
+
+    def test_cylinder_progression(self, geom):
+        assert geom.cylinder_of(0) == 0
+        assert geom.cylinder_of(199) == 0  # 2 tracks x 100 sectors
+        assert geom.cylinder_of(200) == 1
+        assert geom.cylinder_of(2000) == 10  # first cylinder of zone 1
+
+    def test_offset_wraps_per_zone(self, geom):
+        assert geom.offset_of(0) == 0
+        assert geom.offset_of(100) == 0  # next track, zone 0
+        assert geom.offset_of(2000) == 0  # first sector of zone 1
+        assert geom.offset_of(2081) == 1  # second track of zone 1, +1
+
+    def test_out_of_range(self, geom):
+        with pytest.raises(ValueError):
+            geom.zone_of_sector(geom.total_sectors)
+
+    @given(sector=st.integers(0, 10 * 2 * 100 + 10 * 2 * 80 + 10 * 2 * 60 - 1))
+    def test_property_offset_below_zone_spt(self, sector):
+        geom = ZonedGeometry(zones=[(10, 100), (10, 80), (10, 60)],
+                             tracks_per_cylinder=2)
+        assert 0 <= geom.offset_of(sector) < geom.sectors_per_track_at(sector)
+
+    @given(sector=st.integers(0, 10 * 2 * 100 + 10 * 2 * 80 + 10 * 2 * 60 - 1))
+    def test_property_cylinder_monotone(self, sector):
+        geom = ZonedGeometry(zones=[(10, 100), (10, 80), (10, 60)],
+                             tracks_per_cylinder=2)
+        if sector + 1 < geom.total_sectors:
+            assert geom.cylinder_of(sector + 1) >= geom.cylinder_of(sector)
+
+
+class TestTiming:
+    def test_outer_zone_transfers_faster(self, geom):
+        inner_start = geom.total_sectors - 60
+        outer = geom.transfer_us(0, 50)
+        inner = geom.transfer_us(inner_start, 50)
+        assert outer < inner
+        # Density ratio 100:60 -> inner takes ~1.67x longer.
+        assert inner / outer == pytest.approx(100 / 60, rel=0.02)
+
+    def test_cross_zone_transfer_pays_blended_rate(self, geom):
+        # 20 sectors straddling the zone 0/1 boundary.
+        at_boundary = geom.transfer_us(1990, 20)
+        pure_outer = geom.transfer_us(0, 20)
+        pure_mid = geom.transfer_us(2000, 20)
+        assert pure_outer < at_boundary < pure_mid
+
+    def test_sequential_chain_stays_aligned(self, geom):
+        t = 0
+        first = service_time(geom, 0, t, 0, 50)
+        t += first.total_us
+        nxt = service_time(geom, geom.cylinder_of(49), t, 50, 10)
+        assert nxt.rotation_us < geom.sector_time_us_at(50)
+
+    def test_seek_matches_flat_formula(self, geom):
+        assert geom.seek_us(0, 0) == 0
+        assert geom.seek_us(0, 100) == round((3.24 + 0.4 * 10) * 1000)
+
+    def test_rotation_delay_us_is_disabled(self, geom):
+        with pytest.raises(NotImplementedError):
+            geom.rotation_delay_us(0, 5)
+
+
+class TestDriveIntegration:
+    def test_drive_runs_on_zoned_disk(self):
+        engine = Engine(seed=1)
+        registry = SPURegistry()
+        registry.create("a").disk_bw().set_entitled(1)
+        geom = hp97560_zoned(seek_scale=0.5)
+        drive = DiskDrive(engine, geom, make_scheduler("piso"),
+                          SpuBandwidthLedger(0, registry))
+        for i in range(10):
+            drive.submit(DiskRequest(2, DiskOp.READ, i * 5000, 64))
+        engine.run()
+        assert drive.stats.count() == 10
+
+    def test_hot_data_placement_matters(self):
+        """The classic ZBR result: outer-zone files stream faster."""
+        def stream_time(at_fraction):
+            engine = Engine(seed=1)
+            registry = SPURegistry()
+            registry.create("a").disk_bw().set_entitled(1)
+            geom = hp97560_zoned()
+            drive = DiskDrive(engine, geom, make_scheduler("pos"),
+                              SpuBandwidthLedger(0, registry))
+            base = int(geom.total_sectors * at_fraction)
+            done = {}
+
+            def chain(i):
+                if i >= 40:
+                    done["t"] = engine.now
+                    return
+                drive.submit(DiskRequest(2, DiskOp.READ, base + i * 128, 128,
+                                         on_complete=lambda r: chain(i + 1)))
+
+            chain(0)
+            engine.run()
+            return done["t"]
+
+        assert stream_time(0.0) < stream_time(0.9)

@@ -1,0 +1,126 @@
+"""Tests for dynamic SPU creation/suspension/destruction (Section 2.1)."""
+
+import pytest
+
+from repro.core import MILLI_CPU, piso_scheme, quota_scheme
+from repro.disk.model import fast_disk
+from repro.kernel import Compute, DiskSpec, Kernel, MachineConfig, Sleep
+from repro.sim.units import msecs, secs
+
+
+def booted(nspus=2, ncpus=4, scheme=None):
+    kernel = Kernel(
+        MachineConfig(ncpus=ncpus, memory_mb=16,
+                      disks=[DiskSpec(geometry=fast_disk())],
+                      scheme=scheme if scheme is not None else piso_scheme())
+    )
+    spus = [kernel.create_spu(f"u{i}") for i in range(nspus)]
+    kernel.boot()
+    return kernel, spus
+
+
+def spinner(ms):
+    yield Compute(msecs(ms))
+
+
+class TestAddSpu:
+    def test_add_redivides_cpus(self):
+        kernel, (a, b) = booted(nspus=2, ncpus=4)
+        assert a.cpu().entitled == 2 * MILLI_CPU
+        c = kernel.add_spu("late")
+        for spu in (a, b, c):
+            assert spu.cpu().entitled in (1333, 1334)
+
+    def test_add_redivides_memory(self):
+        kernel, (a, b) = booted(nspus=2)
+        before = a.memory().entitled
+        kernel.add_spu("late")
+        assert a.memory().entitled < before
+
+    def test_late_spu_can_run_work(self):
+        kernel, _ = booted(nspus=2)
+        late = kernel.add_spu("late")
+        proc = kernel.spawn(spinner(50), late)
+        kernel.run()
+        assert proc.response_us >= msecs(50)
+
+    def test_add_before_boot_is_create(self):
+        kernel = Kernel(
+            MachineConfig(ncpus=2, memory_mb=16,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme())
+        )
+        spu = kernel.add_spu("early")
+        kernel.boot()
+        assert spu.cpu().entitled == 2 * MILLI_CPU
+
+
+class TestRunningWorkload:
+    def test_new_spu_gets_share_of_busy_machine(self):
+        kernel, (a, b) = booted(nspus=2, ncpus=4, scheme=quota_scheme())
+        for spu in (a, b):
+            for _ in range(4):
+                kernel.spawn(spinner(2000), spu)
+        # Let the machine saturate, then a third tenant arrives.
+        kernel.run(until=msecs(100))
+        c = kernel.add_spu("tenant3")
+        late_procs = [kernel.spawn(spinner(500), c) for _ in range(2)]
+        kernel.run()
+        # Under quotas the newcomer got >= 1 CPU immediately: its two
+        # 500 ms jobs on >= 1 CPU finish within ~1.2 s of arrival.
+        for proc in late_procs:
+            assert proc.response_us < msecs(1300)
+
+    def test_repartition_preempts_displaced_processes(self):
+        kernel, (a, b) = booted(nspus=2, ncpus=4, scheme=quota_scheme())
+        for spu in (a, b):
+            for _ in range(2):
+                kernel.spawn(spinner(1000), spu)
+        kernel.run(until=msecs(50))
+        kernel.add_spu("c")
+        # One of the four CPUs now belongs to the new SPU; exactly one
+        # running process was kicked back to its queue.
+        running = sum(1 for c in kernel.cpusched.processors if not c.idle)
+        assert running <= 3
+
+
+class TestSuspendResume:
+    def test_suspend_returns_share_to_pool(self):
+        kernel, (a, b) = booted(nspus=2, ncpus=4)
+        kernel.suspend_spu(b)
+        assert a.cpu().entitled == 4 * MILLI_CPU
+
+    def test_resume_restores_share(self):
+        kernel, (a, b) = booted(nspus=2, ncpus=4)
+        kernel.suspend_spu(b)
+        kernel.resume_spu(b)
+        assert a.cpu().entitled == 2 * MILLI_CPU
+        assert b.cpu().entitled == 2 * MILLI_CPU
+
+    def test_suspended_spu_with_processes_rejected(self):
+        kernel, (a, b) = booted()
+        kernel.spawn(spinner(100), b)
+        with pytest.raises(Exception):
+            kernel.suspend_spu(b)
+
+
+class TestRetire:
+    def test_retire_redivides(self):
+        kernel, (a, b) = booted(nspus=2, ncpus=4)
+        kernel.retire_spu(b)
+        assert a.cpu().entitled == 4 * MILLI_CPU
+
+    def test_retire_with_processes_rejected(self):
+        kernel, (a, b) = booted()
+        kernel.spawn(spinner(100), b)
+        with pytest.raises(Exception):
+            kernel.retire_spu(b)
+
+    def test_full_lifecycle(self):
+        kernel, (a,) = booted(nspus=1, ncpus=2)
+        b = kernel.add_spu("b")
+        proc = kernel.spawn(spinner(50), b)
+        kernel.run()
+        assert proc.response_us >= msecs(50)
+        kernel.retire_spu(b)
+        assert a.cpu().entitled == 2 * MILLI_CPU

@@ -1,0 +1,85 @@
+"""Unit tests for sequential read-ahead detection."""
+
+import pytest
+
+from repro.fs import ReadAheadTracker
+
+
+@pytest.fixture
+def tracker():
+    return ReadAheadTracker(window_blocks=8)
+
+
+FILE_BLOCKS = 1000
+KEY = (1, 1)
+
+
+class TestDetection:
+    def test_first_access_never_prefetches(self, tracker):
+        assert tracker.observe(KEY, 0, 2, FILE_BLOCKS) == []
+
+    def test_second_sequential_access_prefetches(self, tracker):
+        tracker.observe(KEY, 0, 2, FILE_BLOCKS)
+        prefetch = tracker.observe(KEY, 2, 2, FILE_BLOCKS)
+        assert prefetch == list(range(4, 12))
+
+    def test_random_access_resets(self, tracker):
+        tracker.observe(KEY, 0, 2, FILE_BLOCKS)
+        assert tracker.observe(KEY, 50, 2, FILE_BLOCKS) == []
+        # ...and the stream restarts detection from the new point.
+        assert tracker.observe(KEY, 52, 2, FILE_BLOCKS) != []
+
+    def test_overlapping_rereads_count_as_sequential(self, tracker):
+        tracker.observe(KEY, 0, 2, FILE_BLOCKS)
+        # Reading the last block again (offset straddling) still looks
+        # sequential.
+        assert tracker.observe(KEY, 1, 2, FILE_BLOCKS) != []
+
+    def test_streams_are_independent(self, tracker):
+        tracker.observe((1, 1), 0, 2, FILE_BLOCKS)
+        assert tracker.observe((2, 1), 0, 2, FILE_BLOCKS) == []
+
+    def test_forget_resets_stream(self, tracker):
+        tracker.observe(KEY, 0, 2, FILE_BLOCKS)
+        tracker.forget(KEY)
+        assert tracker.observe(KEY, 2, 2, FILE_BLOCKS) == []
+
+    def test_zero_block_access_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.observe(KEY, 0, 0, FILE_BLOCKS)
+
+
+class TestWindow:
+    def test_refills_in_half_window_batches(self, tracker):
+        tracker.observe(KEY, 0, 2, FILE_BLOCKS)
+        first = tracker.observe(KEY, 2, 2, FILE_BLOCKS)
+        assert len(first) == 8
+        # Still plenty prefetched ahead: no new prefetch yet.
+        assert tracker.observe(KEY, 4, 2, FILE_BLOCKS) == []
+        # Once half the window is consumed, top it up.
+        assert tracker.observe(KEY, 6, 2, FILE_BLOCKS) != []
+
+    def test_prefetch_clipped_at_eof(self):
+        tracker = ReadAheadTracker(window_blocks=8)
+        tracker.observe(KEY, 0, 2, 6)
+        assert tracker.observe(KEY, 2, 2, 6) == [4, 5]
+
+    def test_no_prefetch_at_eof(self):
+        tracker = ReadAheadTracker(window_blocks=8)
+        tracker.observe(KEY, 0, 3, 6)
+        assert tracker.observe(KEY, 3, 3, 6) == []
+
+    def test_zero_window_disables(self):
+        tracker = ReadAheadTracker(window_blocks=0)
+        tracker.observe(KEY, 0, 2, FILE_BLOCKS)
+        assert tracker.observe(KEY, 2, 2, FILE_BLOCKS) == []
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            ReadAheadTracker(window_blocks=-1)
+
+    def test_min_sequential_runs_gate(self):
+        tracker = ReadAheadTracker(window_blocks=8, min_sequential_runs=2)
+        tracker.observe(KEY, 0, 2, FILE_BLOCKS)
+        assert tracker.observe(KEY, 2, 2, FILE_BLOCKS) == []
+        assert tracker.observe(KEY, 4, 2, FILE_BLOCKS) != []

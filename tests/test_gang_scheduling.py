@@ -1,0 +1,226 @@
+"""Tests for spin barriers and gang (co-)scheduling.
+
+The paper notes gang-scheduled parallel applications "would require
+some modifications" to its scheme (Section 3.1 footnote); these test
+that modification: all-or-nothing dispatch plus a tick-granularity
+anti-starvation boost, and the spin barriers that make co-scheduling
+matter in the first place.
+"""
+
+import pytest
+
+from repro.core import piso_scheme, smp_scheme
+from repro.disk.model import fast_disk
+from repro.kernel import (
+    BarrierWait,
+    Compute,
+    DiskSpec,
+    Kernel,
+    MachineConfig,
+    ProcessState,
+    ReadFile,
+)
+from repro.kernel.gang import Gang
+from repro.kernel.locks import Barrier
+from repro.sim.units import KB, msecs
+
+
+def machine(ncpus=2, scheme=None, seed=3):
+    return MachineConfig(
+        ncpus=ncpus, memory_mb=32, disks=[DiskSpec(geometry=fast_disk())],
+        scheme=scheme if scheme is not None else piso_scheme(), seed=seed,
+    )
+
+
+def spin_worker(barrier, phases, phase_ms):
+    for _ in range(phases):
+        yield Compute(msecs(phase_ms))
+        yield BarrierWait(barrier, spin=True)
+
+
+class TestSpinBarriers:
+    def test_spin_barrier_completes(self):
+        kernel = Kernel(machine(ncpus=2))
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        barrier = Barrier(2)
+        procs = [
+            kernel.spawn(spin_worker(barrier, 5, 10), spu) for _ in range(2)
+        ]
+        kernel.run()
+        assert all(p.state is ProcessState.EXITED for p in procs)
+        assert barrier.generation == 5
+
+    def test_spinner_burns_cpu_while_waiting(self):
+        kernel = Kernel(machine(ncpus=2))
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        barrier = Barrier(2)
+
+        def fast():
+            yield Compute(msecs(10))
+            yield BarrierWait(barrier, spin=True)
+
+        def slow():
+            yield Compute(msecs(100))
+            yield BarrierWait(barrier, spin=True)
+
+        fast_proc = kernel.spawn(fast(), spu)
+        kernel.spawn(slow(), spu)
+        kernel.run()
+        # The fast process spun for ~90 ms on its own CPU.
+        assert fast_proc.cpu_time_us >= msecs(90)
+
+    def test_blocking_barrier_yields_cpu(self):
+        kernel = Kernel(machine(ncpus=2))
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        barrier = Barrier(2)
+
+        def fast():
+            yield Compute(msecs(10))
+            yield BarrierWait(barrier)  # blocking
+
+        def slow():
+            yield Compute(msecs(100))
+            yield BarrierWait(barrier)
+
+        fast_proc = kernel.spawn(fast(), spu)
+        kernel.spawn(slow(), spu)
+        kernel.run()
+        assert fast_proc.cpu_time_us < msecs(20)
+
+    def test_spinners_do_not_fault(self):
+        from repro.kernel import SetWorkingSet
+
+        kernel = Kernel(machine(ncpus=2))
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        barrier = Barrier(2)
+
+        def worker(ms):
+            yield SetWorkingSet(32)
+            yield Compute(msecs(ms))
+            yield BarrierWait(barrier, spin=True)
+
+        fast_proc = kernel.spawn(worker(5), spu)
+        kernel.spawn(worker(200), spu)
+        kernel.run()
+        ramp_faults = fast_proc.fault_count
+        # Spinning for ~195 ms must not generate fault after fault.
+        assert ramp_faults <= 32 // 8 + 2
+
+
+class TestGangUnit:
+    def test_gang_tracks_members(self):
+        kernel = Kernel(machine())
+        spu = kernel.create_spu("u")
+        kernel.boot()
+
+        def trivial():
+            yield Compute(msecs(1))
+
+        procs = kernel.spawn_gang([trivial(), trivial()], spu, name="pair")
+        assert len(procs) == 2
+        assert procs[0].gang is procs[1].gang
+        assert procs[0].name == "pair.0"
+
+    def test_gang_with_blocked_member_is_unschedulable(self):
+        gang = Gang()
+
+        class Stub:
+            state = ProcessState.RUNNABLE
+
+        a, b = Stub(), Stub()
+        gang.members = [a, b]
+        assert gang.schedulable()
+        b.state = ProcessState.BLOCKED
+        assert not gang.schedulable()
+
+    def test_exited_members_dont_block_gang(self):
+        gang = Gang()
+
+        class Stub:
+            state = ProcessState.EXITED
+
+        gang.members = [Stub()]
+        assert gang.schedulable()
+
+
+class TestGangKernel:
+    def run_pair(self, gang: bool, seed=3):
+        kernel = Kernel(machine(ncpus=2, seed=seed))
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        barrier = Barrier(2)
+        behaviors = [spin_worker(barrier, 30, 40.0) for _ in range(2)]
+        if gang:
+            procs = kernel.spawn_gang(behaviors, spu, name="g")
+        else:
+            procs = [kernel.spawn(b, spu) for b in behaviors]
+
+        def bg():
+            yield Compute(msecs(3000))
+
+        background = kernel.spawn(bg(), spu)
+        kernel.run()
+        burned = sum(p.cpu_time_us for p in procs)
+        return procs, background, burned
+
+    def test_gang_eliminates_spin_waste(self):
+        useful = 2 * 30 * msecs(40)
+        _p, _b, burned_without = self.run_pair(gang=False)
+        _p, _b, burned_with = self.run_pair(gang=True)
+        assert burned_without > useful + msecs(100)  # spinning wasted CPU
+        assert burned_with <= useful + msecs(30)     # co-scheduled: no waste
+
+    def test_gang_and_background_all_finish(self):
+        procs, background, _ = self.run_pair(gang=True)
+        assert all(p.state is ProcessState.EXITED for p in procs)
+        assert background.state is ProcessState.EXITED
+
+    def test_gang_larger_than_machine_does_not_deadlock(self):
+        kernel = Kernel(machine(ncpus=2))
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        barrier = Barrier(4)
+        behaviors = [spin_worker(barrier, 3, 10.0) for _ in range(4)]
+        procs = kernel.spawn_gang(behaviors, spu)
+        kernel.run(until=msecs(5000))
+        assert all(p.state is ProcessState.EXITED for p in procs)
+
+    def test_gang_with_io_member_lets_others_work(self):
+        kernel = Kernel(machine(ncpus=2))
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        file = kernel.fs.create(0, "data", 64 * KB)
+
+        def io_member():
+            yield ReadFile(file, 0, 64 * KB)
+            yield Compute(msecs(10))
+
+        def cpu_member():
+            yield Compute(msecs(10))
+
+        def bystander():
+            yield Compute(msecs(50))
+
+        gang_procs = kernel.spawn_gang([io_member(), cpu_member()], spu)
+        solo = kernel.spawn(bystander(), spu)
+        kernel.run()
+        # While the gang waited on its member's I/O, the bystander ran.
+        assert solo.state is ProcessState.EXITED
+        assert all(p.state is ProcessState.EXITED for p in gang_procs)
+
+    def test_non_gang_processes_unaffected_by_filter(self):
+        kernel = Kernel(machine(ncpus=2))
+        spu = kernel.create_spu("u")
+        kernel.boot()
+
+        def trivial():
+            yield Compute(msecs(10))
+
+        kernel.spawn_gang([trivial(), trivial()], spu)
+        solo = kernel.spawn(trivial(), spu)
+        kernel.run()
+        assert solo.state is ProcessState.EXITED

@@ -1,0 +1,133 @@
+"""Tests for the goal-driven workload manager (OS390-WLM-style layer)."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveContract,
+    GoalManager,
+    VelocityGoal,
+    piso_scheme,
+)
+from repro.disk.model import fast_disk
+from repro.kernel import Compute, DiskSpec, Kernel, MachineConfig
+from repro.sim.units import msecs, secs
+
+
+def booted(contract=None, ncpus=4):
+    kernel = Kernel(
+        MachineConfig(ncpus=ncpus, memory_mb=16,
+                      disks=[DiskSpec(geometry=fast_disk())],
+                      scheme=piso_scheme(),
+                      contract=contract if contract is not None else AdaptiveContract())
+    )
+    a = kernel.create_spu("a")
+    b = kernel.create_spu("b")
+    kernel.boot()
+    return kernel, a, b
+
+
+def saturate(kernel, spu, nprocs=4, ms=8000):
+    for _ in range(nprocs):
+        kernel.spawn(iter([Compute(msecs(ms))]), spu)
+
+
+class TestGoalValidation:
+    def test_target_range(self):
+        with pytest.raises(ValueError):
+            VelocityGoal(0.0)
+        with pytest.raises(ValueError):
+            VelocityGoal(1.5)
+        VelocityGoal(1.0)
+
+    def test_importance_range(self):
+        with pytest.raises(ValueError):
+            VelocityGoal(0.5, importance=0)
+
+    def test_requires_adaptive_contract(self):
+        from repro.core import EqualShareContract
+
+        kernel, _a, _b = booted(contract=EqualShareContract())
+        with pytest.raises(TypeError):
+            GoalManager(kernel)
+
+
+class TestAdaptiveContract:
+    def test_default_weight_is_one(self):
+        contract = AdaptiveContract()
+        assert contract.weight_of("anything") == 1.0
+
+    def test_set_weight(self):
+        contract = AdaptiveContract({"a": 2.0})
+        contract.set_weight("b", 3.0)
+        assert contract.weight_of("a") == 2.0
+        assert contract.weight_of("b") == 3.0
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveContract().set_weight("a", 0.0)
+
+
+class TestControlLoop:
+    def test_unsatisfied_goal_gains_entitlement(self):
+        kernel, a, b = booted()
+        manager = GoalManager(kernel)
+        manager.set_goal(a, VelocityGoal(target=0.7))
+        manager.start()
+        saturate(kernel, a)
+        saturate(kernel, b)
+        kernel.run(until=secs(3))
+        assert a.cpu().entitled > b.cpu().entitled
+        # Late-period velocity at or around the target.
+        late = [r for r in manager.history if r.spu_id == a.spu_id][-5:]
+        assert sum(r.velocity for r in late) / len(late) >= 0.6
+
+    def test_satisfied_goal_leaves_weights_alone(self):
+        kernel, a, b = booted()
+        manager = GoalManager(kernel)
+        manager.set_goal(a, VelocityGoal(target=0.4))  # met at equal split
+        manager.start()
+        saturate(kernel, a)
+        saturate(kernel, b)
+        kernel.run(until=secs(1))
+        assert manager.contract.weight_of("a") == 1.0
+
+    def test_idle_spu_not_adjusted(self):
+        kernel, a, b = booted()
+        manager = GoalManager(kernel)
+        manager.set_goal(a, VelocityGoal(target=0.9))
+        manager.start()
+        saturate(kernel, b)  # a has no work at all
+        kernel.run(until=secs(1))
+        assert manager.contract.weight_of("a") == 1.0
+
+    def test_importance_breaks_ties(self):
+        kernel, a, b = booted(ncpus=2)
+        manager = GoalManager(kernel)
+        manager.set_goal(a, VelocityGoal(target=0.9, importance=2))
+        manager.set_goal(b, VelocityGoal(target=0.9, importance=1))
+        manager.start()
+        saturate(kernel, a, nprocs=2)
+        saturate(kernel, b, nprocs=2)
+        kernel.run(until=secs(2))
+        # Both goals are infeasible together; the more important SPU
+        # (b) must come out ahead.
+        assert manager.contract.weight_of("b") > manager.contract.weight_of("a")
+
+    def test_reports_accumulate(self):
+        kernel, a, b = booted()
+        manager = GoalManager(kernel)
+        manager.set_goal(a, VelocityGoal(target=0.5))
+        manager.start()
+        saturate(kernel, a)
+        kernel.run(until=secs(1))
+        reports = [r for r in manager.history if r.spu_id == a.spu_id]
+        assert len(reports) >= 3
+        assert all(0.0 <= r.velocity <= 1.5 for r in reports)
+
+    def test_lifecycle(self):
+        kernel, _a, _b = booted()
+        manager = GoalManager(kernel)
+        manager.start()
+        with pytest.raises(RuntimeError):
+            manager.start()
+        manager.stop()

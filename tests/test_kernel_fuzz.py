@@ -1,0 +1,116 @@
+"""Kernel fuzzing: random behaviour programs must never wedge the kernel
+or corrupt resource accounting.
+
+Hypothesis generates random mixes of every syscall across random SPUs
+and machine shapes; after the run we assert global invariants —
+everything exits, anonymous pages return to the pool, CPU accounts are
+consistent — rather than specific outcomes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import scheme_by_name
+from repro.disk.model import fast_disk
+from repro.kernel import (
+    Compute,
+    DiskSpec,
+    Kernel,
+    MachineConfig,
+    ProcessState,
+    ReadFile,
+    SetWorkingSet,
+    Sleep,
+    Spawn,
+    WaitChildren,
+    WriteFile,
+    WriteMetadata,
+)
+from repro.sim.units import KB, msecs
+
+
+def leaf_op(draw, file):
+    kind = draw(st.sampled_from(
+        ["compute", "ws", "read", "write", "meta", "sleep"]
+    ))
+    if kind == "compute":
+        return Compute(draw(st.integers(100, 50_000)))
+    if kind == "ws":
+        return SetWorkingSet(
+            draw(st.integers(0, 300)),
+            touches_per_ms=draw(st.sampled_from([0.5, 2.0, 8.0])),
+            fault_cluster_pages=draw(st.sampled_from([4, 16])),
+        )
+    if kind == "read":
+        offset = draw(st.integers(0, 31)) * KB
+        return ReadFile(file, offset, draw(st.integers(1, 32 * KB - offset)))
+    if kind == "write":
+        offset = draw(st.integers(0, 31)) * KB
+        return WriteFile(file, offset, draw(st.integers(1, 32 * KB - offset)))
+    if kind == "meta":
+        return WriteMetadata(file)
+    return Sleep(draw(st.integers(0, 20_000)))
+
+
+@st.composite
+def behavior_program(draw, file, depth=0):
+    """A random op list; may spawn (bounded-depth) children."""
+    ops = [leaf_op(draw, file) for _ in range(draw(st.integers(1, 6)))]
+    if depth < 1 and draw(st.booleans()):
+        child_ops = draw(behavior_program(file, depth=depth + 1))
+        ops.append(Spawn(iter(child_ops), name="child"))
+        ops.append(WaitChildren())
+    return ops
+
+
+@given(
+    data=st.data(),
+    scheme_name=st.sampled_from(["smp", "quo", "piso", "stride"]),
+    ncpus=st.integers(1, 4),
+    nprocs=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_programs_never_wedge_the_kernel(
+    data, scheme_name, ncpus, nprocs, seed
+):
+    kernel = Kernel(
+        MachineConfig(
+            ncpus=ncpus, memory_mb=8,
+            disks=[DiskSpec(geometry=fast_disk())],
+            scheme=scheme_by_name(scheme_name), seed=seed,
+        )
+    )
+    spus = [kernel.create_spu(f"u{i}") for i in range(2)]
+    kernel.boot()
+    shared_file = kernel.fs.create(0, "fuzz-file", 32 * KB)
+    free_at_boot = kernel.memory.free_pages
+
+    for i in range(nprocs):
+        ops = data.draw(behavior_program(shared_file))
+        kernel.spawn(iter(ops), spus[i % 2], name=f"fuzz{i}")
+
+    kernel.run(max_events=2_000_000)
+
+    # Liveness: every process ran to completion.
+    assert kernel.jobs_done(), [
+        (p.name, p.state) for p in kernel.processes.values()
+        if p.state is not ProcessState.EXITED
+    ]
+    # Anonymous memory conserved (cached file pages may remain).
+    cached = len(kernel.fs.cache.blocks)
+    assert kernel.memory.free_pages == free_at_boot - cached
+    # Accounting consistency.
+    total_cpu = sum(p.cpu_time_us for p in kernel.processes.values())
+    accounted = sum(
+        kernel.cpu_account.total(s.spu_id)
+        for s in kernel.registry.all_spus()
+    )
+    assert total_cpu == accounted
+    for proc in kernel.processes.values():
+        assert proc.response_us >= 0
+        assert proc.resident == 0

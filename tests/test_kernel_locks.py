@@ -1,0 +1,152 @@
+"""Unit tests for kernel locks and barriers."""
+
+import pytest
+
+from repro.kernel import Barrier, KernelLock, LockError
+from repro.kernel.process import Process
+
+
+def proc(pid, base=20):
+    return Process(pid, spu_id=2, behavior=iter(()), base_priority=base)
+
+
+class TestMutex:
+    def test_first_acquire_granted(self):
+        lock = KernelLock("l")
+        assert lock.acquire(proc(1), shared=False, granted=lambda: None)
+        assert lock.held
+
+    def test_second_acquire_queues(self):
+        lock = KernelLock("l")
+        lock.acquire(proc(1), False, lambda: None)
+        assert not lock.acquire(proc(2), False, lambda: None)
+        assert lock.waiting() == 1
+        assert lock.contentions == 1
+
+    def test_release_grants_next_fifo(self):
+        lock = KernelLock("l")
+        holder = proc(1)
+        lock.acquire(holder, False, lambda: None)
+        order = []
+        lock.acquire(proc(2), False, lambda: order.append(2))
+        lock.acquire(proc(3), False, lambda: order.append(3))
+        for grant in lock.release(holder):
+            grant()
+        assert order == [2]
+
+    def test_release_not_held_raises(self):
+        lock = KernelLock("l")
+        with pytest.raises(LockError):
+            lock.release(proc(1))
+
+    def test_shared_request_is_exclusive_without_rw(self):
+        # The unfixed inode lock: even lookups serialize.
+        lock = KernelLock("inode", reader_writer=False)
+        lock.acquire(proc(1), shared=True, granted=lambda: None)
+        assert not lock.acquire(proc(2), shared=True, granted=lambda: None)
+
+
+class TestReadersWriter:
+    def test_readers_share(self):
+        lock = KernelLock("l", reader_writer=True)
+        assert lock.acquire(proc(1), True, lambda: None)
+        assert lock.acquire(proc(2), True, lambda: None)
+        assert len(lock.holders()) == 2
+
+    def test_writer_excludes_readers(self):
+        lock = KernelLock("l", reader_writer=True)
+        lock.acquire(proc(1), False, lambda: None)
+        assert not lock.acquire(proc(2), True, lambda: None)
+
+    def test_reader_excludes_writer(self):
+        lock = KernelLock("l", reader_writer=True)
+        lock.acquire(proc(1), True, lambda: None)
+        assert not lock.acquire(proc(2), False, lambda: None)
+
+    def test_queued_writer_blocks_new_readers(self):
+        lock = KernelLock("l", reader_writer=True)
+        lock.acquire(proc(1), True, lambda: None)
+        lock.acquire(proc(2), False, lambda: None)  # writer queued
+        assert not lock.acquire(proc(3), True, lambda: None)
+
+    def test_release_grants_reader_batch(self):
+        lock = KernelLock("l", reader_writer=True)
+        writer = proc(1)
+        lock.acquire(writer, False, lambda: None)
+        order = []
+        lock.acquire(proc(2), True, lambda: order.append(2))
+        lock.acquire(proc(3), True, lambda: order.append(3))
+        lock.acquire(proc(4), False, lambda: order.append(4))
+        for grant in lock.release(writer):
+            grant()
+        assert order == [2, 3]  # both readers in, writer still waiting
+
+    def test_last_reader_release_grants_writer(self):
+        lock = KernelLock("l", reader_writer=True)
+        r1, r2 = proc(1), proc(2)
+        lock.acquire(r1, True, lambda: None)
+        lock.acquire(r2, True, lambda: None)
+        order = []
+        lock.acquire(proc(3), False, lambda: order.append(3))
+        assert lock.release(r1) == []
+        for grant in lock.release(r2):
+            grant()
+        assert order == [3]
+
+
+class TestPriorityInheritance:
+    def test_holder_boosted_by_urgent_waiter(self):
+        lock = KernelLock("l", inheritance=True)
+        holder = proc(1, base=20)
+        lock.acquire(holder, False, lambda: None)
+        lock.acquire(proc(2, base=5), False, lambda: None)
+        assert holder.priority.base == 5
+
+    def test_boost_cleared_on_release(self):
+        lock = KernelLock("l", inheritance=True)
+        holder = proc(1, base=20)
+        lock.acquire(holder, False, lambda: None)
+        lock.acquire(proc(2, base=5), False, lambda: None)
+        lock.release(holder)
+        assert holder.priority.base == 20
+
+    def test_no_boost_without_inheritance(self):
+        lock = KernelLock("l", inheritance=False)
+        holder = proc(1, base=20)
+        lock.acquire(holder, False, lambda: None)
+        lock.acquire(proc(2, base=5), False, lambda: None)
+        assert holder.priority.base == 20
+
+
+class TestBarrier:
+    def test_holds_until_full(self):
+        barrier = Barrier(3)
+        assert barrier.arrive(lambda: None) == []
+        assert barrier.arrive(lambda: None) == []
+
+    def test_last_arrival_releases_all(self):
+        barrier = Barrier(3)
+        woken = []
+        barrier.arrive(lambda: woken.append(1))
+        barrier.arrive(lambda: woken.append(2))
+        released = barrier.arrive(lambda: woken.append(3))
+        for resume in released:
+            resume()
+        assert sorted(woken) == [1, 2, 3]
+
+    def test_reusable_across_generations(self):
+        barrier = Barrier(2)
+        barrier.arrive(lambda: None)
+        barrier.arrive(lambda: None)
+        assert barrier.generation == 1
+        assert barrier.arrive(lambda: None) == []
+        assert len(barrier.arrive(lambda: None)) == 2
+        assert barrier.generation == 2
+
+    def test_single_party_barrier_trips_immediately(self):
+        barrier = Barrier(1)
+        assert len(barrier.arrive(lambda: None)) == 1
+
+    def test_bad_party_count(self):
+        with pytest.raises(ValueError):
+            Barrier(0)

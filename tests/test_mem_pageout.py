@@ -1,0 +1,191 @@
+"""Tests for the pageout daemon and related memory accounting."""
+
+import random
+
+import pytest
+
+from repro.core import EqualShareContract, SPURegistry, piso_scheme, smp_scheme
+from repro.mem import MemoryManager, PageoutDaemon
+from repro.sim import Engine
+
+
+def build(scheme, total=100, kernel_pages=0):
+    engine = Engine(seed=1)
+    registry = SPURegistry()
+    a = registry.create("a")
+    b = registry.create("b")
+    manager = MemoryManager(registry, total, scheme, kernel_pages=kernel_pages,
+                            rng=random.Random(0))
+    for spu in (a, b):
+        spu.memory().set_entitled(total // 2)
+    return engine, registry, manager, a, b
+
+
+class TestVictimSelection:
+    def test_borrower_reclaimed_under_isolation(self):
+        engine, _reg, manager, a, b = build(piso_scheme())
+        b.memory().set_allowed(95)
+        for _ in range(95):
+            manager.try_allocate(b.spu_id)
+        # free = 5 < reserve = 8: the daemon must reclaim, and only
+        # from the borrower.
+        stolen = []
+
+        def steal(spu):
+            stolen.append(spu)
+            manager.free(spu)
+            return True
+
+        PageoutDaemon(engine, manager, steal_from=steal).scan()
+        assert stolen
+        assert set(stolen) == {b.spu_id}
+
+    def test_no_victim_when_nobody_over_entitled(self):
+        engine, _reg, manager, a, _b = build(piso_scheme())
+        for _ in range(50):
+            manager.try_allocate(a.spu_id)
+        daemon = PageoutDaemon(engine, manager, steal_from=lambda s: True)
+        # free = 50 >= reserve (8) -> nothing to do; and even if free
+        # were low, a within-entitlement SPU is not a victim.
+        assert daemon.scan() == 0
+
+    def test_smp_reclaims_from_biggest_holder(self):
+        engine, _reg, manager, a, b = build(smp_scheme())
+        a.memory().set_allowed(100)
+        b.memory().set_allowed(100)
+        for _ in range(70):
+            manager.try_allocate(a.spu_id)
+        for _ in range(25):
+            manager.try_allocate(b.spu_id)
+        # free = 5 < reserve = 8.
+        stolen = []
+
+        def steal(spu):
+            stolen.append(spu)
+            manager.free(spu)
+            return True
+
+        PageoutDaemon(engine, manager, steal_from=steal).scan()
+        assert stolen and all(s == a.spu_id for s in stolen)
+
+    def test_scan_stops_at_reserve(self):
+        engine, _reg, manager, a, _b = build(smp_scheme())
+        a.memory().set_allowed(100)
+        for _ in range(96):
+            manager.try_allocate(a.spu_id)
+
+        def steal(spu):
+            manager.free(spu)
+            return True
+
+        daemon = PageoutDaemon(engine, manager, steal_from=steal)
+        daemon.scan()
+        assert manager.free_pages == manager.reserve_pages
+        assert daemon.reclaimed == 4
+
+    def test_batch_cap(self):
+        engine, _reg, manager, a, _b = build(smp_scheme())
+        a.memory().set_allowed(100)
+        for _ in range(100):
+            manager.try_allocate(a.spu_id)
+
+        def steal(spu):
+            manager.free(spu)
+            return True
+
+        daemon = PageoutDaemon(engine, manager, steal_from=steal, max_batch=3)
+        assert daemon.scan() == 3
+
+    def test_lifecycle(self):
+        engine, _reg, manager, _a, _b = build(smp_scheme())
+        daemon = PageoutDaemon(engine, manager, steal_from=lambda s: False)
+        daemon.start()
+        with pytest.raises(RuntimeError):
+            daemon.start()
+        daemon.stop()
+
+    def test_bad_batch(self):
+        engine, _reg, manager, _a, _b = build(smp_scheme())
+        with pytest.raises(ValueError):
+            PageoutDaemon(engine, manager, steal_from=lambda s: True, max_batch=0)
+
+
+class TestUserPoolAccounting:
+    def test_suspended_spu_pages_excluded_from_pool(self):
+        registry = SPURegistry()
+        a = registry.create("a")
+        b = registry.create("b")
+        manager = MemoryManager(registry, 100, piso_scheme(),
+                                rng=random.Random(0))
+        for spu in (a, b):
+            spu.memory().set_entitled(50)
+        for _ in range(20):
+            manager.try_allocate(b.spu_id)
+        registry.suspend(b)
+        # b's 20 resident pages (e.g. leftover cache) are unavailable.
+        assert manager.user_pool() == 80
+
+
+class TestKernelIntegration:
+    def test_daemon_started_by_param(self):
+        from repro.core import IsolationParams
+        from repro.disk.model import fast_disk
+        from repro.kernel import DiskSpec, Kernel, MachineConfig
+
+        params = IsolationParams(proactive_pageout=True)
+        kernel = Kernel(
+            MachineConfig(ncpus=2, memory_mb=8,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme(params))
+        )
+        kernel.create_spu("u")
+        kernel.boot()
+        assert kernel.pageout is not None
+
+    def test_daemon_absent_by_default(self):
+        from repro.disk.model import fast_disk
+        from repro.kernel import DiskSpec, Kernel, MachineConfig
+
+        kernel = Kernel(
+            MachineConfig(ncpus=2, memory_mb=8,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme())
+        )
+        kernel.create_spu("u")
+        kernel.boot()
+        assert kernel.pageout is None
+
+
+class TestCpuUtilizationStats:
+    def test_utilization_and_switches(self):
+        from repro.disk.model import fast_disk
+        from repro.kernel import Compute, DiskSpec, Kernel, MachineConfig
+        from repro.sim.units import msecs
+
+        kernel = Kernel(
+            MachineConfig(ncpus=2, memory_mb=8,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme())
+        )
+        spu = kernel.create_spu("u")
+        kernel.boot()
+
+        def job():
+            yield Compute(msecs(100))
+
+        kernel.spawn(job(), spu)
+        kernel.run()
+        # One process on two CPUs for the whole run: 50% utilization.
+        assert kernel.cpu_utilization() == pytest.approx(0.5, abs=0.01)
+        assert kernel.context_switches >= 4  # ceil(100/30) slices
+
+    def test_zero_before_run(self):
+        from repro.disk.model import fast_disk
+        from repro.kernel import DiskSpec, Kernel, MachineConfig
+
+        kernel = Kernel(
+            MachineConfig(ncpus=2, memory_mb=8,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme())
+        )
+        assert kernel.cpu_utilization() == 0.0

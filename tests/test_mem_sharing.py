@@ -1,0 +1,122 @@
+"""Unit tests for the memory-sharing daemon."""
+
+import random
+
+import pytest
+
+from repro.core import EqualShareContract, SPURegistry, piso_scheme, quota_scheme
+from repro.mem import MemoryManager, MemorySharingDaemon
+from repro.sim import Engine
+
+
+def build(scheme, total_pages=120, kernel_pages=20):
+    engine = Engine(seed=2)
+    registry = SPURegistry()
+    a = registry.create("a")
+    b = registry.create("b")
+    manager = MemoryManager(
+        registry, total_pages, scheme, kernel_pages=kernel_pages,
+        rng=random.Random(0),
+    )
+    daemon = MemorySharingDaemon(engine, manager, EqualShareContract())
+    daemon.rebalance()  # initial entitlement pass
+    return engine, manager, daemon, a, b
+
+
+class TestEntitlements:
+    def test_initial_split(self):
+        _e, _m, _d, a, b = build(piso_scheme())
+        assert a.memory().entitled == 50
+        assert b.memory().entitled == 50
+
+    def test_shared_usage_shrinks_entitlements(self):
+        engine, manager, daemon, a, b = build(piso_scheme())
+        for _ in range(10):
+            manager.try_allocate(manager.registry.shared_spu.spu_id)
+        daemon.rebalance()
+        assert a.memory().entitled == 45
+        assert b.memory().entitled == 45
+
+
+class TestSharing:
+    def test_idle_pages_lent_to_pressured_spu(self):
+        _e, manager, daemon, a, b = build(piso_scheme())
+        for _ in range(50):
+            manager.try_allocate(b.spu_id)
+        manager.try_allocate(b.spu_id)  # denial -> pressure signal
+        daemon.rebalance()
+        assert b.memory().allowed > b.memory().entitled
+        assert daemon.loans.get(b.spu_id, 0) > 0
+
+    def test_loan_respects_reserve_threshold(self):
+        _e, manager, daemon, a, b = build(piso_scheme())
+        for _ in range(50):
+            manager.try_allocate(b.spu_id)
+        manager.try_allocate(b.spu_id)
+        daemon.rebalance()
+        # free = 50, reserve = 9 (8% of 120 rounded down) -> at most 41
+        # more than current usage... allowed <= used + free - reserve.
+        assert b.memory().allowed <= b.memory().used + manager.free_pages - manager.reserve_pages
+
+    def test_no_loan_without_pressure(self):
+        _e, manager, daemon, _a, b = build(piso_scheme())
+        daemon.rebalance()
+        assert b.memory().allowed == b.memory().entitled
+
+    def test_loans_shrink_when_pressure_passes(self):
+        _e, manager, daemon, _a, b = build(piso_scheme())
+        for _ in range(50):
+            manager.try_allocate(b.spu_id)
+        manager.try_allocate(b.spu_id)
+        daemon.rebalance()
+        lent = b.memory().allowed
+        # Pressure gone; usage drops; next pass reels the cap back in.
+        for _ in range(30):
+            manager.free(b.spu_id)
+        daemon.rebalance()
+        assert b.memory().allowed < lent
+        assert b.memory().allowed == b.memory().entitled
+
+    def test_quota_scheme_never_lends(self):
+        _e, manager, daemon, _a, b = build(quota_scheme())
+        for _ in range(50):
+            manager.try_allocate(b.spu_id)
+        manager.try_allocate(b.spu_id)
+        daemon.rebalance()
+        assert b.memory().allowed == max(b.memory().entitled, b.memory().used)
+
+    def test_neediest_gets_larger_share(self):
+        engine, manager, daemon, a, b = build(piso_scheme(), total_pages=220, kernel_pages=20)
+        # Only b under pressure, with many denials.
+        for _ in range(100):
+            manager.try_allocate(b.spu_id)
+        for _ in range(5):
+            manager.try_allocate(b.spu_id)
+        manager.try_allocate(a.spu_id)  # a: one allocation, no denial
+        daemon.rebalance()
+        assert daemon.loans.get(b.spu_id, 0) > daemon.loans.get(a.spu_id, 0)
+
+
+class TestLifecycle:
+    def test_start_schedules_periodic(self):
+        engine, manager, daemon, _a, b = build(piso_scheme())
+        daemon.start()
+        for _ in range(50):
+            manager.try_allocate(b.spu_id)
+        manager.try_allocate(b.spu_id)
+        engine.run(until=150_000)  # one rebalance period
+        assert b.memory().allowed > b.memory().entitled
+        daemon.stop()
+
+    def test_double_start_rejected(self):
+        _e, _m, daemon, _a, _b = build(piso_scheme())
+        daemon.start()
+        with pytest.raises(RuntimeError):
+            daemon.start()
+
+    def test_rebalance_with_no_users_is_noop(self):
+        engine = Engine()
+        registry = SPURegistry()
+        manager = MemoryManager(registry, 50, piso_scheme(), rng=random.Random(0))
+        daemon = MemorySharingDaemon(engine, manager, EqualShareContract())
+        daemon.rebalance()  # must not raise

@@ -1,0 +1,79 @@
+"""Unit and property tests for the working-set fault model."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import WorkingSetModel
+
+
+def model(ws=100, touches=4.0, cluster=8, seed=0):
+    return WorkingSetModel(
+        ws, random.Random(seed), touches_per_ms=touches,
+        fault_cluster_pages=cluster,
+    )
+
+
+class TestMissFraction:
+    def test_fully_resident_never_misses(self):
+        assert model().miss_fraction(100) == 0.0
+        assert model().miss_fraction(150) == 0.0
+
+    def test_nothing_resident_always_misses(self):
+        assert model().miss_fraction(0) == 1.0
+
+    def test_linear_in_deficit(self):
+        assert model().miss_fraction(75) == pytest.approx(0.25)
+
+    def test_zero_working_set_never_misses(self):
+        assert model(ws=0).miss_fraction(0) == 0.0
+
+
+class TestFaultTiming:
+    def test_resident_process_never_faults(self):
+        assert model().time_to_next_fault(100) is None
+
+    def test_cold_process_faults_quickly(self):
+        times = [model(seed=s).time_to_next_fault(0) for s in range(20)]
+        # Rate = 4/ms at zero residency: mean inter-arrival 250us.
+        assert all(t is not None and t >= 1 for t in times)
+        assert sum(times) / len(times) < 2_000
+
+    def test_nearly_resident_faults_rarely(self):
+        nearly = model(seed=1).time_to_next_fault(99)
+        cold = model(seed=1).time_to_next_fault(0)
+        assert nearly > cold
+
+    def test_deterministic_per_stream(self):
+        assert model(seed=3).time_to_next_fault(50) == model(seed=3).time_to_next_fault(50)
+
+    @given(resident=st.integers(0, 99), seed=st.integers(0, 50))
+    def test_property_fault_times_positive(self, resident, seed):
+        t = model(seed=seed).time_to_next_fault(resident)
+        assert t is not None and t >= 1
+
+
+class TestPagesPerFault:
+    def test_clipped_to_deficit(self):
+        assert model(cluster=8).pages_per_fault(95) == 5
+
+    def test_full_cluster_when_far_below(self):
+        assert model(cluster=8).pages_per_fault(0) == 8
+
+    def test_zero_when_resident(self):
+        assert model().pages_per_fault(100) == 0
+
+
+class TestValidation:
+    def test_negative_ws_rejected(self):
+        with pytest.raises(ValueError):
+            model(ws=-1)
+
+    def test_zero_touch_rate_rejected(self):
+        with pytest.raises(ValueError):
+            model(touches=0)
+
+    def test_zero_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            model(cluster=0)

@@ -1,0 +1,96 @@
+"""Tests for result export (CSV/JSON)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.metrics import to_csv, to_json, to_records
+
+
+@dataclasses.dataclass(frozen=True)
+class Row:
+    policy: str
+    response_s: float
+    wait_ms: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Nested:
+    name: str
+    inner: Row
+
+
+class TestRecords:
+    def test_single_dataclass(self):
+        records = to_records(Row("pos", 1.5, 30.0))
+        assert records == [{"policy": "pos", "response_s": 1.5, "wait_ms": 30.0}]
+
+    def test_list_of_dataclasses(self):
+        records = to_records([Row("a", 1, 2), Row("b", 3, 4)])
+        assert len(records) == 2
+        assert records[1]["policy"] == "b"
+
+    def test_dict_becomes_labelled_rows(self):
+        records = to_records({"pos": Row("pos", 1, 2), "iso": Row("iso", 3, 4)})
+        assert records[0]["label"] == "pos"
+        assert records[1]["response_s"] == 3
+
+    def test_nested_dataclass_flattens_dotted(self):
+        records = to_records(Nested("x", Row("pos", 1, 2)))
+        assert records[0]["inner.policy"] == "pos"
+
+    def test_nested_dict_values(self):
+        records = to_records({"run": {"a": 1, "b": {"c": 2}}})
+        assert records[0]["a"] == 1
+        assert records[0]["b.c"] == 2
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            to_records(42)
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = to_csv([Row("a", 1, 2), Row("b", 3, 4)])
+        lines = text.strip().splitlines()
+        assert lines[0] == "policy,response_s,wait_ms"
+        assert lines[1] == "a,1,2"
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        to_csv(Row("a", 1, 2), path=str(path))
+        assert path.read_text().startswith("policy")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            to_csv([])
+
+    def test_union_of_fields(self):
+        text = to_csv([{"a": 1}, {"b": 2}])
+        assert "a,b" in text.splitlines()[0]
+
+
+class TestJson:
+    def test_round_trips(self):
+        text = to_json([Row("a", 1, 2)])
+        assert json.loads(text) == [
+            {"policy": "a", "response_s": 1, "wait_ms": 2}
+        ]
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        to_json(Row("a", 1, 2), path=str(path))
+        assert json.loads(path.read_text())[0]["policy"] == "a"
+
+
+class TestRealExperimentOutput:
+    def test_table4_exports(self):
+        # Use the paper constants rather than running the simulation.
+        from repro.experiments import PAPER_TABLE4
+
+        text = to_csv(PAPER_TABLE4)
+        assert "label" in text.splitlines()[0]
+        assert "pos" in text
+        records = json.loads(to_json(PAPER_TABLE4))
+        assert {r["label"] for r in records} == {"pos", "iso", "piso"}

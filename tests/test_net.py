@@ -1,0 +1,221 @@
+"""Unit tests for the network substrate."""
+
+import pytest
+
+from repro.core import SPURegistry
+from repro.net import (
+    FairShareLinkScheduler,
+    FifoLinkScheduler,
+    MTU_BYTES,
+    NetByteLedger,
+    NetOp,
+    NetworkLink,
+    Packet,
+    ThresholdFairLinkScheduler,
+    make_link_scheduler,
+)
+from repro.sim import Engine
+
+
+def packet(spu_id, nbytes=1000):
+    p = Packet(spu_id, NetOp.SEND, nbytes)
+    p.enqueue_time = 0
+    return p
+
+
+class FakeLedger:
+    def __init__(self, ratios):
+        self.ratios = ratios
+
+    def usage_ratio(self, spu_id, now):
+        return self.ratios.get(spu_id, 0.0)
+
+
+@pytest.fixture
+def link_setup():
+    engine = Engine(seed=4)
+    registry = SPURegistry()
+    a = registry.create("a")
+    b = registry.create("b")
+    for spu in (a, b):
+        spu.disk_bw().set_entitled(1)
+    ledger = NetByteLedger(registry)
+    link = NetworkLink(engine, FairShareLinkScheduler(), ledger,
+                       bandwidth_mbps=100.0, per_packet_overhead_us=0)
+    return engine, link, a, b
+
+
+class TestPacket:
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(1, NetOp.SEND, 0)
+
+    def test_wait_before_transmit_raises(self):
+        with pytest.raises(ValueError):
+            _ = Packet(1, NetOp.SEND, 10).wait_us
+
+
+class TestSchedulers:
+    def test_fifo_is_arrival_order(self):
+        first = packet(2)
+        second = packet(1)
+        sched = FifoLinkScheduler()
+        assert sched.select([second, first], 0, FakeLedger({})) is first
+
+    def test_fair_picks_neediest(self):
+        sched = FairShareLinkScheduler()
+        queue = [packet(1), packet(2)]
+        assert sched.select(queue, 0, FakeLedger({1: 100.0, 2: 1.0})).spu_id == 2
+
+    def test_fair_fifo_within_spu(self):
+        sched = FairShareLinkScheduler()
+        first = packet(1)
+        second = packet(1)
+        assert sched.select([second, first], 0, FakeLedger({1: 0.0})) is first
+
+    def test_threshold_defers_hog(self):
+        sched = ThresholdFairLinkScheduler(threshold=10.0)
+        hog_first = packet(1)
+        light = packet(2)
+        ledger = FakeLedger({1: 100.0, 2: 0.0})
+        assert sched.select([hog_first, light], 0, ledger).spu_id == 2
+
+    def test_threshold_fifo_when_balanced(self):
+        sched = ThresholdFairLinkScheduler(threshold=1000.0)
+        first = packet(1)
+        second = packet(2)
+        ledger = FakeLedger({1: 5.0, 2: 5.0})
+        assert sched.select([first, second], 0, ledger) is first
+
+    def test_threshold_single_spu_passes(self):
+        sched = ThresholdFairLinkScheduler(threshold=0.0)
+        p = packet(1)
+        assert sched.select([p], 0, FakeLedger({1: 1e9})) is p
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdFairLinkScheduler(-1.0)
+
+    def test_factory(self):
+        assert isinstance(make_link_scheduler("fifo"), FifoLinkScheduler)
+        assert isinstance(make_link_scheduler("fair"), FairShareLinkScheduler)
+        assert make_link_scheduler("threshold", 5.0).threshold == 5.0
+        with pytest.raises(ValueError):
+            make_link_scheduler("wrr")
+
+
+class TestLink:
+    def test_serialization_delay(self, link_setup):
+        _engine, link, _a, _b = link_setup
+        # 1500 bytes at 100 Mb/s = 120 us.
+        assert link.transmit_us(1500) == 120
+
+    def test_send_fragments_to_mtu(self, link_setup):
+        engine, link, a, _b = link_setup
+        n = link.send(a.spu_id, 4000)
+        assert n == 3  # 1500 + 1500 + 1000
+        engine.run()
+        assert link.stats.count() == 3
+        assert link.stats.total_bytes() == 4000
+
+    def test_completion_fires_after_last_fragment(self, link_setup):
+        engine, link, a, _b = link_setup
+        done = []
+        link.send(a.spu_id, 3000, on_complete=lambda: done.append(engine.now))
+        engine.run()
+        assert done == [link.stats.completed[-1].finish_time]
+
+    def test_bytes_charged_to_ledger(self, link_setup):
+        engine, link, a, _b = link_setup
+        link.send(a.spu_id, 3000)
+        engine.run()
+        assert link.ledger.usage_ratio(a.spu_id, engine.now) == 3000.0
+
+    def test_fair_link_interleaves_senders(self, link_setup):
+        engine, link, a, b = link_setup
+        link.send(a.spu_id, MTU_BYTES * 20)
+        link.send(b.spu_id, MTU_BYTES * 20)
+        engine.run()
+        order = [p.spu_id for p in sorted(link.stats.completed,
+                                          key=lambda p: p.start_time)]
+        # After the first packet, the two SPUs alternate.
+        switches = sum(1 for x, y in zip(order, order[1:]) if x != y)
+        assert switches > 10
+
+    def test_zero_byte_send_rejected(self, link_setup):
+        _engine, link, a, _b = link_setup
+        with pytest.raises(ValueError):
+            link.send(a.spu_id, 0)
+
+    def test_bad_rate_rejected(self, link_setup):
+        engine, link, _a, _b = link_setup
+        with pytest.raises(ValueError):
+            NetworkLink(engine, FifoLinkScheduler(), link.ledger, bandwidth_mbps=0)
+
+
+class TestKernelIntegration:
+    def test_send_network_syscall(self):
+        from repro.core import piso_scheme
+        from repro.disk.model import fast_disk
+        from repro.kernel import (
+            DiskSpec, Kernel, MachineConfig, NicSpec, SendNetwork,
+        )
+
+        kernel = Kernel(
+            MachineConfig(
+                ncpus=1, memory_mb=8, disks=[DiskSpec(geometry=fast_disk())],
+                nics=[NicSpec(bandwidth_mbps=100.0, policy="fair")],
+                scheme=piso_scheme(),
+            )
+        )
+        spu = kernel.create_spu("u")
+        kernel.boot()
+
+        def job():
+            yield SendNetwork(15_000)
+
+        proc = kernel.spawn(job(), spu)
+        kernel.run()
+        # 15 kB at 100 Mb/s = 1.2 ms + per-packet overhead.
+        assert proc.response_us >= 1200
+        assert kernel.links[0].stats.total_bytes() == 15_000
+
+    def test_unknown_nic_raises(self):
+        from repro.core import piso_scheme
+        from repro.disk.model import fast_disk
+        from repro.kernel import (
+            DiskSpec, Kernel, KernelError, MachineConfig, SendNetwork,
+        )
+
+        kernel = Kernel(
+            MachineConfig(ncpus=1, memory_mb=8,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme())
+        )
+        spu = kernel.create_spu("u")
+        kernel.boot()
+
+        def job():
+            yield SendNetwork(100, nic=3)
+
+        with pytest.raises(KernelError):
+            kernel.spawn(job(), spu)
+
+
+class TestExperiment:
+    def test_fair_link_rescues_rpc(self):
+        from repro.experiments import run_network_isolation
+
+        fifo = run_network_isolation("fifo")
+        fair = run_network_isolation("fair")
+        assert fair.rpc_response_s < 0.5 * fifo.rpc_response_s
+        assert fair.rpc_wait_ms < 0.25 * fifo.rpc_wait_ms
+        # The bulk transfer barely notices.
+        assert fair.bulk_response_s < 1.1 * fifo.bulk_response_s
+
+    def test_goodput_unaffected_by_fairness(self):
+        from repro.experiments import run_network_isolation
+
+        fifo = run_network_isolation("fifo")
+        fair = run_network_isolation("fair")
+        assert abs(fair.goodput_mbps - fifo.goodput_mbps) < 5.0

@@ -1,0 +1,71 @@
+"""Seed robustness: the headline shapes must not be one-seed flukes.
+
+Each test runs the key comparison at several seeds and asserts the
+qualitative relationship holds at every one.  These are slower than
+unit tests but bound the risk that a calibration only works for the
+default seed.
+"""
+
+import pytest
+
+from repro.core import DiskSchedPolicy, piso_scheme, quota_scheme, smp_scheme
+from repro.experiments import (
+    run_big_small_copy,
+    run_cpu_isolation,
+    run_memory_isolation,
+    run_pmake8,
+)
+
+SEEDS = (0, 7, 1234)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pmake8_isolation_shape_across_seeds(seed):
+    smp_balanced = run_pmake8(smp_scheme(), balanced=True, seed=seed)
+    smp_unbalanced = run_pmake8(smp_scheme(), balanced=False, seed=seed)
+    piso_unbalanced = run_pmake8(piso_scheme(), balanced=False, seed=seed)
+    # SMP breaks isolation; PIso holds it.
+    assert smp_unbalanced.light_response_us > 1.2 * smp_balanced.light_response_us
+    assert piso_unbalanced.light_response_us < 1.12 * smp_balanced.light_response_us
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pmake8_sharing_shape_across_seeds(seed):
+    smp = run_pmake8(smp_scheme(), balanced=False, seed=seed)
+    quo = run_pmake8(quota_scheme(), balanced=False, seed=seed)
+    piso = run_pmake8(piso_scheme(), balanced=False, seed=seed)
+    assert quo.heavy_response_us > 1.15 * smp.heavy_response_us
+    assert piso.heavy_response_us < 1.1 * smp.heavy_response_us
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_memory_isolation_shape_across_seeds(seed):
+    smp_b = run_memory_isolation(smp_scheme(), balanced=True, seed=seed)
+    smp_u = run_memory_isolation(smp_scheme(), balanced=False, seed=seed)
+    piso_u = run_memory_isolation(piso_scheme(), balanced=False, seed=seed)
+    quo_u = run_memory_isolation(quota_scheme(), balanced=False, seed=seed)
+    assert smp_u.spu1_response_us > 1.2 * smp_b.spu1_response_us
+    assert piso_u.spu1_response_us < 1.2 * smp_b.spu1_response_us
+    assert quo_u.spu2_response_us > 1.4 * piso_u.spu2_response_us
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_table4_shape_across_seeds(seed):
+    pos = run_big_small_copy(DiskSchedPolicy.POS, seed=seed)
+    iso = run_big_small_copy(DiskSchedPolicy.ISO, seed=seed)
+    piso = run_big_small_copy(DiskSchedPolicy.PISO, seed=seed)
+    assert pos.wait_a_ms > 3 * pos.wait_b_ms           # lockout
+    assert iso.response_a_s < 0.8 * pos.response_a_s   # fairness rescues
+    assert piso.response_a_s <= 1.05 * iso.response_a_s
+    assert piso.response_b_s <= 1.02 * iso.response_b_s
+    assert piso.latency_ms < iso.latency_ms            # head-position savings
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cpu_isolation_shape_across_seeds(seed):
+    smp = run_cpu_isolation(smp_scheme(), seed=seed)
+    quo = run_cpu_isolation(quota_scheme(), seed=seed)
+    piso = run_cpu_isolation(piso_scheme(), seed=seed)
+    assert piso.ocean_us < smp.ocean_us
+    assert quo.flashlite_us > 1.15 * smp.flashlite_us
+    assert piso.flashlite_us < 1.1 * smp.flashlite_us

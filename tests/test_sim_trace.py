@@ -1,0 +1,48 @@
+"""Unit tests for tracing."""
+
+from repro.sim import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_records_events(self):
+        tracer = Tracer()
+        tracer.emit(10, "disk", "request", sector=5)
+        assert len(tracer) == 1
+        record = tracer.records[0]
+        assert record.time == 10
+        assert record.fields == {"sector": 5}
+
+    def test_category_filter(self):
+        tracer = Tracer(categories=["cpu"])
+        tracer.emit(1, "disk", "dropped")
+        tracer.emit(2, "cpu", "kept")
+        assert [r.category for r in tracer.records] == ["cpu"]
+
+    def test_by_category(self):
+        tracer = Tracer()
+        tracer.emit(1, "a", "x")
+        tracer.emit(2, "b", "y")
+        tracer.emit(3, "a", "z")
+        assert [r.time for r in tracer.by_category("a")] == [1, 3]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1, "a", "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_str_contains_fields(self):
+        tracer = Tracer()
+        tracer.emit(1, "a", "msg", k=3)
+        assert "k=3" in str(tracer.records[0])
+
+    def test_enabled_flag(self):
+        assert Tracer.enabled is True
+        assert NullTracer.enabled is False
+
+
+class TestNullTracer:
+    def test_drops_everything(self):
+        tracer = NullTracer()
+        tracer.emit(1, "a", "x")
+        assert len(tracer) == 0

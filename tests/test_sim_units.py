@@ -1,0 +1,59 @@
+"""Unit tests for time/size unit helpers."""
+
+import pytest
+
+from repro.sim import units
+
+
+class TestTime:
+    def test_msec_is_thousand_usec(self):
+        assert units.MSEC == 1000 * units.USEC
+
+    def test_sec_is_million_usec(self):
+        assert units.SEC == 1_000_000 * units.USEC
+
+    def test_msecs_converts(self):
+        assert units.msecs(30) == 30_000
+
+    def test_msecs_rounds_fractions(self):
+        assert units.msecs(0.5) == 500
+        assert units.msecs(0.0004) == 0
+
+    def test_secs_converts(self):
+        assert units.secs(2) == 2_000_000
+
+    def test_usecs_identity(self):
+        assert units.usecs(123) == 123
+
+    def test_to_seconds_roundtrip(self):
+        assert units.to_seconds(units.secs(1.5)) == pytest.approx(1.5)
+
+    def test_to_millis_roundtrip(self):
+        assert units.to_millis(units.msecs(2.5)) == pytest.approx(2.5)
+
+
+class TestSizes:
+    def test_page_is_4k(self):
+        assert units.PAGE_SIZE == 4096
+
+    def test_sector_is_512(self):
+        assert units.SECTOR_SIZE == 512
+
+    def test_sectors_per_page(self):
+        assert units.SECTORS_PER_PAGE == 8
+
+    def test_pages_rounds_up(self):
+        assert units.pages(1) == 1
+        assert units.pages(4096) == 1
+        assert units.pages(4097) == 2
+
+    def test_pages_of_zero(self):
+        assert units.pages(0) == 0
+
+    def test_sectors_rounds_up(self):
+        assert units.sectors(1) == 1
+        assert units.sectors(512) == 1
+        assert units.sectors(513) == 2
+
+    def test_mb(self):
+        assert units.MB == 1024 * 1024

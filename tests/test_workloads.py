@@ -1,0 +1,168 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.fs import BufferCache, FileSystem, UnlimitedPageProvider, Volume
+from repro.disk import DiskDrive, hp97560, make_scheduler, NullLedger
+from repro.kernel.syscalls import (
+    BarrierWait,
+    Compute,
+    ReadFile,
+    SetWorkingSet,
+    Spawn,
+    WaitChildren,
+    WriteFile,
+    WriteMetadata,
+)
+from repro.sim import Engine
+from repro.sim.units import KB, MB
+from repro.workloads import (
+    CopyParams,
+    OceanParams,
+    PmakeParams,
+    SimulatorParams,
+    chunks,
+    copy_job,
+    create_copy_files,
+    create_pmake_files,
+    ocean_processes,
+    pmake_job,
+    simulator_process,
+    waves,
+)
+
+
+@pytest.fixture
+def fs():
+    engine = Engine(seed=9)
+    geometry = hp97560()
+    drive = DiskDrive(engine, geometry, make_scheduler("pos"), NullLedger())
+    volume = Volume(geometry.total_sectors, engine.fork_rng("v"))
+    filesystem = FileSystem(engine, BufferCache(UnlimitedPageProvider(1024)))
+    filesystem.mount(drive, volume)
+    return filesystem
+
+
+class TestHelpers:
+    def test_waves_splits(self):
+        assert list(waves([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_waves_bad_width(self):
+        with pytest.raises(ValueError):
+            list(waves([1], 0))
+
+    def test_chunks_covers_exactly(self):
+        out = list(chunks(10_000, 4096))
+        assert out == [(0, 4096), (4096, 4096), (8192, 1808)]
+
+    def test_chunks_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunks(10, 0))
+
+
+class TestPmake:
+    def test_files_created_per_task(self, fs):
+        params = PmakeParams(n_tasks=3)
+        files = create_pmake_files(fs, 0, params, job_name="job")
+        assert len(files.sources) == 3
+        assert len(files.objects) == 3
+        assert files.makefile.name == "job/Makefile"
+
+    def test_sources_are_fragmented(self, fs):
+        params = PmakeParams(n_tasks=1, src_kb=64, extent_sectors=16)
+        files = create_pmake_files(fs, 0, params)
+        assert len(files.sources[0].extents) > 1
+
+    def test_job_spawns_in_waves(self, fs):
+        params = PmakeParams(n_tasks=4, parallelism=2)
+        files = create_pmake_files(fs, 0, params)
+        ops = list(pmake_job(files, params))
+        spawns = [i for i, op in enumerate(ops) if isinstance(op, Spawn)]
+        joins = [i for i, op in enumerate(ops) if isinstance(op, WaitChildren)]
+        assert len(spawns) == 4
+        assert len(joins) == 2
+        # Two spawns precede the first join.
+        assert sum(1 for i in spawns if i < joins[0]) == 2
+
+    def test_compile_task_op_sequence(self, fs):
+        params = PmakeParams(n_tasks=1, ws_pages=100, metadata_writes=2)
+        files = create_pmake_files(fs, 0, params)
+        from repro.workloads.pmake import compile_task
+
+        ops = list(compile_task(files.sources[0], files.objects[0],
+                                files.makefile, params))
+        kinds = [type(op) for op in ops]
+        assert kinds[0] is SetWorkingSet
+        assert kinds.count(WriteMetadata) == 2
+        assert WriteFile in kinds
+        assert Compute in kinds
+        assert ReadFile in kinds
+
+    def test_no_working_set_op_when_disabled(self, fs):
+        params = PmakeParams(n_tasks=1, ws_pages=0)
+        files = create_pmake_files(fs, 0, params)
+        from repro.workloads.pmake import compile_task
+
+        ops = list(compile_task(files.sources[0], files.objects[0],
+                                files.makefile, params))
+        assert SetWorkingSet not in [type(op) for op in ops]
+
+
+class TestCopy:
+    def test_files_contiguous_and_sized(self, fs):
+        params = CopyParams(size_bytes=1 * MB)
+        src, dst = create_copy_files(fs, 0, params)
+        assert len(src.extents) == 1
+        assert src.size_bytes == 1 * MB
+        assert dst.size_bytes == 1 * MB
+
+    def test_placement_honored(self, fs):
+        params = CopyParams(size_bytes=64 * KB)
+        src, _dst = create_copy_files(fs, 0, params, at_sector=500_000)
+        assert src.extents[0].start >= 500_000
+
+    def test_job_alternates_read_write(self, fs):
+        params = CopyParams(size_bytes=64 * KB, chunk_kb=16)
+        src, dst = create_copy_files(fs, 0, params)
+        ops = list(copy_job(src, dst, params))
+        kinds = [type(op) for op in ops]
+        assert kinds[:-1] == [ReadFile, WriteFile] * 4
+        assert kinds[-1] is WriteMetadata
+
+    def test_offsets_cover_file(self, fs):
+        params = CopyParams(size_bytes=40 * KB, chunk_kb=16)
+        src, dst = create_copy_files(fs, 0, params)
+        reads = [op for op in copy_job(src, dst, params) if isinstance(op, ReadFile)]
+        assert sum(op.nbytes for op in reads) == 40 * KB
+
+
+class TestScientific:
+    def test_ocean_gang_size(self):
+        behaviors = ocean_processes(OceanParams(nprocs=4, phases=2))
+        assert len(behaviors) == 4
+
+    def test_ocean_worker_phases(self):
+        (worker,) = ocean_processes(OceanParams(nprocs=1, phases=3, ws_pages=10))
+        kinds = [type(op) for op in worker]
+        assert kinds[0] is SetWorkingSet
+        assert kinds.count(Compute) == 3
+        assert kinds.count(BarrierWait) == 3
+
+    def test_ocean_workers_share_one_barrier(self):
+        behaviors = ocean_processes(OceanParams(nprocs=2, phases=1))
+        barriers = set()
+        for behavior in behaviors:
+            for op in behavior:
+                if isinstance(op, BarrierWait):
+                    barriers.add(id(op.barrier))
+        assert len(barriers) == 1
+
+    def test_simulator_is_startup_plus_compute(self):
+        ops = list(simulator_process(SimulatorParams(total_ms=100, ws_pages=5)))
+        kinds = [type(op) for op in ops]
+        assert kinds == [SetWorkingSet, Compute, Compute]
+
+    def test_simulator_durations(self):
+        ops = list(simulator_process(SimulatorParams(total_ms=100, startup_ms=10)))
+        assert ops[0].duration_us == 10_000
+        assert ops[1].duration_us == 100_000

@@ -1,0 +1,81 @@
+"""Tests for the interactive/server workload generators."""
+
+import pytest
+
+from repro.core import piso_scheme
+from repro.disk.model import fast_disk
+from repro.kernel import DiskSpec, Kernel, MachineConfig, NicSpec
+from repro.kernel.syscalls import Compute, SendNetwork, Sleep
+from repro.sim.units import KB, msecs
+from repro.workloads import (
+    InteractiveParams,
+    bulk_sender,
+    cpu_hog,
+    interactive_excess_latency_us,
+    interactive_user,
+    rpc_client,
+)
+
+
+class TestGenerators:
+    def test_interactive_alternates_sleep_and_burst(self):
+        from repro.kernel.syscalls import Checkpoint
+
+        ops = list(interactive_user(InteractiveParams(bursts=3)))
+        kinds = [type(op) for op in ops]
+        assert kinds == [Sleep, Checkpoint, Compute, Checkpoint] * 3
+
+    def test_ideal_time(self):
+        params = InteractiveParams(bursts=10, think_ms=20, burst_ms=5)
+        assert params.ideal_us == 10 * msecs(25)
+
+    def test_cpu_hog_is_one_burst(self):
+        (op,) = list(cpu_hog(500))
+        assert isinstance(op, Compute)
+        assert op.duration_us == msecs(500)
+
+    def test_rpc_client_ops(self):
+        ops = list(rpc_client(count=2, nbytes=1024, think_ms=3))
+        assert [type(o) for o in ops] == [SendNetwork, Sleep] * 2
+        assert ops[0].nbytes == 1024
+
+    def test_bulk_sender_covers_total(self):
+        ops = list(bulk_sender(150 * KB, message_bytes=64 * KB))
+        assert [o.nbytes for o in ops] == [64 * KB, 64 * KB, 22 * KB]
+
+
+class TestExcessLatency:
+    def test_unfinished_process_rejected(self):
+        class Stub:
+            pid = 1
+            finished = -1
+
+        with pytest.raises(ValueError):
+            interactive_excess_latency_us(Stub(), InteractiveParams())
+
+    def test_zero_excess_when_uncontended(self):
+        kernel = Kernel(
+            MachineConfig(ncpus=2, memory_mb=8,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme())
+        )
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        params = InteractiveParams(bursts=10)
+        proc = kernel.spawn(interactive_user(params), spu)
+        kernel.run()
+        assert interactive_excess_latency_us(proc, params) == 0.0
+
+    def test_excess_positive_under_contention(self):
+        kernel = Kernel(
+            MachineConfig(ncpus=1, memory_mb=8,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          scheme=piso_scheme())
+        )
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        params = InteractiveParams(bursts=10)
+        proc = kernel.spawn(interactive_user(params), spu)
+        kernel.spawn(cpu_hog(2000), spu)
+        kernel.run()
+        assert interactive_excess_latency_us(proc, params) > 0.0

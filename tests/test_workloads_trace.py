@@ -1,0 +1,95 @@
+"""Tests for trace-driven workloads."""
+
+import json
+
+import pytest
+
+from repro.core import piso_scheme
+from repro.disk.model import fast_disk
+from repro.kernel import DiskSpec, Kernel, MachineConfig, NicSpec
+from repro.kernel.syscalls import Compute, ReadFile, SetWorkingSet, Sleep
+from repro.sim.units import KB, msecs
+from repro.workloads import TraceError, load_trace, parse_trace, trace_behavior
+
+
+class TestParsing:
+    def test_parses_pairs(self):
+        records = parse_trace('[["compute", {"ms": 5}]]')
+        assert records == [("compute", {"ms": 5})]
+
+    def test_rejects_non_json(self):
+        with pytest.raises(TraceError):
+            parse_trace("not json")
+
+    def test_rejects_non_array(self):
+        with pytest.raises(TraceError):
+            parse_trace('{"op": "compute"}')
+
+    def test_rejects_malformed_record(self):
+        with pytest.raises(TraceError):
+            parse_trace('[["compute"]]')
+        with pytest.raises(TraceError):
+            parse_trace('[[1, {}]]')
+
+
+class TestBuilding:
+    def test_builds_each_op_kind(self):
+        class FakeFile:
+            size_bytes = 64 * KB
+
+        records = [
+            ("set_working_set", {"pages": 10}),
+            ("compute", {"ms": 5}),
+            ("sleep", {"ms": 1}),
+            ("read", {"file": "f", "offset": 0, "nbytes": 100}),
+            ("write", {"file": "f", "nbytes": 100}),
+            ("write_metadata", {"file": "f"}),
+            ("send", {"nbytes": 512}),
+        ]
+        ops = list(trace_behavior(records, {"f": FakeFile()}))
+        assert [type(o).__name__ for o in ops] == [
+            "SetWorkingSet", "Compute", "Sleep", "ReadFile", "WriteFile",
+            "WriteMetadata", "SendNetwork",
+        ]
+
+    def test_unknown_op_rejected_up_front(self):
+        with pytest.raises(TraceError):
+            trace_behavior([("fork_bomb", {})], {})
+
+    def test_unknown_file_rejected_up_front(self):
+        with pytest.raises(TraceError):
+            trace_behavior([("read", {"file": "nope", "nbytes": 1})], {})
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(TraceError):
+            trace_behavior([("compute", {})], {})
+
+
+class TestEndToEnd:
+    def test_trace_runs_in_kernel(self, tmp_path):
+        kernel = Kernel(
+            MachineConfig(ncpus=2, memory_mb=16,
+                          disks=[DiskSpec(geometry=fast_disk())],
+                          nics=[NicSpec()],
+                          scheme=piso_scheme())
+        )
+        spu = kernel.create_spu("u")
+        kernel.boot()
+        data = kernel.fs.create(0, "data", 64 * KB)
+        trace = [
+            ["set_working_set", {"pages": 50}],
+            ["read", {"file": "data", "offset": 0, "nbytes": 65536}],
+            ["compute", {"ms": 20}],
+            ["write", {"file": "data", "offset": 0, "nbytes": 4096}],
+            ["write_metadata", {"file": "data"}],
+            ["send", {"nbytes": 3000}],
+            ["sleep", {"ms": 2}],
+        ]
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(trace))
+        proc = kernel.spawn(load_trace(str(path), {"data": data}), spu)
+        kernel.run()
+        assert proc.response_us > msecs(22)
+        assert proc.cpu_time_us >= msecs(20)
+        assert kernel.links[0].stats.total_bytes() == 3000
+        assert kernel.drives[0].stats.count() > 0
