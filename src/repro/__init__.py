@@ -32,6 +32,7 @@ Subpackages
 * :mod:`repro.cpu` / :mod:`repro.mem` / :mod:`repro.disk` /
   :mod:`repro.fs` — the resource substrates.
 * :mod:`repro.kernel` — the simulated operating system.
+* :mod:`repro.faults` — deterministic hardware-fault injection.
 * :mod:`repro.workloads` — pmake, copy, Ocean/Flashlite/VCS models.
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
@@ -79,6 +80,16 @@ from repro.kernel import (
     WaitChildren,
     WriteFile,
     WriteMetadata,
+)
+from repro.faults import (
+    CpuAdd,
+    CpuRemove,
+    DiskFailure,
+    DiskTransient,
+    FaultInjector,
+    FaultPlan,
+    InvariantWatchdog,
+    MemoryLoss,
 )
 from repro.metrics import job_results, mean_response_us, normalize
 from repro.sim import Engine
@@ -129,6 +140,15 @@ __all__ = [
     "BarrierWait",
     "Acquire",
     "Release",
+    # faults
+    "FaultPlan",
+    "FaultInjector",
+    "InvariantWatchdog",
+    "DiskTransient",
+    "DiskFailure",
+    "CpuRemove",
+    "CpuAdd",
+    "MemoryLoss",
     # sim & metrics
     "Engine",
     "job_results",

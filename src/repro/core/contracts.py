@@ -4,6 +4,13 @@ A contract turns a total amount of a resource into per-SPU entitlements
 ("project A owns a third of the machine, project B two thirds").  The
 implementation divides with the largest-remainder method so the shares
 are integers that sum exactly to the total.
+
+Contracts are also *renegotiable*: when hardware fails mid-run (a CPU
+is hot-removed, a memory module dies) the machine's effective capacity
+shrinks, and :meth:`SharingContract.renegotiate` re-apportions the new
+total with the **same weights** — so degradation is proportional to
+each SPU's contractual share rather than falling on whichever SPU
+faults first.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Sequence
 
+from repro.core.resources import Resource
 from repro.core.spu import SPU
 
 
@@ -57,6 +65,26 @@ class SharingContract(abc.ABC):
         """Integer entitlement per SPU id, summing exactly to ``total``."""
         parts = apportion(total, self.weights(spus))
         return {spu.spu_id: part for spu, part in zip(spus, parts)}
+
+    def renegotiate(
+        self, new_total: int, spus: Sequence[SPU], resource: Resource
+    ) -> Dict[int, int]:
+        """Re-apportion ``resource`` over a changed capacity and apply it.
+
+        Every SPU's *entitled* level moves to its contractual share of
+        ``new_total``; its *allowed* cap is pulled down toward the new
+        entitlement, but never below current *used* — over-cap usage is
+        reclaimed gradually by the revocation machinery (page stealing,
+        loan revocation), exactly as for a sharing-policy revocation.
+        Returns the new entitlements by SPU id.
+        """
+        new = self.entitlements(new_total, spus)
+        for spu in spus:
+            levels = spu.levels[resource]
+            target = new[spu.spu_id]
+            levels.set_entitled(target)
+            levels.set_allowed(max(target, levels.used))
+        return new
 
 
 class EqualShareContract(SharingContract):

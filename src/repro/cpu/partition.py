@@ -74,9 +74,26 @@ class CpuPartition:
         self,
         ncpus: int,
         entitlements: Dict[int, int],
+        cpu_ids: Optional[Sequence[int]] = None,
     ):
         """``entitlements`` maps SPU id to milli-CPUs; must sum to at
-        most ``ncpus * 1000``."""
+        most ``len(cpu_ids) * 1000``.
+
+        ``cpu_ids`` names the processors the partition may use —
+        after a CPU hot-remove the partition is rebuilt over the
+        survivors, whose ids are no longer contiguous.  ``None`` means
+        the dense ``range(ncpus)`` of a healthy machine.
+        """
+        if cpu_ids is None:
+            cpu_ids = list(range(ncpus))
+        else:
+            cpu_ids = sorted(cpu_ids)
+            if len(set(cpu_ids)) != len(cpu_ids):
+                raise PartitionError(f"duplicate cpu ids in {cpu_ids}")
+            if len(cpu_ids) != ncpus:
+                raise PartitionError(
+                    f"ncpus ({ncpus}) disagrees with cpu_ids ({len(cpu_ids)})"
+                )
         if ncpus <= 0:
             raise PartitionError("machine must have at least one CPU")
         total = sum(entitlements.values())
@@ -85,22 +102,25 @@ class CpuPartition:
                 f"entitlements sum to {total} > machine's {ncpus * MILLI_CPU}"
             )
         self.ncpus = ncpus
+        self.cpu_ids: List[int] = list(cpu_ids)
         self.entitlements = dict(entitlements)
         #: cpu id -> home SPU id, for dedicated (space-partitioned) CPUs.
         self.dedicated: Dict[int, int] = {}
         #: cpu id -> rotation state, for time-partitioned CPUs.
         self.time_shared: Dict[int, TimeSharedCpu] = {}
-        self._home: Dict[int, Optional[int]] = {c: None for c in range(ncpus)}
+        self._home: Dict[int, Optional[int]] = {c: None for c in self.cpu_ids}
         self._build()
 
     def _build(self) -> None:
-        next_cpu = 0
+        cpu_iter = iter(self.cpu_ids)
+        next_cpu = 0  # count of CPUs assigned so far
         fractions: List[Tuple[int, int]] = []  # (spu_id, leftover milli-CPUs)
         for spu_id in sorted(self.entitlements):
             whole, frac = divmod(self.entitlements[spu_id], MILLI_CPU)
             for _ in range(whole):
-                self.dedicated[next_cpu] = spu_id
-                self._home[next_cpu] = spu_id
+                cpu_id = next(cpu_iter)
+                self.dedicated[cpu_id] = spu_id
+                self._home[cpu_id] = spu_id
                 next_cpu += 1
             if frac:
                 fractions.append((spu_id, frac))
@@ -133,7 +153,8 @@ class CpuPartition:
                 f" machine has {self.ncpus}"
             )
         for shares in bins:
-            self.time_shared[next_cpu] = TimeSharedCpu(next_cpu, shares)
+            cpu_id = next(cpu_iter)
+            self.time_shared[cpu_id] = TimeSharedCpu(cpu_id, shares)
             next_cpu += 1
 
     # --- queries ---------------------------------------------------------

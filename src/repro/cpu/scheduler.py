@@ -44,14 +44,18 @@ class Processor:
         #: After a revocation, no new loans before this time (damps
         #: loan ping-ponging; 0 = no hold-down in effect).
         self.no_loan_until: int = 0
+        #: Cleared by CPU hot-remove; an offline CPU never reports
+        #: itself idle, so no dispatch path will hand it work.
+        self.online: bool = True
 
     @property
     def idle(self) -> bool:
-        return self.running is None
+        return self.online and self.running is None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         pid = self.running.pid if self.running else None
-        return f"<cpu{self.cpu_id} running={pid} loan={self.on_loan}>"
+        state = "" if self.online else " OFFLINE"
+        return f"<cpu{self.cpu_id} running={pid} loan={self.on_loan}{state}>"
 
 
 class CpuScheduler:
@@ -76,6 +80,10 @@ class CpuScheduler:
         #: Optional dispatch filter (e.g. gang co-scheduling): a queued
         #: process is only considered when this returns True.
         self.eligibility: Optional[Callable[[SchedulableProcess, int], bool]] = None
+
+    def online_processors(self) -> List[Processor]:
+        """CPUs not removed by a hardware fault, in id order."""
+        return [c for c in self.processors if c.online]
 
     # --- run queue ----------------------------------------------------------
 

@@ -4,18 +4,67 @@ One :class:`DiskDrive` serves one request at a time.  On each
 completion it charges the transferred sectors to the owning SPUs'
 decayed bandwidth counters (the "sectors transferred per second"
 metric, Section 3.3) and asks its scheduler for the next request.
+
+**Fault model** (see ``repro.faults``).  A drive can suffer *transient*
+I/O errors — during an injected error window each service attempt fails
+with a configured probability, and the drive retries with exponential
+backoff until the request's deadline or the attempt budget runs out —
+or die *permanently*, after which :meth:`DiskDrive.fail_permanently`
+hands the queued and in-flight requests back to the caller (the kernel
+fails them over to a surviving drive).  Both paths are deterministic:
+error draws come from an RNG stream forked off the engine seed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.spu import SHARED_SPU_ID, SPURegistry
 from repro.disk.model import DiskGeometry, service_time
 from repro.disk.request import DiskRequest, DiskStats
 from repro.disk.schedulers import DiskScheduler, NullLedger
-from repro.sim.engine import Engine
-from repro.sim.units import MSEC
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.units import MSEC, SEC
+
+
+class DiskFailedError(RuntimeError):
+    """Raised when I/O is submitted to a permanently dead drive with no
+    failover hook installed."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/deadline policy for transient disk errors.
+
+    The first retry waits ``base_backoff_us``; each further retry
+    doubles the wait (capped at ``max_backoff_us``).  A request stops
+    retrying — and completes with ``failed=True`` — once it has made
+    ``max_attempts`` attempts or the next attempt could not start
+    before its deadline (``deadline_us`` after enqueue by default).
+    """
+
+    max_attempts: int = 8
+    base_backoff_us: int = 1 * MSEC
+    backoff_factor: float = 2.0
+    max_backoff_us: int = 200 * MSEC
+    deadline_us: int = 10 * SEC
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        if self.base_backoff_us < 0 or self.max_backoff_us < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.deadline_us <= 0:
+            raise ValueError("deadline must be positive")
+
+    def backoff_us(self, attempts: int) -> int:
+        """Backoff before the next attempt, after ``attempts`` failures."""
+        backoff = self.base_backoff_us * self.backoff_factor ** max(0, attempts - 1)
+        return min(self.max_backoff_us, int(backoff))
 
 
 class SpuBandwidthLedger:
@@ -58,6 +107,8 @@ class DiskDrive:
         scheduler: DiskScheduler,
         ledger: Optional[SpuBandwidthLedger] = None,
         disk_id: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        fault_rng: Optional[random.Random] = None,
     ):
         self.engine = engine
         self.geometry = geometry
@@ -69,6 +120,22 @@ class DiskDrive:
         self.busy = False
         #: Head position as the sector just past the last transfer.
         self.head_sector = 0
+
+        # --- fault state ---------------------------------------------------
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.alive = True
+        #: Transient errors are drawn until this time...
+        self._fault_until = 0
+        #: ...with this per-attempt probability.
+        self._fault_rate = 0.0
+        self._fault_rng = fault_rng if fault_rng is not None else random.Random(0)
+        #: Request being serviced and its completion event, so a
+        #: permanent failure can abort it.
+        self._in_service: Optional[Tuple[DiskRequest, EventHandle]] = None
+        #: Installed by the kernel: where I/O submitted to a dead drive
+        #: goes (failover).  Without it, submitting to a dead drive
+        #: raises :class:`DiskFailedError`.
+        self.on_failed: Optional[Callable[[DiskRequest], None]] = None
 
     @property
     def head_cylinder(self) -> int:
@@ -82,19 +149,69 @@ class DiskDrive:
     # --- request lifecycle -----------------------------------------------------
 
     def submit(self, request: DiskRequest) -> None:
-        """Enqueue a request; service begins immediately if idle."""
+        """Enqueue a request; service begins immediately if idle.
+
+        Submitting to a permanently failed drive routes the request to
+        the :attr:`on_failed` failover hook (or raises
+        :class:`DiskFailedError` when none is installed).
+        """
+        if not self.alive:
+            if self.on_failed is not None:
+                self.on_failed(request)
+                return
+            raise DiskFailedError(f"disk {self.disk_id} has failed permanently")
         if request.last_sector >= self.geometry.total_sectors:
             raise ValueError(
                 f"request [{request.sector}, {request.last_sector}] exceeds disk"
                 f" of {self.geometry.total_sectors} sectors"
             )
-        request.enqueue_time = self.engine.now
+        if request.enqueue_time < 0:
+            # Preserved across retries and failover so wait/response
+            # metrics cover the whole ordeal, not just the last attempt.
+            request.enqueue_time = self.engine.now
         self.queue.append(request)
         if not self.busy:
             self._start_next()
 
+    # --- fault injection --------------------------------------------------------
+
+    def inject_transient(self, duration_us: int, error_rate: float = 1.0) -> None:
+        """Make service attempts fail with ``error_rate`` probability
+        for the next ``duration_us`` microseconds."""
+        if duration_us < 0:
+            raise ValueError(f"negative fault duration {duration_us}")
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error rate must be in [0, 1], got {error_rate}")
+        self._fault_until = max(self._fault_until, self.engine.now + duration_us)
+        self._fault_rate = error_rate
+
+    def fail_permanently(self) -> List[DiskRequest]:
+        """Kill the drive.  Returns the orphaned requests — queued plus
+        in-flight — for the caller to fail over.  Idempotent."""
+        if not self.alive:
+            return []
+        self.alive = False
+        orphans = list(self.queue)
+        self.queue.clear()
+        if self._in_service is not None:
+            request, handle = self._in_service
+            handle.cancel()
+            # The aborted attempt never completed; reset its service
+            # breakdown so the failover drive fills it in afresh.
+            request.start_time = -1
+            request.seek_us = request.rotation_us = request.transfer_us = 0
+            orphans.insert(0, request)
+            self._in_service = None
+        self.busy = False
+        return orphans
+
+    def _fault_active(self) -> bool:
+        return self.engine.now < self._fault_until and self._fault_rate > 0.0
+
+    # --- service loop -----------------------------------------------------------
+
     def _start_next(self) -> None:
-        if not self.queue:
+        if not self.queue or not self.alive:
             self.busy = False
             return
         self.busy = True
@@ -113,9 +230,20 @@ class DiskDrive:
         request.seek_us = breakdown.seek_us
         request.rotation_us = breakdown.rotation_us
         request.transfer_us = breakdown.transfer_us
-        self.engine.after(breakdown.total_us, self._complete, request)
+        request.attempts += 1
+        handle = self.engine.after(breakdown.total_us, self._complete, request)
+        self._in_service = (request, handle)
+
+    def _deadline_of(self, request: DiskRequest) -> int:
+        if request.deadline_us is not None:
+            return request.deadline_us
+        return request.enqueue_time + self.retry.deadline_us
 
     def _complete(self, request: DiskRequest) -> None:
+        self._in_service = None
+        if self._fault_active() and self._fault_rng.random() < self._fault_rate:
+            self._error(request)
+            return
         request.finish_time = self.engine.now
         self.head_sector = (request.last_sector + 1) % self.geometry.total_sectors
         self._charge(request)
@@ -126,6 +254,43 @@ class DiskDrive:
         self._start_next()
         if request.on_complete is not None:
             request.on_complete(request)
+
+    def _error(self, request: DiskRequest) -> None:
+        """A service attempt failed transiently: back off and retry, or
+        give up once the attempt budget or deadline is exhausted."""
+        self.stats.transient_errors += 1
+        backoff = self.retry.backoff_us(request.attempts)
+        exhausted = (
+            request.attempts >= self.retry.max_attempts
+            or self.engine.now + backoff > self._deadline_of(request)
+        )
+        if exhausted:
+            request.failed = True
+            request.finish_time = self.engine.now
+            self.stats.record(request)
+            self._start_next()
+            if request.on_complete is not None:
+                request.on_complete(request)
+            return
+        self.stats.retries += 1
+        self.engine.after(backoff, self._retry, request)
+        self._start_next()
+
+    def _retry(self, request: DiskRequest) -> None:
+        """Re-queue a request after its backoff (competing normally)."""
+        if not self.alive:
+            if self.on_failed is not None:
+                self.on_failed(request)
+                return
+            request.failed = True
+            request.finish_time = self.engine.now
+            self.stats.record(request)
+            if request.on_complete is not None:
+                request.on_complete(request)
+            return
+        self.queue.append(request)
+        if not self.busy:
+            self._start_next()
 
     def _charge(self, request: DiskRequest) -> None:
         charges: Dict[int, int] = (

@@ -39,6 +39,10 @@ class DiskRequest:
     #: charged back to the owning user SPUs (Section 3.3).
     charges: Optional[Dict[int, int]] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Absolute completion deadline (simulated µs); transient-error
+    #: retries stop once the next attempt could not finish before it.
+    #: ``None`` uses the drive's retry-policy default.
+    deadline_us: Optional[int] = None
 
     # --- filled in by the drive ------------------------------------------------
     enqueue_time: int = -1
@@ -47,6 +51,11 @@ class DiskRequest:
     seek_us: int = 0
     rotation_us: int = 0
     transfer_us: int = 0
+    #: Service attempts so far (> 1 after transient-error retries).
+    attempts: int = 0
+    #: Set when the request completed with an unrecoverable I/O error
+    #: (retry budget or deadline exhausted); callers must check it.
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.nsectors <= 0:
@@ -83,9 +92,19 @@ class DiskStats:
     """Aggregated statistics over completed requests on one drive."""
 
     completed: List[DiskRequest] = field(default_factory=list)
+    #: Service attempts that came back with a transient I/O error.
+    transient_errors: int = 0
+    #: Retries issued after transient errors (= errors that were not
+    #: terminal for their request).
+    retries: int = 0
+    #: Requests that exhausted their retry budget or deadline and
+    #: completed with ``failed=True``.
+    failed_requests: int = 0
 
     def record(self, request: DiskRequest) -> None:
         self.completed.append(request)
+        if request.failed:
+            self.failed_requests += 1
 
     def for_spu(self, spu_id: int) -> List[DiskRequest]:
         return [r for r in self.completed if r.spu_id == spu_id]

@@ -1,0 +1,43 @@
+"""Deterministic hardware-fault injection (see DESIGN.md).
+
+The paper argues performance isolation must hold "even in the presence
+of a misbehaving SPU"; this package extends the claim to misbehaving
+*hardware*.  A :class:`~repro.faults.plan.FaultPlan` declares disk
+transient-error windows, permanent drive deaths, CPU hot-remove/add
+and memory module loss at absolute simulated times; a
+:class:`~repro.faults.injector.FaultInjector` arms the plan on a booted
+kernel as ordinary (daemon) simulation events, and the
+:class:`~repro.faults.invariants.InvariantWatchdog` checks conservation
+laws every clock tick while the machine degrades.
+
+Everything is driven by the seeded engine: the same seed and the same
+plan give byte-identical runs.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantViolation, InvariantWatchdog, Violation
+from repro.faults.plan import (
+    CpuAdd,
+    CpuRemove,
+    DiskFailure,
+    DiskTransient,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    MemoryLoss,
+)
+
+__all__ = [
+    "CpuAdd",
+    "CpuRemove",
+    "DiskFailure",
+    "DiskTransient",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "InvariantViolation",
+    "InvariantWatchdog",
+    "MemoryLoss",
+    "Violation",
+]

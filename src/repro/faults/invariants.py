@@ -1,0 +1,142 @@
+"""Conservation-law watchdog for degraded machines.
+
+Fault handling rearranges ownership — pages are decommissioned, CPU
+partitions rebuilt, disk queues handed between drives — and a bug in
+any of those paths tends to *leak* (pages charged to nobody, CPU time
+from offline processors, requests stranded on dead drives) rather than
+crash.  The watchdog re-derives the global invariants from scratch on
+every clock tick, so a leak is caught within 10 ms of simulated time
+of its introduction.
+
+Checked invariants:
+
+* **page conservation** — pages charged to SPUs plus the free list
+  equals the machine's (current, post-decommission) total;
+* **CPU capacity** — busy microseconds never exceed the capacity
+  integral (CPU-µs the online processors actually offered);
+* **level sanity** — no SPU uses more than it is allowed;
+* **no starvation** — no runnable process waits longer than the bound
+  (livelock in the retry/failover/renegotiation machinery would show
+  up here);
+* **dead drives are quiet** — a failed drive holds no queued or
+  in-flight work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import ProcessState
+from repro.sim.engine import PeriodicTimer
+from repro.sim.units import SEC
+
+
+class InvariantViolation(AssertionError):
+    """Raised in strict mode when a conservation law breaks."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded invariant breach."""
+
+    time_us: int
+    name: str
+    detail: str
+
+
+class InvariantWatchdog:
+    """Re-checks kernel-wide invariants every ``period`` microseconds."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        period: Optional[int] = None,
+        starvation_bound_us: int = 10 * SEC,
+        strict: bool = False,
+    ):
+        if starvation_bound_us <= 0:
+            raise ValueError("starvation bound must be positive")
+        self.kernel = kernel
+        self.period = (
+            period if period is not None else kernel.scheme.params.clock_tick
+        )
+        self.starvation_bound_us = starvation_bound_us
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self.checks_run = 0
+        self._timer: Optional[PeriodicTimer] = None
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("watchdog already started")
+        self._timer = self.kernel.engine.every(self.period, self.check)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # --- the checks --------------------------------------------------------
+
+    def check(self) -> None:
+        """Run every invariant once (also callable directly from tests)."""
+        self.checks_run += 1
+        kernel = self.kernel
+        now = kernel.engine.now
+
+        charged = sum(s.memory().used for s in kernel.registry.all_spus())
+        total = kernel.memory.total_pages
+        free = kernel.memory.free_pages
+        if charged + free != total:
+            self._flag(
+                "page-conservation",
+                f"{charged} charged + {free} free != {total} total",
+            )
+        if free < 0 or total < 1:
+            self._flag("page-pool", f"free={free} total={total}")
+
+        capacity = kernel.cpu_capacity_us(now)
+        busy = sum(kernel.cpu_busy_us.values())
+        if busy > capacity:
+            self._flag(
+                "cpu-capacity",
+                f"busy {busy}us exceeds offered capacity {capacity}us",
+            )
+
+        for spu in kernel.registry.all_spus():
+            for resource, levels in spu.levels.items():
+                if levels.used > levels.allowed:
+                    self._flag(
+                        "level-sanity",
+                        f"SPU {spu.spu_id} uses {levels.used}"
+                        f" > allowed {levels.allowed} of {resource}",
+                    )
+
+        for proc in kernel.processes.values():
+            if proc.state is not ProcessState.RUNNABLE:
+                continue
+            waited = now - proc.runnable_since
+            if waited > self.starvation_bound_us:
+                self._flag(
+                    "starvation",
+                    f"pid {proc.pid} runnable for {waited}us"
+                    f" (bound {self.starvation_bound_us}us)",
+                )
+
+        for drive in kernel.drives:
+            if drive.alive:
+                continue
+            if drive.queue or drive.busy or drive._in_service is not None:
+                self._flag(
+                    "dead-drive-quiet",
+                    f"dead disk {drive.disk_id} still holds work"
+                    f" (queue={len(drive.queue)}, busy={drive.busy})",
+                )
+
+    def _flag(self, name: str, detail: str) -> None:
+        violation = Violation(self.kernel.engine.now, name, detail)
+        self.violations.append(violation)
+        if self.strict:
+            raise InvariantViolation(f"[t={violation.time_us}us] {name}: {detail}")

@@ -1,0 +1,124 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is data, not behaviour: a validated list of fault
+events at absolute simulated times.  The same plan can be armed against
+machines running different allocation schemes, which is exactly how the
+fault-isolation experiment compares SMP and PIso degradation under
+identical hardware trouble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Union
+
+
+class FaultPlanError(ValueError):
+    """Raised for ill-formed fault plans."""
+
+
+@dataclass(frozen=True)
+class DiskTransient:
+    """A window during which a drive's service attempts error out.
+
+    Each attempt inside the window fails independently with
+    ``error_rate`` probability (drawn from the drive's forked RNG
+    stream); the drive retries with exponential backoff per its
+    :class:`~repro.disk.drive.RetryPolicy`.
+    """
+
+    at_us: int
+    disk: int
+    duration_us: int
+    error_rate: float = 1.0
+
+    def _validate(self) -> None:
+        if self.duration_us <= 0:
+            raise FaultPlanError(
+                f"transient window must last >= 1us, got {self.duration_us}"
+            )
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise FaultPlanError(f"error rate {self.error_rate} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class DiskFailure:
+    """Permanent drive death; traffic fails over to a surviving mirror."""
+
+    at_us: int
+    disk: int
+
+    def _validate(self) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class CpuRemove:
+    """Hot-remove one processor (``cpu=None`` picks the highest online)."""
+
+    at_us: int
+    cpu: Optional[int] = None
+
+    def _validate(self) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class CpuAdd:
+    """Bring an offlined processor back online (repair)."""
+
+    at_us: int
+    cpu: Optional[int] = None
+
+    def _validate(self) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class MemoryLoss:
+    """Lose ``pages`` physical pages (a memory module dies)."""
+
+    at_us: int
+    pages: int
+
+    def _validate(self) -> None:
+        if self.pages <= 0:
+            raise FaultPlanError(f"memory loss must remove >= 1 page, got {self.pages}")
+
+
+FaultEvent = Union[DiskTransient, DiskFailure, CpuRemove, CpuAdd, MemoryLoss]
+
+
+@dataclass
+class FaultPlan:
+    """A validated, time-ordered schedule of hardware faults."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            self._check(event)
+        self.events = sorted(self.events, key=lambda e: e.at_us)
+
+    @staticmethod
+    def _check(event: FaultEvent) -> None:
+        if not isinstance(
+            event, (DiskTransient, DiskFailure, CpuRemove, CpuAdd, MemoryLoss)
+        ):
+            raise FaultPlanError(f"not a fault event: {event!r}")
+        if event.at_us < 0:
+            raise FaultPlanError(f"fault scheduled before boot: {event!r}")
+        event._validate()
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """Append an event, keeping the plan ordered.  Returns self."""
+        self._check(event)
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at_us)
+        return self
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -68,6 +68,34 @@ class FileSystem:
         self._mounts.append((drive, volume))
         return len(self._mounts) - 1
 
+    def retarget_drive(self, dead: int, replacement: int) -> None:
+        """Point a dead mount's volume and files at a surviving drive.
+
+        Called by the kernel on permanent drive failure (the mirrored
+        pair failover of :meth:`Kernel.fail_disk`): every file that
+        lived on the dead drive is served by the replacement from now
+        on.  Sector addresses are kept verbatim, so the replacement
+        must be at least as large as the dead volume — a mirror is a
+        same-geometry copy, not a resize.
+        """
+        try:
+            dead_drive, volume = self._mounts[dead]
+            new_drive, _ = self._mounts[replacement]
+        except IndexError:
+            raise FileSystemError(
+                f"bad retarget {dead} -> {replacement}"
+            ) from None
+        if new_drive.geometry.total_sectors < volume.total_sectors:
+            raise FileSystemError(
+                f"mount {replacement} ({new_drive.geometry.total_sectors}"
+                f" sectors) too small to mirror mount {dead}'s volume"
+                f" of {volume.total_sectors} sectors"
+            )
+        self._mounts[dead] = (new_drive, volume)
+        for file_id, (file, drive) in list(self._files.items()):
+            if drive is dead_drive:
+                self._files[file_id] = (file, new_drive)
+
     def start_daemons(self) -> None:
         """Start the periodic writeback daemon."""
         self.writeback.start()
@@ -191,12 +219,14 @@ class FileSystem:
         for block in cluster:
             self._inflight[(file.file_id, block)] = [waiter] if waiter else []
 
-        def complete(_req: DiskRequest) -> None:
+        def complete(req: DiskRequest) -> None:
             for block in cluster:
                 key = (file.file_id, block)
-                if not self.cache.contains(key):
+                if not req.failed and not self.cache.contains(key):
                     # Insertion failure means the data is streamed
-                    # through uncached; the read still completes.
+                    # through uncached; the read still completes.  A
+                    # failed read caches nothing — waiters proceed with
+                    # whatever error handling the caller models.
                     self.cache.insert(key, spu_id, dirty=False, now=self.engine.now)
                 for wake in self._inflight.pop(key, []):
                     wake()

@@ -99,7 +99,11 @@ class Kernel:
             ledger = SpuBandwidthLedger(
                 i, self.registry, config.scheme.params.disk_decay_period
             )
-            drive = DiskDrive(self.engine, spec.geometry, scheduler, ledger, disk_id=i)
+            drive = DiskDrive(
+                self.engine, spec.geometry, scheduler, ledger, disk_id=i,
+                fault_rng=self.engine.fork_rng(f"disk-fault-{i}"),
+            )
+            drive.on_failed = partial(self._reroute_failed, i)
             volume = Volume(
                 spec.geometry.total_sectors - spec.swap_sectors,
                 self.engine.fork_rng(f"volume-{i}"),
@@ -147,6 +151,26 @@ class Kernel:
         #: written to swap before reuse.
         self.dirty_eviction_fraction = 0.5
 
+        # --- hardware fault state (see repro.faults) -----------------------
+        #: Dead disk id -> surviving disk id its traffic moved to.
+        self._disk_redirect: Dict[int, int] = {}
+        #: Disk ids that failed permanently, in failure order.
+        self.disks_failed: List[int] = []
+        #: Online CPU count plus a piecewise-constant capacity integral,
+        #: so utilization and the invariant watchdog stay correct when
+        #: processors come and go mid-run.
+        self._n_online_cpus = config.ncpus
+        self._capacity_integral_us = 0
+        self._capacity_since = 0
+        self.cpus_removed = 0
+        self.cpus_added = 0
+        #: Contract renegotiations triggered by capacity changes or SPU
+        #: population changes.
+        self.renegotiations = 0
+        #: Swap I/Os that came back failed after retries (their pages
+        #: are refaulted as zero-fill; the data loss is recorded here).
+        self.swap_io_errors = 0
+
         self._booted = False
 
     # --- configuration ---------------------------------------------------------
@@ -193,36 +217,42 @@ class Kernel:
     def rebalance_spus(self) -> None:
         """Re-divide CPUs and memory over the active user SPUs.
 
-        Called when the SPU population changes.  The CPU partition is
-        rebuilt from scratch; CPUs whose home changed are preempted at
-        once (this is a rare administrative event, so the cost of a
-        machine-wide reshuffle is acceptable).
+        Called when the SPU population changes *or* when machine
+        capacity changes (CPU hot-remove/add, memory module loss).  The
+        sharing contract renegotiates entitlements over the surviving
+        capacity — degradation stays proportional to each SPU's
+        contractual weight.  The CPU partition is rebuilt from scratch
+        over the online processors; CPUs whose home changed are
+        preempted at once (this is a rare administrative event, so the
+        cost of a machine-wide reshuffle is acceptable).
         """
         if not self._booted:
             raise KernelError("boot() before rebalancing")
         users = self.registry.active_user_spus()
         if not users:
             return
+        self.renegotiations += 1
         sched = self._sched()
-        cpu_entitlements = self.config.contract.entitlements(
-            self.config.ncpus * MILLI_CPU, users
+        online = sched.online_processors()
+        capacity = len(online) * MILLI_CPU
+        cpu_entitlements = self.config.contract.renegotiate(
+            capacity, users, Resource.CPU
         )
-        for spu_id, millicpus in cpu_entitlements.items():
+        for spu_id in cpu_entitlements:
             levels = self.registry.get(spu_id).cpu()
-            levels.set_entitled(millicpus)
-            levels.set_allowed(
-                millicpus if not self.scheme.cpu_lending
-                else self.config.ncpus * MILLI_CPU
-            )
+            if self.scheme.cpu_lending:
+                levels.set_allowed(max(capacity, levels.used))
         if self.scheme.cpu_stride:
             from repro.cpu.stride import StrideCpuScheduler
 
             assert isinstance(sched, StrideCpuScheduler)
             for spu_id, millicpus in cpu_entitlements.items():
-                sched.set_tickets(spu_id, millicpus)
+                sched.set_tickets(spu_id, max(1, millicpus))
         elif self.scheme.cpu_partitioned:
             old_home = {c.cpu_id: sched.home_of(c) for c in sched.processors}
-            sched.partition = CpuPartition(self.config.ncpus, cpu_entitlements)
+            sched.partition = CpuPartition(
+                len(online), cpu_entitlements, cpu_ids=[c.cpu_id for c in online]
+            )
             for cpu in sched.processors:
                 if old_home[cpu.cpu_id] == sched.home_of(cpu):
                     continue
@@ -230,6 +260,14 @@ class Kernel:
                     self._preempt(cpu)
                 else:
                     self._dispatch(cpu)
+        # Memory follows the same contract over the surviving pool.
+        self.config.contract.renegotiate(
+            self.memory.user_pool(), users, Resource.MEMORY
+        )
+        if not self.scheme.mem_limits:
+            for spu in users:
+                levels = spu.memory()
+                levels.set_allowed(max(self.memory.total_pages, levels.used))
         if self.memdaemon is not None:
             self.memdaemon.rebalance()
 
@@ -406,8 +444,9 @@ class Kernel:
                 cpus = sched.processors
         else:
             cpus = sched.processors
-        idle = sum(1 for c in cpus if c.idle)
-        return idle >= min(runnable, len(cpus))
+        online = [c for c in cpus if c.online]
+        idle = sum(1 for c in online if c.idle)
+        return bool(online) and idle >= min(runnable, len(online))
 
     def _gang_boost(self) -> None:
         """Anti-starvation: clear space for a gang stuck behind other
@@ -455,11 +494,200 @@ class Kernel:
         return all(p.state is ProcessState.EXITED for p in self.processes.values())
 
     def cpu_utilization(self) -> float:
-        """Machine-wide busy fraction since boot."""
-        if self.engine.now == 0:
+        """Machine-wide busy fraction since boot.
+
+        The denominator is the capacity *integral* — CPU-microseconds
+        the machine actually offered — so hot-removing processors
+        mid-run does not deflate utilization for the time before the
+        fault.
+        """
+        capacity = self.cpu_capacity_us()
+        if capacity == 0:
             return 0.0
         busy = sum(self.cpu_busy_us.values())
-        return busy / (self.engine.now * self.config.ncpus)
+        return busy / capacity
+
+    # --- hardware faults (driven by repro.faults) -------------------------
+
+    def cpu_capacity_us(self, now: Optional[int] = None) -> int:
+        """CPU-microseconds of capacity offered since boot.
+
+        Piecewise-constant integral of the online-CPU count over time;
+        equal to ``now * ncpus`` on a machine that never faulted.
+        """
+        if now is None:
+            now = self.engine.now
+        return (
+            self._capacity_integral_us
+            + (now - self._capacity_since) * self._n_online_cpus
+        )
+
+    def _note_capacity_change(self, n_online: int) -> None:
+        now = self.engine.now
+        self._capacity_integral_us += (
+            (now - self._capacity_since) * self._n_online_cpus
+        )
+        self._capacity_since = now
+        self._n_online_cpus = n_online
+
+    def remove_cpu(self, cpu_id: Optional[int] = None) -> int:
+        """Hot-remove a processor (hardware fault).
+
+        The victim's running process is preempted back to its run
+        queue, the CPU partition is rebuilt over the survivors, and the
+        contract renegotiates every SPU's entitlement over the smaller
+        machine.  Returns the removed CPU id.  The last online CPU
+        cannot be removed — the machine would halt.
+        """
+        sched = self._sched()
+        online = sched.online_processors()
+        if len(online) <= 1:
+            raise KernelError("cannot remove the last online CPU")
+        if cpu_id is None:
+            cpu = online[-1]
+        else:
+            cpu = sched.processors[cpu_id] if 0 <= cpu_id < len(sched.processors) else None
+            if cpu is None or not cpu.online:
+                raise KernelError(f"no online cpu {cpu_id}")
+        # Offline first: _preempt makes the victim runnable again, and
+        # a still-online CPU would look idle and instantly re-dispatch
+        # onto the processor being pulled.
+        cpu.online = False
+        if cpu.running is not None:
+            self._preempt(cpu, dispatch=False)
+        self._note_capacity_change(len(online) - 1)
+        self.cpus_removed += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "fault", "cpu_remove",
+                             cpu=cpu.cpu_id, online=len(online) - 1)
+        self.rebalance_spus()
+        return cpu.cpu_id
+
+    def add_cpu(self, cpu_id: Optional[int] = None) -> int:
+        """Bring an offlined processor back (hot-add / repair)."""
+        sched = self._sched()
+        offline = [c for c in sched.processors if not c.online]
+        if not offline:
+            raise KernelError("no offline CPU to add")
+        if cpu_id is None:
+            cpu = offline[0]
+        else:
+            matches = [c for c in offline if c.cpu_id == cpu_id]
+            if not matches:
+                raise KernelError(f"cpu {cpu_id} is not offline")
+            cpu = matches[0]
+        cpu.online = True
+        self._note_capacity_change(len(sched.online_processors()))
+        self.cpus_added += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "fault", "cpu_add", cpu=cpu.cpu_id)
+        self.rebalance_spus()
+        self._dispatch(cpu)
+        return cpu.cpu_id
+
+    def remove_memory(self, pages: int) -> int:
+        """Lose a memory module: shrink the page pool by ``pages``.
+
+        Free pages are taken first; past that, in-use pages are evicted
+        through the normal stealing path (the owning SPU pays the
+        eviction, exactly as for a policy revocation).  Entitlements
+        are renegotiated over the surviving pool.  Returns the number
+        of pages actually removed.
+        """
+        removed = self.memory.decommission(pages, evict=self._evict_for_fault)
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "fault", "mem_remove",
+                             pages=removed, requested=pages)
+        if self._booted:
+            self.rebalance_spus()
+        return removed
+
+    def _evict_for_fault(self) -> bool:
+        """Free one in-use page for :meth:`remove_memory`."""
+        users = [
+            s for s in self.registry.active_user_spus() if s.memory().used > 0
+        ]
+        victims = sorted(users, key=lambda s: -s.memory().used) or [
+            s for s in (self.registry.shared_spu,) if s.memory().used > 0
+        ]
+        for victim in victims:
+            if self._steal_page(victim):
+                return True
+        return False
+
+    def fail_disk(self, disk_id: int) -> int:
+        """A drive dies permanently; fail over to a surviving mirror.
+
+        The dead drive's queued and in-flight requests are resubmitted
+        to the first surviving drive (sectors remapped if the target is
+        smaller), its filesystem volume is retargeted there, and future
+        submissions follow via the redirect table.  Returns the
+        surviving drive's id.  With no survivor left, raises — total
+        storage loss is outside the degradation model.
+        """
+        if not 0 <= disk_id < len(self.drives):
+            raise KernelError(f"no disk {disk_id}")
+        dead = self.drives[disk_id]
+        if not dead.alive:
+            return self._disk_redirect.get(disk_id, disk_id)
+        survivors = [
+            i for i, d in enumerate(self.drives) if d.alive and i != disk_id
+        ]
+        if not survivors:
+            raise KernelError("no surviving drive to fail over to")
+        target = survivors[0]
+        orphans = dead.fail_permanently()
+        self.disks_failed.append(disk_id)
+        self._disk_redirect[disk_id] = target
+        # Re-point any earlier failovers that landed on this drive.
+        for earlier, dest in list(self._disk_redirect.items()):
+            if dest == disk_id:
+                self._disk_redirect[earlier] = target
+        self.fs.retarget_drive(disk_id, target)
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "fault", "disk_fail",
+                             disk=disk_id, failover=target,
+                             orphans=len(orphans))
+        for request in orphans:
+            self._reroute_failed(disk_id, request)
+        return target
+
+    def _reroute_failed(self, dead_id: int, request: DiskRequest) -> None:
+        """Resubmit a dead drive's request to its failover target.
+
+        The original enqueue time rides along, so wait/response
+        metrics cover the whole ordeal; sectors are remapped into the
+        target's geometry when it is smaller.
+        """
+        target_id = self._disk_redirect.get(dead_id)
+        while target_id is not None and not self.drives[target_id].alive:
+            target_id = self._disk_redirect.get(target_id)
+        if target_id is None:
+            # Nowhere to go: the request is lost.
+            request.failed = True
+            if request.enqueue_time < 0:
+                request.enqueue_time = self.engine.now
+            if request.start_time < 0:
+                request.start_time = self.engine.now
+            request.finish_time = self.engine.now
+            self.drives[dead_id].stats.record(request)
+            if request.on_complete is not None:
+                request.on_complete(request)
+            return
+        target = self.drives[target_id]
+        limit = target.geometry.total_sectors
+        if request.sector + request.nsectors > limit:
+            request.sector = request.sector % max(1, limit - request.nsectors)
+        request.attempts = 0
+        target.submit(request)
+
+    def _live_mount(self, mount: int) -> int:
+        """Follow disk failovers to the drive actually serving a mount."""
+        seen = set()
+        while mount in self._disk_redirect and mount not in seen:
+            seen.add(mount)
+            mount = self._disk_redirect[mount]
+        return mount
 
     # --- the syscall interpreter -----------------------------------------------
 
@@ -871,7 +1099,7 @@ class Kernel:
                 self._fault_done, proc, got, 0,
             )
             return
-        mount = self._swap_mount.get(proc.spu_id, 0)
+        mount = self._live_mount(self._swap_mount.get(proc.spu_id, 0))
         drive = self.drives[mount]
         span = max(1, swapped) * SECTORS_PER_PAGE
         base = self._swap_base[mount]
@@ -884,7 +1112,7 @@ class Kernel:
                 op=DiskOp.READ,
                 sector=sector,
                 nsectors=span,
-                on_complete=lambda _req: self._fault_done(proc, got, swapped),
+                on_complete=partial(self._swap_in_done, proc, got, swapped),
                 pid=proc.pid,
             )
         )
@@ -896,6 +1124,19 @@ class Kernel:
         proc.resident += got
         proc.paged_out = max(0, proc.paged_out - swapped)
         self._make_runnable(proc)
+
+    def _swap_in_done(
+        self, proc: Process, got: int, swapped: int, request: DiskRequest
+    ) -> None:
+        """A page-in finished; a failed read degrades to zero-fill.
+
+        Retries and the deadline are exhausted inside the drive; the
+        lost pages are refilled with zeroes (the data loss is counted
+        in :attr:`swap_io_errors`) so the process can keep running.
+        """
+        if request.failed:
+            self.swap_io_errors += 1
+        self._fault_done(proc, got, swapped)
 
     def _allocate_page(self, spu_id: int) -> bool:
         """Allocate one page, stealing a victim page if necessary."""
@@ -934,7 +1175,7 @@ class Kernel:
 
     def _swap_out(self, spu_id: int) -> None:
         """Asynchronously write one stolen dirty page to swap."""
-        mount = self._swap_mount.get(spu_id, 0)
+        mount = self._live_mount(self._swap_mount.get(spu_id, 0))
         drive = self.drives[mount]
         base = self._swap_base[mount]
         sector = base + self._swap_rng.randrange(

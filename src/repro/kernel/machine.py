@@ -78,6 +78,18 @@ class MachineConfig:
             raise ValueError("machine needs memory")
         if not self.disks:
             raise ValueError("machine needs at least one disk")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.kernel_pages is not None:
+            if self.kernel_pages < 0:
+                raise ValueError(
+                    f"kernel_pages must be >= 0, got {self.kernel_pages}"
+                )
+            if self.kernel_pages >= self.total_pages:
+                raise ValueError(
+                    f"kernel_pages ({self.kernel_pages}) must leave user"
+                    f" pages out of {self.total_pages}"
+                )
 
     @property
     def total_pages(self) -> int:

@@ -19,7 +19,7 @@ daemon uses them as the memory-pressure signal.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.resources import Resource
 from repro.core.schemes import SchemeConfig
@@ -56,6 +56,8 @@ class MemoryManager:
         #: Allocation denials per SPU since the last rebalance; the
         #: sharing daemon's memory-pressure signal.
         self.denials: Dict[int, int] = {}
+        #: Pages removed by hardware faults over the run.
+        self.decommissioned = 0
 
         # The kernel and shared SPUs are capped only by the machine.
         for spu in (registry.kernel_spu, registry.shared_spu):
@@ -138,6 +140,40 @@ class MemoryManager:
     def _capped(self, spu: SPU) -> bool:
         """Whether per-SPU limits apply to this SPU under this scheme."""
         return self.scheme.mem_limits and spu.is_user
+
+    # --- hardware faults -----------------------------------------------------
+
+    def decommission(self, pages: int, evict: Optional[Callable[[], bool]] = None) -> int:
+        """Remove ``pages`` physical pages from the machine (module loss).
+
+        Free pages go first.  When the free pool runs dry, ``evict``
+        is asked to free one in-use page per call (the kernel's
+        page-stealing path: the victim is charged, its page moves to
+        swap, and the process re-faults later).  Stops early — and
+        returns how many pages actually left — if eviction cannot make
+        progress or the machine would drop to zero pages.
+        """
+        if pages < 0:
+            raise ValueError(f"cannot decommission {pages} pages")
+        removed = 0
+        while removed < pages and self.total_pages > 1:
+            if self.free_pages <= 0:
+                if evict is None or not evict():
+                    break
+                if self.free_pages <= 0:
+                    break
+            self.free_pages -= 1
+            self.total_pages -= 1
+            removed += 1
+        self.decommissioned += removed
+        return removed
+
+    def recommission(self, pages: int) -> None:
+        """Return ``pages`` physical pages to the machine (module repair)."""
+        if pages < 0:
+            raise ValueError(f"cannot recommission {pages} pages")
+        self.total_pages += pages
+        self.free_pages += pages
 
     # --- pressure signals ----------------------------------------------------
 

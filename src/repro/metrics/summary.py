@@ -42,6 +42,38 @@ class DiskSummary:
     mean_wait_ms: float
     mean_latency_ms: float
     utilization: float
+    transient_errors: int = 0
+    retries: int = 0
+    failed_requests: int = 0
+    alive: bool = True
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Hardware-fault activity over the run (all zero on a healthy machine)."""
+
+    cpus_removed: int = 0
+    cpus_added: int = 0
+    disks_failed: int = 0
+    pages_decommissioned: int = 0
+    renegotiations: int = 0
+    swap_io_errors: int = 0
+    transient_errors: int = 0
+    failed_requests: int = 0
+
+    @property
+    def any_faults(self) -> bool:
+        return any(
+            (
+                self.cpus_removed,
+                self.cpus_added,
+                self.disks_failed,
+                self.pages_decommissioned,
+                self.transient_errors,
+                self.failed_requests,
+                self.swap_io_errors,
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -57,6 +89,7 @@ class MachineReport:
     free_pages: int
     spus: List[SpuSummary] = field(default_factory=list)
     disks: List[DiskSummary] = field(default_factory=list)
+    faults: FaultSummary = field(default_factory=FaultSummary)
 
 
 def machine_report(kernel: "Kernel") -> MachineReport:
@@ -92,8 +125,22 @@ def machine_report(kernel: "Kernel") -> MachineReport:
                 mean_wait_ms=drive.stats.mean_wait_ms(),
                 mean_latency_ms=drive.stats.mean_latency_ms(),
                 utilization=busy / now if now else 0.0,
+                transient_errors=drive.stats.transient_errors,
+                retries=drive.stats.retries,
+                failed_requests=drive.stats.failed_requests,
+                alive=drive.alive,
             )
         )
+    faults = FaultSummary(
+        cpus_removed=kernel.cpus_removed,
+        cpus_added=kernel.cpus_added,
+        disks_failed=len(kernel.disks_failed),
+        pages_decommissioned=kernel.memory.decommissioned,
+        renegotiations=kernel.renegotiations,
+        swap_io_errors=kernel.swap_io_errors,
+        transient_errors=sum(d.stats.transient_errors for d in kernel.drives),
+        failed_requests=sum(d.stats.failed_requests for d in kernel.drives),
+    )
     sched = kernel.cpusched
     return MachineReport(
         simulated_seconds=now / 1e6,
@@ -105,6 +152,7 @@ def machine_report(kernel: "Kernel") -> MachineReport:
         free_pages=kernel.memory.free_pages,
         spus=spus,
         disks=disks,
+        faults=faults,
     )
 
 
@@ -124,8 +172,9 @@ def format_report(report: MachineReport) -> str:
         for s in report.spus
     ]
     disk_rows = [
-        [d.disk_id, d.requests, d.sectors, f"{d.mean_wait_ms:.1f}",
-         f"{d.mean_latency_ms:.2f}", f"{d.utilization * 100:.0f}%"]
+        [f"{d.disk_id}{'' if d.alive else ' DEAD'}", d.requests, d.sectors,
+         f"{d.mean_wait_ms:.1f}", f"{d.mean_latency_ms:.2f}",
+         f"{d.utilization * 100:.0f}%", d.transient_errors, d.failed_requests]
         for d in report.disks
     ]
     parts = [head]
@@ -136,7 +185,20 @@ def format_report(report: MachineReport) -> str:
         ))
     if disk_rows:
         parts.append(format_table(
-            ["disk", "reqs", "sectors", "wait ms", "lat ms", "busy"],
+            ["disk", "reqs", "sectors", "wait ms", "lat ms", "busy",
+             "io errs", "failed"],
             disk_rows,
         ))
+    faults = report.faults
+    if faults.any_faults:
+        parts.append(
+            "faults:"
+            f" cpus -{faults.cpus_removed}/+{faults.cpus_added} |"
+            f" disks failed {faults.disks_failed} |"
+            f" pages lost {faults.pages_decommissioned} |"
+            f" io errors {faults.transient_errors}"
+            f" ({faults.failed_requests} requests failed,"
+            f" {faults.swap_io_errors} swap) |"
+            f" renegotiations {faults.renegotiations}"
+        )
     return "\n".join(parts)

@@ -31,7 +31,7 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon", "_engine")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "daemon", "_engine")
 
     def __init__(
         self,
@@ -48,11 +48,16 @@ class EventHandle:
         self.args = args
         self.daemon = daemon
         self.cancelled = False
+        self.fired = False
         self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
-        if not self.cancelled:
+        """Prevent the callback from running.  Idempotent.
+
+        Cancelling after the event has already fired is a no-op; the
+        live-event count was settled when the event ran.
+        """
+        if not self.cancelled and not self.fired:
             self.cancelled = True
             if not self.daemon:
                 self._engine._live -= 1
@@ -158,6 +163,7 @@ class Engine:
 
     def _pop_and_run(self, handle: EventHandle) -> None:
         self._now = handle.time
+        handle.fired = True
         if not handle.daemon:
             self._live -= 1
         handle.fn(*handle.args)

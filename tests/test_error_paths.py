@@ -1,0 +1,100 @@
+"""Error-path coverage: the failure branches the happy-path suites skip."""
+
+import pytest
+
+from repro.core import SPURegistry, piso_scheme, smp_scheme
+from repro.disk import DiskDrive, DiskOp, DiskRequest, hp97560, make_scheduler
+from repro.mem.manager import MemoryManager, OutOfMemoryError
+from repro.sim import Engine
+from repro.sim.engine import SimulationError
+
+
+@pytest.fixture
+def registry():
+    reg = SPURegistry()
+    reg.create("a")
+    return reg
+
+
+class TestMemoryManagerErrors:
+    def test_zero_pages_rejected(self, registry):
+        with pytest.raises(ValueError):
+            MemoryManager(registry, 0, piso_scheme())
+
+    def test_negative_kernel_pages_rejected(self, registry):
+        with pytest.raises(ValueError):
+            MemoryManager(registry, 100, piso_scheme(), kernel_pages=-1)
+
+    def test_kernel_pages_eating_machine_rejected(self, registry):
+        with pytest.raises(ValueError):
+            MemoryManager(registry, 100, piso_scheme(), kernel_pages=100)
+
+    def test_overfreeing_raises(self, registry):
+        manager = MemoryManager(registry, 100, piso_scheme())
+        spu = registry.get(2)
+        # Freeing a page the SPU never acquired breaks the levels
+        # invariant before the pool invariant.
+        with pytest.raises(Exception):
+            for _ in range(101):
+                manager.free(spu.spu_id)
+
+    def test_decommission_negative_rejected(self, registry):
+        manager = MemoryManager(registry, 100, piso_scheme())
+        with pytest.raises(ValueError):
+            manager.decommission(-1)
+        with pytest.raises(ValueError):
+            manager.recommission(-1)
+
+    def test_decommission_never_zeroes_machine(self, registry):
+        manager = MemoryManager(registry, 10, piso_scheme())
+        removed = manager.decommission(50)
+        assert removed == 9
+        assert manager.total_pages == 1
+
+    def test_decommission_stops_without_evictor(self, registry):
+        manager = MemoryManager(registry, 10, smp_scheme())
+        spu = registry.get(2)
+        spu.memory().set_allowed(10)
+        spu_id = spu.spu_id
+        for _ in range(10):
+            assert manager.try_allocate(spu_id)
+        assert manager.decommission(5) == 0  # nothing free, no evictor
+
+
+class TestEngineErrors:
+    def test_scheduling_in_the_past_raises(self):
+        engine = Engine(seed=0)
+        engine.after(100, lambda: None)
+        engine.run()
+        assert engine.now == 100
+        with pytest.raises(SimulationError):
+            engine.at(50, lambda: None)
+
+    def test_negative_delay_raises(self):
+        engine = Engine(seed=0)
+        with pytest.raises(SimulationError):
+            engine.after(-1, lambda: None)
+
+
+class TestDiskRequestValidation:
+    def test_zero_sectors_rejected(self):
+        with pytest.raises(ValueError):
+            DiskRequest(spu_id=1, op=DiskOp.READ, sector=0, nsectors=0)
+
+    def test_negative_sector_rejected(self):
+        with pytest.raises(ValueError):
+            DiskRequest(spu_id=1, op=DiskOp.READ, sector=-1, nsectors=8)
+
+    def test_request_past_end_of_disk_rejected(self):
+        engine = Engine(seed=0)
+        drive = DiskDrive(engine, hp97560(), make_scheduler("pos"))
+        total = drive.geometry.total_sectors
+        with pytest.raises(ValueError):
+            drive.submit(DiskRequest(1, DiskOp.READ, total - 4, 8))
+
+    def test_unserviced_request_timing_raises(self):
+        request = DiskRequest(spu_id=1, op=DiskOp.READ, sector=0, nsectors=8)
+        with pytest.raises(ValueError):
+            request.wait_us
+        with pytest.raises(ValueError):
+            request.response_us

@@ -98,6 +98,32 @@ class TestCancellation:
         eng.run()
         assert seen == ["keep"]
 
+    def test_cancel_after_fire_is_a_noop(self):
+        # Regression: cancelling a fired handle used to decrement the
+        # live-event count a second time, so a later non-daemon event
+        # made run() return while work was still queued.
+        eng = Engine()
+        handle = eng.after(1, lambda: None)
+        eng.run()
+        handle.cancel()
+        assert eng.live_events() == 0
+        seen = []
+        eng.after(5, seen.append, "late")
+        assert eng.live_events() == 1
+        eng.run()
+        assert seen == ["late"]
+
+    def test_cancel_after_fire_from_within_callback(self):
+        # A slice-handle-style pattern: the callback body cancels its
+        # own handle (already marked fired by the engine).
+        eng = Engine()
+        handles = []
+        handles.append(eng.after(1, lambda: handles[0].cancel()))
+        eng.run()
+        assert eng.live_events() == 0
+        eng.after(1, lambda: None)
+        assert eng.live_events() == 1
+
 
 class TestRun:
     def test_run_returns_event_count(self):
