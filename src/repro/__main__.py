@@ -1,7 +1,9 @@
 """``python -m repro`` — regenerate the paper's tables and figures.
 
 Delegates to :mod:`repro.experiments.runner`; pass section names
-(``pmake8 fig5 fig7 table3 table4 network ablations``) to run a subset.
+(``pmake8 fig5 fig7 table3 table4 network faults antagonists
+ablations``) to run a subset, and ``--seed N`` to change the base
+RNG seed.
 """
 
 import sys

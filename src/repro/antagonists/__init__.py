@@ -1,0 +1,18 @@
+"""Adversarial workloads that deliberately abuse kernel resource paths.
+
+The paper's central claim is that performance isolation holds "even in
+the presence of a misbehaving SPU".  PR 1 stressed the claim with
+misbehaving *hardware*; this package supplies the misbehaving
+*software*: a library of antagonists, each engineered to saturate one
+kernel resource path (process table, physical memory, disk bandwidth,
+buffer cache, kernel locks, the metadata write path).
+
+Each antagonist is an ordinary process behaviour — the kernel gets no
+side channel; whatever protection the victim enjoys must come from the
+scheme's own isolation machinery plus the overload hardening
+(:mod:`repro.kernel.overload`, :class:`repro.faults.OverloadGuard`).
+"""
+
+from repro.antagonists.library import ANTAGONIST_KINDS, launch
+
+__all__ = ["ANTAGONIST_KINDS", "launch"]

@@ -1,0 +1,62 @@
+"""``python -m repro.chaos`` — the bounded chaos soak CI runs.
+
+Runs one generated plan per seed and exits 1 on the first invariant
+violation, after writing a replayable repro file (``--repro PATH``)
+that ``repro.chaos.shrink`` can minimise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.chaos.shrink import write_repro
+from repro.chaos.soak import run_soak
+from repro.sim.units import MSEC
+
+
+def main(argv: List[str] = sys.argv[1:]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.chaos",
+        description="Seeded chaos soak: antagonist bursts + hardware faults"
+        " against a victim SPU, with invariants checked throughout.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=list(range(5)),
+        help="seeds to soak, one generated plan each (default: 0..4)",
+    )
+    parser.add_argument(
+        "--horizon-ms", type=int, default=4000,
+        help="simulated horizon per run in milliseconds (default: 4000)",
+    )
+    parser.add_argument(
+        "--repro", default="chaos-repro.json",
+        help="where to write the repro file on violation"
+        " (default: chaos-repro.json)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for seed in args.seeds:
+        [result] = run_soak([seed], horizon_us=args.horizon_ms * MSEC)
+        status = "ok" if result.ok else "VIOLATION"
+        print(
+            f"seed {seed}: {status} — {result.checkpoints} checkpoints,"
+            f" {result.faults_applied} faults"
+            f" (+{result.faults_skipped} skipped),"
+            f" {result.escalations} escalations,"
+            f" {len(result.violations)} violations"
+        )
+        if not result.ok and not failed:
+            failed = True
+            write_repro(args.repro, result)
+            first = result.violations[0]
+            print(f"  first violation: [t={first.time_us}us]"
+                  f" {first.name}: {first.detail}")
+            print(f"  repro file written to {args.repro}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

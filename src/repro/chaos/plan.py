@@ -1,0 +1,218 @@
+"""Chaos plans: seeded antagonist mixes composed with fault schedules.
+
+A :class:`ChaosPlan` is the replayable unit of the chaos harness: a
+seed, a horizon, a list of :class:`AntagonistBurst` launches, and a
+:class:`~repro.faults.FaultPlan`.  Everything downstream — which
+antagonists fire when, which hardware dies when, every RNG stream in
+the run — derives from the plan, so a plan that breaks an invariant
+*is* the bug report.
+
+:func:`generate_plan` draws a random-but-legal plan from a seed.  The
+generator walks simulated time with a small state machine so the raw
+fault mix stays meaningful: the machine always keeps at least
+``MIN_CPUS_ONLINE`` processors, disk 0 (the failover target) never
+dies, and a ``CpuAdd`` is only emitted while a processor is actually
+offline.  Delta-shrinking can still break those pairings — the soak
+runner arms plans with ``on_error="skip"`` so such plans stay runnable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.antagonists import ANTAGONIST_KINDS
+from repro.faults.plan import (
+    CpuAdd,
+    CpuRemove,
+    DiskTransient,
+    DiskFailure,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    MemoryLoss,
+)
+from repro.sim.units import MSEC, SEC
+
+#: The chaos machine shape (plan generation must agree with the soak
+#: runner about it, so it lives here).
+CHAOS_NCPUS = 4
+CHAOS_MEMORY_MB = 16
+CHAOS_NDISKS = 2
+#: Hot-removal never takes the machine below this many processors.
+MIN_CPUS_ONLINE = 2
+
+
+class ChaosPlanError(ValueError):
+    """Raised for ill-formed chaos plans."""
+
+
+@dataclass(frozen=True)
+class AntagonistBurst:
+    """Launch one antagonist at an absolute simulated time."""
+
+    at_us: int
+    kind: str
+    scale: float = 1.0
+
+    def _validate(self) -> None:
+        if self.at_us < 0:
+            raise ChaosPlanError(f"burst scheduled before boot: {self!r}")
+        if self.kind not in ANTAGONIST_KINDS:
+            raise ChaosPlanError(
+                f"unknown antagonist {self.kind!r};"
+                f" expected one of {ANTAGONIST_KINDS}"
+            )
+        if self.scale <= 0:
+            raise ChaosPlanError(f"burst scale must be positive: {self!r}")
+
+
+@dataclass
+class ChaosPlan:
+    """A validated, replayable chaos schedule."""
+
+    seed: int
+    horizon_us: int
+    bursts: List[AntagonistBurst] = field(default_factory=list)
+    faults: FaultPlan = field(default_factory=FaultPlan)
+
+    def __post_init__(self) -> None:
+        if self.horizon_us <= 0:
+            raise ChaosPlanError(f"horizon must be positive, got {self.horizon_us}")
+        for burst in self.bursts:
+            burst._validate()
+        self.bursts = sorted(self.bursts, key=lambda b: (b.at_us, b.kind))
+
+    def __len__(self) -> int:
+        return len(self.bursts) + len(self.faults)
+
+    def replace_events(
+        self, bursts: List[AntagonistBurst], faults: List[FaultEvent]
+    ) -> "ChaosPlan":
+        """The same plan (seed, horizon) with a different event set."""
+        return ChaosPlan(
+            seed=self.seed,
+            horizon_us=self.horizon_us,
+            bursts=list(bursts),
+            faults=FaultPlan(list(faults)),
+        )
+
+    # --- JSON round-trip ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "horizon_us": self.horizon_us,
+            "bursts": [
+                {"at_us": b.at_us, "kind": b.kind, "scale": b.scale}
+                for b in self.bursts
+            ],
+            "faults": self.faults.to_dicts(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "ChaosPlan":
+        if not isinstance(record, dict):
+            raise ChaosPlanError(f"chaos plan must be an object: {record!r}")
+        missing = {"seed", "horizon_us", "bursts", "faults"} - set(record)
+        if missing:
+            raise ChaosPlanError(f"chaos plan missing fields: {sorted(missing)}")
+        try:
+            bursts = [AntagonistBurst(**b) for b in record["bursts"]]
+        except TypeError as exc:
+            raise ChaosPlanError(f"bad burst fields: {exc}") from None
+        try:
+            faults = FaultPlan.from_dicts(record["faults"])
+        except FaultPlanError as exc:
+            raise ChaosPlanError(f"bad fault plan: {exc}") from None
+        return cls(
+            seed=record["seed"],
+            horizon_us=record["horizon_us"],
+            bursts=bursts,
+            faults=faults,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ChaosPlanError(f"chaos plan is not valid JSON: {exc}") from None
+        return cls.from_dict(record)
+
+
+def generate_plan(
+    seed: int,
+    horizon_us: int = 8 * SEC,
+    max_bursts: int = 3,
+    max_faults: int = 4,
+) -> ChaosPlan:
+    """Draw a random, legal chaos plan from ``seed``.
+
+    Bursts land in the first half of the horizon (so their damage has
+    time to show); faults are drawn in time order against a running
+    model of machine state, keeping the schedule legal at generation
+    time.
+    """
+    rng = random.Random(f"{seed}/chaos/plan")
+
+    bursts = []
+    for _ in range(rng.randint(1, max_bursts)):
+        bursts.append(
+            AntagonistBurst(
+                at_us=rng.randrange(0, max(1, horizon_us // 2)),
+                kind=rng.choice(ANTAGONIST_KINDS),
+                scale=rng.choice([0.5, 1.0, 1.0, 1.5]),
+            )
+        )
+
+    events: List[FaultEvent] = []
+    cpus_online = CHAOS_NCPUS
+    disk1_alive = CHAOS_NDISKS > 1
+    times = sorted(
+        rng.randrange(0, horizon_us) for _ in range(rng.randint(0, max_faults))
+    )
+    for at_us in times:
+        choices = ["disk_transient", "memory_loss"]
+        if cpus_online > MIN_CPUS_ONLINE:
+            choices.append("cpu_remove")
+        if cpus_online < CHAOS_NCPUS:
+            choices.append("cpu_add")
+        if disk1_alive:
+            choices.append("disk_failure")
+        kind = rng.choice(choices)
+        if kind == "disk_transient":
+            events.append(
+                DiskTransient(
+                    at_us=at_us,
+                    disk=rng.randrange(CHAOS_NDISKS),
+                    duration_us=rng.randrange(50 * MSEC, 400 * MSEC),
+                    error_rate=round(rng.uniform(0.3, 0.9), 2),
+                )
+            )
+        elif kind == "memory_loss":
+            # Bounded well under the victim's needs: at most 1/8 of the
+            # machine per event.
+            pages = (CHAOS_MEMORY_MB * 256) // 8
+            events.append(MemoryLoss(at_us=at_us, pages=rng.randrange(64, pages)))
+        elif kind == "cpu_remove":
+            events.append(CpuRemove(at_us=at_us))
+            cpus_online -= 1
+        elif kind == "cpu_add":
+            events.append(CpuAdd(at_us=at_us))
+            cpus_online += 1
+        else:  # disk_failure — never disk 0, the failover target
+            events.append(DiskFailure(at_us=at_us, disk=1))
+            disk1_alive = False
+
+    return ChaosPlan(
+        seed=seed,
+        horizon_us=horizon_us,
+        bursts=bursts,
+        faults=FaultPlan(events),
+    )

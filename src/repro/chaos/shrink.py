@@ -1,0 +1,160 @@
+"""Repro files and delta-shrinking for failing chaos plans.
+
+When a soak run breaks an invariant, the harness writes a **repro
+file**: the full :class:`~repro.chaos.plan.ChaosPlan` plus the first
+violation it produced.  Loading the file and calling :func:`replay`
+re-runs the identical simulation (same seed → same RNG streams → same
+schedule) and must reproduce the same violation.
+
+:func:`shrink_plan` then minimises the plan with ddmin [ZH02]: it
+repeatedly re-runs subsets of the plan's events (bursts and faults
+together) and keeps the smallest subset that still triggers a
+violation of the same *name*.  A ``CpuAdd`` orphaned by dropping its
+paired ``CpuRemove`` is fine — the soak runner arms plans with
+``on_error="skip"`` precisely so every subset stays runnable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.chaos.plan import AntagonistBurst, ChaosPlan, ChaosPlanError
+from repro.chaos.soak import ChaosResult, run_chaos
+from repro.faults import FaultEvent, Violation
+from repro.kernel.kernel import Kernel
+
+REPRO_FORMAT = "repro.chaos/1"
+
+#: A shrinkable unit: one burst or one fault event.
+ChaosEvent = Union[AntagonistBurst, "FaultEvent"]
+
+
+# --- repro files -------------------------------------------------------------
+
+
+def repro_record(result: ChaosResult) -> Dict[str, Any]:
+    """The repro-file payload for a failing run."""
+    if result.ok:
+        raise ValueError("run produced no violation; nothing to reproduce")
+    first = result.violations[0]
+    return {
+        "format": REPRO_FORMAT,
+        "plan": result.plan.to_dict(),
+        "violation": {
+            "time_us": first.time_us,
+            "name": first.name,
+            "detail": first.detail,
+        },
+    }
+
+
+def write_repro(path: str, result: ChaosResult) -> None:
+    """Write a failing run's repro file (JSON, stable key order)."""
+    with open(path, "w") as fh:
+        json.dump(repro_record(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_repro(path: str) -> Tuple[ChaosPlan, Violation]:
+    """Read a repro file back into (plan, recorded first violation)."""
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("format") != REPRO_FORMAT:
+        raise ChaosPlanError(
+            f"not a chaos repro file (format={record.get('format')!r})"
+        )
+    plan = ChaosPlan.from_dict(record["plan"])
+    v = record["violation"]
+    return plan, Violation(v["time_us"], v["name"], v["detail"])
+
+
+def replay(
+    path: str, sabotage: Optional[Callable[[Kernel], None]] = None
+) -> ChaosResult:
+    """Re-run a repro file's plan; returns the (deterministic) result."""
+    plan, _ = load_repro(path)
+    return run_chaos(plan, sabotage=sabotage)
+
+
+# --- delta shrinking ---------------------------------------------------------
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal plan ddmin converged on, plus bookkeeping."""
+
+    plan: ChaosPlan
+    violation_name: str
+    runs: int
+
+
+def _split_events(plan: ChaosPlan) -> List[ChaosEvent]:
+    return list(plan.bursts) + list(plan.faults.events)
+
+
+def _join_events(plan: ChaosPlan, events: List[ChaosEvent]) -> ChaosPlan:
+    bursts = [e for e in events if isinstance(e, AntagonistBurst)]
+    faults = [e for e in events if not isinstance(e, AntagonistBurst)]
+    return plan.replace_events(bursts, faults)
+
+
+def shrink_plan(
+    plan: ChaosPlan,
+    violation_name: str,
+    sabotage: Optional[Callable[[Kernel], None]] = None,
+    max_runs: int = 64,
+) -> ShrinkResult:
+    """ddmin the plan's events down to a minimal still-failing set.
+
+    ``violation_name`` anchors the search: a subset "fails" only if it
+    still produces a violation of that name, so the shrink cannot
+    wander off to a different bug.  ``max_runs`` bounds the number of
+    replays (each replay is a full simulation).
+    """
+    runs = 0
+
+    def fails(events: List[ChaosEvent]) -> bool:
+        nonlocal runs
+        runs += 1
+        result = run_chaos(_join_events(plan, events), sabotage=sabotage)
+        return any(v.name == violation_name for v in result.violations)
+
+    events = _split_events(plan)
+    if not fails(events):
+        raise ValueError(
+            f"plan does not produce a {violation_name!r} violation; cannot shrink"
+        )
+
+    n = 2
+    while len(events) >= 2 and runs < max_runs:
+        chunk = max(1, len(events) // n)
+        subsets = [events[i:i + chunk] for i in range(0, len(events), chunk)]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            if runs >= max_runs:
+                break
+            complement = [e for j, s in enumerate(subsets) if j != i for e in s]
+            if fails(subset):
+                events, n = subset, 2
+                reduced = True
+                break
+            if len(subsets) > 2 and complement and fails(complement):
+                events, n = complement, max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(events):
+                break
+            n = min(len(events), n * 2)
+
+    # The sabotage-only case: the bug fires with no events at all.
+    if events and runs < max_runs and fails([]):
+        events = []
+
+    return ShrinkResult(
+        plan=_join_events(plan, events),
+        violation_name=violation_name,
+        runs=runs,
+    )

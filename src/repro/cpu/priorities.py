@@ -20,12 +20,22 @@ USAGE_HALF_LIFE = 1 * SEC
 #: How much effective priority worsens per millisecond of recent usage.
 USAGE_WEIGHT_PER_MS = 1.0 / 10.0
 
+#: Offset of the kernel priority band.  IRIX-style: a process holding
+#: a contended kernel resource runs at a kernel priority — strictly
+#: better than every user-band value and *non-degrading*, so recent
+#: CPU usage cannot push a boosted lock holder back behind a flood of
+#: fresh runnable siblings.
+KERNEL_PRIORITY_BAND = -1000
+
 
 class ProcessPriority:
     """Priority state for one process; lower effective value runs first."""
 
     def __init__(self, base: int = 20, now: int = 0):
         self.base = base
+        #: Non-degrading kernel-band priority, or None while in the
+        #: user band (see :data:`KERNEL_PRIORITY_BAND`).
+        self.kernel_priority = None
         self._recent_us = 0.0
         self._stamp = now
 
@@ -50,4 +60,6 @@ class ProcessPriority:
 
     def effective(self, now: int) -> float:
         """The value the scheduler compares; lower is better."""
+        if self.kernel_priority is not None:
+            return float(self.kernel_priority)
         return self.base + self.recent_cpu_ms(now) * USAGE_WEIGHT_PER_MS

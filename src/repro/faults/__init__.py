@@ -15,7 +15,13 @@ plan give byte-identical runs.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.invariants import InvariantViolation, InvariantWatchdog, Violation
+from repro.faults.invariants import (
+    Escalation,
+    InvariantViolation,
+    InvariantWatchdog,
+    OverloadGuard,
+    Violation,
+)
 from repro.faults.plan import (
     CpuAdd,
     CpuRemove,
@@ -32,6 +38,7 @@ __all__ = [
     "CpuRemove",
     "DiskFailure",
     "DiskTransient",
+    "Escalation",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
@@ -39,5 +46,6 @@ __all__ = [
     "InvariantViolation",
     "InvariantWatchdog",
     "MemoryLoss",
+    "OverloadGuard",
     "Violation",
 ]

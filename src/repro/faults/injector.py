@@ -19,17 +19,31 @@ from repro.faults.plan import (
     FaultPlanError,
     MemoryLoss,
 )
-from repro.kernel.kernel import Kernel
+from repro.kernel.kernel import Kernel, KernelError
 
 
 class FaultInjector:
-    """Schedules a plan's faults against one kernel."""
+    """Schedules a plan's faults against one kernel.
 
-    def __init__(self, kernel: Kernel, plan: FaultPlan):
+    ``on_error`` controls what happens when an event is *structurally*
+    valid but illegal against the machine's state at fire time (e.g. a
+    ``CpuAdd`` with nothing offline after delta-shrinking dropped its
+    paired ``CpuRemove``): ``"raise"`` (default) propagates the
+    :class:`~repro.kernel.kernel.KernelError`; ``"skip"`` logs the
+    event as skipped and keeps going — what the chaos harness uses so
+    shrunken plans stay runnable.
+    """
+
+    def __init__(self, kernel: Kernel, plan: FaultPlan, on_error: str = "raise"):
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
         self.kernel = kernel
         self.plan = plan
+        self.on_error = on_error
         #: (time, description) log of faults actually applied.
         self.applied: List[Tuple[int, str]] = []
+        #: (time, description) log of events skipped under on_error="skip".
+        self.skipped: List[Tuple[int, str]] = []
         self._armed = False
 
     def arm(self) -> None:
@@ -60,6 +74,14 @@ class FaultInjector:
     # --- event application -------------------------------------------------
 
     def _apply(self, event) -> None:
+        try:
+            self._apply_checked(event)
+        except KernelError as exc:
+            if self.on_error != "skip":
+                raise
+            self.skipped.append((self.kernel.engine.now, f"{event!r}: {exc}"))
+
+    def _apply_checked(self, event) -> None:
         kernel = self.kernel
         if isinstance(event, DiskTransient):
             drive = kernel.drives[event.disk]

@@ -25,7 +25,7 @@ Checked invariants:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import ProcessState
@@ -140,3 +140,124 @@ class InvariantWatchdog:
         self.violations.append(violation)
         if self.strict:
             raise InvariantViolation(f"[t={violation.time_us}us] {name}: {detail}")
+
+
+@dataclass(frozen=True)
+class Escalation:
+    """One overload-guard action against an abusive SPU."""
+
+    time_us: int
+    spu_id: int
+    #: ``"throttle"`` (admission limits halved) or ``"kill"`` (the
+    #: SPU's largest memory offender was OOM-killed).
+    stage: str
+    detail: str
+
+
+class OverloadGuard:
+    """Detect → throttle → kill escalation against abusive SPUs.
+
+    The watchdog above checks that the kernel's *books* balance; this
+    guard checks that no SPU is *abusing* the kernel's resource paths.
+    Each period it sums, per user SPU, the pressure the SPU put on the
+    kernel since the last check:
+
+    * memory-allocation denials (a thrasher past its working set),
+    * denied ``Spawn`` syscalls (a fork bomb at the process limit),
+    * file syscalls delayed or failed by admission control (an I/O
+      flood at the in-flight budget).
+
+    An SPU whose pressure exceeds ``pressure_threshold`` is *hot*.
+    Staying hot for ``throttle_after`` consecutive checks halves its
+    admission limits (:meth:`Kernel.throttle_spu`); staying hot for
+    ``kill_after`` checks OOM-kills its largest process — inside the
+    offending SPU only — and the ladder re-arms, so a persistently
+    abusive SPU is killed down until its pressure subsides.  An SPU
+    that goes quiet is unthrottled and its ladder resets.  Every
+    action is recorded in :attr:`escalations`.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        period: Optional[int] = None,
+        pressure_threshold: int = 50,
+        throttle_after: int = 2,
+        kill_after: int = 5,
+    ):
+        if pressure_threshold <= 0:
+            raise ValueError("pressure threshold must be positive")
+        if not 0 < throttle_after < kill_after:
+            raise ValueError("need 0 < throttle_after < kill_after")
+        self.kernel = kernel
+        self.period = (
+            period if period is not None
+            else 10 * kernel.scheme.params.clock_tick
+        )
+        self.pressure_threshold = pressure_threshold
+        self.throttle_after = throttle_after
+        self.kill_after = kill_after
+        self.escalations: List[Escalation] = []
+        self.checks_run = 0
+        #: Consecutive hot periods per SPU.
+        self._hot: Dict[int, int] = {}
+        #: Pressure totals per SPU at the previous check.
+        self._seen: Dict[int, int] = {}
+        self._timer: Optional[PeriodicTimer] = None
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("guard already started")
+        self._timer = self.kernel.engine.every(self.period, self.check)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def _pressure_total(self, spu_id: int) -> int:
+        kernel = self.kernel
+        return (
+            kernel.memory.total_denials.get(spu_id, 0)
+            + kernel.spawn_denials.get(spu_id, 0)
+            + kernel.io_throttled.get(spu_id, 0)
+            + kernel.io_rejected.get(spu_id, 0)
+        )
+
+    def check(self) -> None:
+        """Run one escalation pass (also callable directly from tests)."""
+        self.checks_run += 1
+        kernel = self.kernel
+        now = kernel.engine.now
+        for spu in kernel.registry.active_user_spus():
+            spu_id = spu.spu_id
+            total = self._pressure_total(spu_id)
+            delta = total - self._seen.get(spu_id, 0)
+            self._seen[spu_id] = total
+            if delta < self.pressure_threshold:
+                if self._hot.get(spu_id):
+                    self._hot[spu_id] = 0
+                    if kernel.spu_throttled(spu_id):
+                        kernel.unthrottle_spu(spu_id)
+                continue
+            hot = self._hot.get(spu_id, 0) + 1
+            self._hot[spu_id] = hot
+            if hot == self.throttle_after:
+                kernel.throttle_spu(spu_id)
+                self.escalations.append(Escalation(
+                    now, spu_id, "throttle",
+                    f"SPU {spu_id} hot for {hot} checks"
+                    f" (pressure {delta}/check); admission limits halved",
+                ))
+            elif hot >= self.kill_after:
+                victim = kernel.oom_kill(spu_id)
+                detail = (
+                    f"SPU {spu_id} still hot after throttling;"
+                    f" killed pid {victim.pid} ({victim.name})"
+                    if victim is not None
+                    else f"SPU {spu_id} still hot but has no process to kill"
+                )
+                self.escalations.append(Escalation(now, spu_id, "kill", detail))
+                # Re-arm one rung below the kill threshold: if the SPU
+                # stays abusive, another process goes next period.
+                self._hot[spu_id] = self.kill_after - 1

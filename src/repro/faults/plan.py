@@ -9,8 +9,10 @@ identical hardware trouble.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 
 class FaultPlanError(ValueError):
@@ -122,3 +124,66 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # --- JSON round-trip ---------------------------------------------------
+    #
+    # Chaos repro files embed the fault plan that was live when an
+    # invariant broke; ``from_json(to_json(plan))`` must rebuild an
+    # equal plan, re-running the same validation as the constructors.
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """The plan as plain dicts (``kind`` + the event's fields)."""
+        out = []
+        for event in self.events:
+            record: Dict[str, Any] = {"kind": _KIND_OF[type(event)]}
+            record.update(dataclasses.asdict(event))
+            out.append(record)
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise the plan to a JSON array of event objects."""
+        return json.dumps(self.to_dicts(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dicts(cls, records: List[Dict[str, Any]]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dicts` output (re-validating)."""
+        events: List[FaultEvent] = []
+        for record in records:
+            if not isinstance(record, dict) or "kind" not in record:
+                raise FaultPlanError(f"fault record needs a 'kind': {record!r}")
+            fields = dict(record)
+            kind = fields.pop("kind")
+            try:
+                event_cls = _CLASS_OF[kind]
+            except KeyError:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r};"
+                    f" expected one of {sorted(_CLASS_OF)}"
+                ) from None
+            try:
+                events.append(event_cls(**fields))
+            except TypeError as exc:
+                raise FaultPlanError(f"bad fields for {kind!r}: {exc}") from None
+        return cls(events)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse :meth:`to_json` output back into a validated plan."""
+        try:
+            records = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+        if not isinstance(records, list):
+            raise FaultPlanError("fault plan JSON must be an array of events")
+        return cls.from_dicts(records)
+
+
+#: Stable wire names for each fault event class.
+_KIND_OF = {
+    DiskTransient: "disk_transient",
+    DiskFailure: "disk_failure",
+    CpuRemove: "cpu_remove",
+    CpuAdd: "cpu_add",
+    MemoryLoss: "memory_loss",
+}
+_CLASS_OF = {name: cls for cls, name in _KIND_OF.items()}

@@ -171,6 +171,23 @@ class Kernel:
         #: are refaulted as zero-fill; the data loss is recorded here).
         self.swap_io_errors = 0
 
+        # --- overload hardening (see repro.kernel.overload) ----------------
+        self.overload = config.overload
+        #: Spawn syscalls denied by the per-SPU process limit, per SPU.
+        self.spawn_denials: Dict[int, int] = {}
+        #: File syscalls delayed at least once by admission control.
+        self.io_throttled: Dict[int, int] = {}
+        #: File syscalls failed at the admission deadline, per SPU.
+        self.io_rejected: Dict[int, int] = {}
+        #: Processes killed by the OOM policy, per SPU.
+        self.oom_kills: Dict[int, int] = {}
+        #: File syscalls currently in flight, per SPU.
+        self._io_inflight: Dict[int, int] = {}
+        #: SPUs under watchdog escalation (halved admission limits).
+        self._throttled_spus: set = set()
+        #: Consecutive complete page-allocation failures, per SPU.
+        self._oom_pressure: Dict[int, int] = {}
+
         self._booted = False
 
     # --- configuration ---------------------------------------------------------
@@ -717,25 +734,9 @@ class Kernel:
             if isinstance(op, Checkpoint):
                 proc.checkpoints.append((op.label, self.engine.now))
                 continue
-            if isinstance(op, ReadFile):
+            if isinstance(op, (ReadFile, WriteFile, WriteMetadata)):
                 proc.state = ProcessState.BLOCKED
-                self.fs.read(
-                    proc.pid, proc.spu_id, op.file, op.offset, op.nbytes,
-                    partial(self._resume, proc),
-                )
-                return
-            if isinstance(op, WriteFile):
-                proc.state = ProcessState.BLOCKED
-                self.fs.write(
-                    proc.pid, proc.spu_id, op.file, op.offset, op.nbytes,
-                    partial(self._resume, proc),
-                )
-                return
-            if isinstance(op, WriteMetadata):
-                proc.state = ProcessState.BLOCKED
-                self.fs.write_metadata(
-                    proc.pid, proc.spu_id, op.file, partial(self._resume, proc)
-                )
+                self._admit_io(proc, op, self.engine.now, throttled=False)
                 return
             if isinstance(op, SendNetwork):
                 try:
@@ -753,9 +754,25 @@ class Kernel:
                 self.engine.after(op.duration_us, partial(self._resume, proc))
                 return
             if isinstance(op, Spawn):
+                spu = self.registry.get(proc.spu_id)
+                if not self._admit_spawn(spu):
+                    # Per-SPU process limit: the spawn fails (-1) after
+                    # a forced backoff, charged to the asking process.
+                    self.spawn_denials[spu.spu_id] = (
+                        self.spawn_denials.get(spu.spu_id, 0) + 1
+                    )
+                    if self.tracer.enabled:
+                        self.tracer.emit(self.engine.now, "proc", "spawn_denied",
+                                         pid=proc.pid, spu=spu.spu_id)
+                    proc.state = ProcessState.BLOCKED
+                    self.engine.after(
+                        max(1, self.overload.spawn_backoff_us),
+                        self._resume_value, proc, -1,
+                    )
+                    return
                 child = self.spawn(
                     op.behavior,
-                    self.registry.get(proc.spu_id),
+                    spu,
                     name=op.name,
                     parent=proc.pid,
                 )
@@ -789,8 +806,159 @@ class Kernel:
             raise KernelError(f"process {proc.pid} yielded unknown op {op!r}")
 
     def _resume(self, proc: Process) -> None:
-        """A blocking syscall finished; continue the generator."""
+        """A blocking syscall finished; continue the generator.
+
+        A process killed while blocked (OOM policy, watchdog
+        escalation) may still have completions in flight; they land
+        here and are dropped.
+        """
+        if not proc.alive:
+            return
         self._advance(proc)
+
+    def _resume_value(self, proc: Process, value: object) -> None:
+        """Continue a blocked generator, sending it a syscall result."""
+        if not proc.alive:
+            return
+        self._advance(proc, value)
+
+    # --- overload hardening (see repro.kernel.overload) --------------------
+
+    def _admit_spawn(self, spu: SPU) -> bool:
+        """Whether the per-SPU process limit admits one more process.
+
+        Only the ``Spawn`` *syscall* is limited; :meth:`spawn` from
+        experiment setup code is administrative and always admitted.
+        """
+        limit = self.overload.max_procs_per_spu
+        if limit is None or not spu.is_user:
+            return True
+        if spu.spu_id in self._throttled_spus:
+            limit = self.overload.clamped(limit)
+        return len(spu.pids) < limit
+
+    def _io_limit(self, spu_id: int) -> Optional[int]:
+        limit = self.overload.max_inflight_io_per_spu
+        if limit is None or not self.registry.get(spu_id).is_user:
+            return None
+        if spu_id in self._throttled_spus:
+            return self.overload.clamped(limit)
+        return limit
+
+    def _admit_io(
+        self, proc: Process, op: object, issued_at: int, throttled: bool
+    ) -> None:
+        """Syscall-level admission control on the file-I/O path.
+
+        An SPU over its in-flight budget waits in a backpressure loop
+        (re-trying every ``io_retry_us``); a syscall still waiting at
+        its deadline fails — the behaviour resumes with ``-1`` instead
+        of queueing kernel work without bound.
+        """
+        if not proc.alive:
+            return
+        spu_id = proc.spu_id
+        limit = self._io_limit(spu_id)
+        if limit is not None and self._io_inflight.get(spu_id, 0) >= limit:
+            if self.engine.now - issued_at >= self.overload.io_deadline_us:
+                self.io_rejected[spu_id] = self.io_rejected.get(spu_id, 0) + 1
+                if self.tracer.enabled:
+                    self.tracer.emit(self.engine.now, "io", "rejected",
+                                     pid=proc.pid, spu=spu_id)
+                self._resume_value(proc, -1)
+                return
+            if not throttled:
+                self.io_throttled[spu_id] = self.io_throttled.get(spu_id, 0) + 1
+            self.engine.after(
+                self.overload.io_retry_us, self._admit_io, proc, op, issued_at, True
+            )
+            return
+        self._io_inflight[spu_id] = self._io_inflight.get(spu_id, 0) + 1
+        done = partial(self._io_done, proc, spu_id)
+        if isinstance(op, ReadFile):
+            self.fs.read(proc.pid, spu_id, op.file, op.offset, op.nbytes, done)
+        elif isinstance(op, WriteFile):
+            self.fs.write(proc.pid, spu_id, op.file, op.offset, op.nbytes, done)
+        else:
+            assert isinstance(op, WriteMetadata)
+            self.fs.write_metadata(proc.pid, spu_id, op.file, done)
+
+    def _io_done(self, proc: Process, spu_id: int) -> None:
+        self._io_inflight[spu_id] = max(0, self._io_inflight.get(spu_id, 0) - 1)
+        self._resume(proc)
+
+    def throttle_spu(self, spu_id: int) -> None:
+        """Escalation step 2 (see OverloadGuard): halve the SPU's
+        spawn and file-I/O admission limits until unthrottled."""
+        self._throttled_spus.add(spu_id)
+
+    def unthrottle_spu(self, spu_id: int) -> None:
+        """Lift an escalation throttle.  Idempotent."""
+        self._throttled_spus.discard(spu_id)
+
+    def spu_throttled(self, spu_id: int) -> bool:
+        return spu_id in self._throttled_spus
+
+    def kill(self, proc: Process, reason: str = "killed") -> None:
+        """Forcibly terminate one process (OOM policy, escalation).
+
+        The CPU slice (if any) is cancelled and charged, scheduler
+        queue state is cleaned up, the behaviour generator is closed,
+        and the ordinary exit path releases the process's pages and
+        wakes a waiting parent.  Completions still in flight for the
+        dead process are dropped at :meth:`_resume`.  Only the victim
+        pays; its SPU's other processes and every other SPU continue
+        untouched.
+        """
+        if not proc.alive:
+            return
+        proc.kill_reason = reason
+        sched = self._sched()
+        cpu = proc.cpu
+        if cpu is not None:
+            if proc.slice_handle is not None:
+                proc.slice_handle.cancel()
+                proc.slice_handle = None
+            self._charge_slice(proc)
+            sched.release(cpu)
+            proc.cpu = None
+        elif proc.state is ProcessState.RUNNABLE:
+            sched.dequeue(proc)
+        proc.spinning = False
+        proc.pending_compute = 0
+        try:
+            proc.behavior.close()
+        except Exception:  # pragma: no cover - misbehaving generator
+            pass
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "proc", "kill",
+                             pid=proc.pid, spu=proc.spu_id, reason=reason)
+        self._exit(proc)
+        if cpu is not None:
+            self._dispatch(cpu)
+
+    def oom_kill(self, spu_id: int) -> Optional[Process]:
+        """SPU-charged OOM policy: kill the largest memory offender
+        *inside the offending SPU only*.
+
+        The victim is the SPU's live process with the biggest memory
+        footprint (resident + swapped pages; CPU time and pid break
+        ties deterministically).  Returns the victim, or ``None`` when
+        the SPU has no live processes.
+        """
+        procs = [
+            p for p in self.processes.values()
+            if p.spu_id == spu_id and p.alive
+        ]
+        if not procs:
+            return None
+        victim = max(
+            procs,
+            key=lambda p: (p.resident + p.paged_out, p.cpu_time_us, p.pid),
+        )
+        self.oom_kills[spu_id] = self.oom_kills.get(spu_id, 0) + 1
+        self.kill(victim, reason="oom")
+        return victim
 
     # --- spin barriers ---------------------------------------------------------
 
@@ -1091,6 +1259,23 @@ class Kernel:
                 got += 1
             else:
                 break
+        if got == 0:
+            # Complete allocation failure: not one page even after
+            # stealing.  A sustained streak in one SPU means its fault
+            # path can no longer make progress — the OOM policy kills
+            # the largest offender inside that SPU (possibly this very
+            # process) instead of letting the whole SPU livelock.
+            streak = self._oom_pressure.get(proc.spu_id, 0) + 1
+            self._oom_pressure[proc.spu_id] = streak
+            if self.overload.oom_failure_streak and (
+                streak >= self.overload.oom_failure_streak
+            ):
+                self._oom_pressure[proc.spu_id] = 0
+                self.oom_kill(proc.spu_id)
+                if not proc.alive:
+                    return
+        else:
+            self._oom_pressure[proc.spu_id] = 0
         swapped = min(got, proc.paged_out) if got else min(1, proc.paged_out)
         if swapped == 0:
             # Zero-fill fault: a fixed kernel cost per page, no disk.

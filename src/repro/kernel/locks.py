@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
+from repro.cpu.priorities import KERNEL_PRIORITY_BAND
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.process import Process
 
@@ -109,9 +111,10 @@ class KernelLock:
         """
         if self._writer is proc:
             self._writer = None
-            self._writer_boost_clear(proc)
+            self._boost_clear(proc)
         elif proc in self._readers:
             self._readers.remove(proc)
+            self._boost_clear(proc)
         else:
             raise LockError(f"{proc.pid} does not hold lock {self.name!r}")
         if self.held:
@@ -137,14 +140,29 @@ class KernelLock:
     # --- priority inheritance ---------------------------------------------------
 
     def _boost_holders(self, waiter: "Process") -> None:
+        """Transfer the waiter's urgency to the holders.
+
+        The holder's base drops to its best waiter's, and it is lifted
+        into the kernel priority band — non-degrading and better than
+        every user-band value — until it releases.  The band matters
+        under overload: base inheritance alone leaves a holder whose
+        SPU is flooded with fresh equal-priority runnable siblings (a
+        lock hog inside a fork-bombed SPU) waiting a full run-queue
+        rotation per slice, while cross-SPU waiters hang on the lock.
+        """
         waiter_base = waiter.priority.base
         for holder in self.holders():
             if waiter_base < holder.priority.base:
                 holder.priority.base = waiter_base
+            band = KERNEL_PRIORITY_BAND + holder.priority.base
+            current = holder.priority.kernel_priority
+            if current is None or band < current:
+                holder.priority.kernel_priority = band
 
-    def _writer_boost_clear(self, proc: "Process") -> None:
+    def _boost_clear(self, proc: "Process") -> None:
         if self.inheritance:
             proc.priority.base = proc.default_base_priority
+            proc.priority.kernel_priority = None
 
 
 class Barrier:

@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.core.contracts import EqualShareContract, SharingContract
 from repro.core.schemes import DiskSchedPolicy, SchemeConfig, smp_scheme
 from repro.disk.model import DiskGeometry, fast_disk
+from repro.kernel.overload import OverloadPolicy
 from repro.sim.units import MB, PAGE_SIZE
 
 
@@ -66,6 +67,9 @@ class MachineConfig:
     nics: List[NicSpec] = field(default_factory=list)
     scheme: SchemeConfig = field(default_factory=smp_scheme)
     contract: SharingContract = field(default_factory=EqualShareContract)
+    #: Per-SPU admission limits against abusive workloads (fork bombs,
+    #: I/O floods, thrashers); see :mod:`repro.kernel.overload`.
+    overload: OverloadPolicy = field(default_factory=OverloadPolicy)
     seed: int = 0
     #: Pages taken by kernel code/data at boot; defaults (when None) to
     #: 1/16th of memory.

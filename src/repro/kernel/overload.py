@@ -1,0 +1,82 @@
+"""Kernel overload hardening: admission limits for abusive workloads.
+
+The paper's isolation mechanisms divide *capacity* — CPUs, pages, disk
+bandwidth — but a workload can also attack the kernel's *resource
+paths*: fork storms that explode the process table, thrashers that pin
+the fault path, floods of file I/O that grow the disk queues without
+bound.  :class:`OverloadPolicy` bundles the limits the kernel enforces
+against that abuse, all charged to the offending SPU only:
+
+* **process-count limits** — a ``Spawn`` syscall past the per-SPU cap
+  fails (the behaviour receives ``-1`` instead of a pid) after a forced
+  backoff, so a fork bomb burns its own time slice retrying;
+* **file-I/O admission control** — each SPU may have a bounded number
+  of file syscalls in flight; excess syscalls wait in a backpressure
+  loop and *fail* (resume with ``-1``) once they sit past the deadline,
+  so an I/O flood cannot grow kernel queues without bound;
+* **the OOM policy** — sustained complete allocation failure in one
+  SPU kills the largest memory offender *inside that SPU only* (see
+  :meth:`repro.kernel.kernel.Kernel.oom_kill`).
+
+The escalation ladder on top of these limits — detect, throttle
+(halved limits), kill — lives in
+:class:`repro.faults.invariants.OverloadGuard`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.units import MSEC, SEC
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Per-SPU admission limits the kernel enforces on syscall paths.
+
+    The defaults are high enough that well-behaved workloads (every
+    experiment in the paper's evaluation) never notice them; only
+    adversarial workloads trip the limits.
+    """
+
+    #: Live processes one user SPU may hold; a ``Spawn`` syscall past
+    #: the cap is denied.  ``None`` disables the limit.
+    max_procs_per_spu: Optional[int] = 128
+    #: Forced wait before a denied ``Spawn`` resumes (with ``-1``), so
+    #: a fork bomb cannot busy-loop the spawn path.
+    spawn_backoff_us: int = 10 * MSEC
+    #: File syscalls (read/write/metadata) one user SPU may have in
+    #: flight; excess syscalls wait in the admission loop.  ``None``
+    #: disables admission control.
+    max_inflight_io_per_spu: Optional[int] = 64
+    #: How often a queued file syscall re-tries admission.
+    io_retry_us: int = 2 * MSEC
+    #: A file syscall still waiting for admission this long after it
+    #: was issued fails (the behaviour receives ``-1``) instead of
+    #: queueing forever.
+    io_deadline_us: int = 2 * SEC
+    #: Consecutive *complete* page-allocation failures (no page even
+    #: after stealing) charged to one SPU before the kernel OOM-kills
+    #: that SPU's largest process.  0 disables the inline OOM trigger.
+    oom_failure_streak: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_procs_per_spu is not None and self.max_procs_per_spu < 1:
+            raise ValueError("max_procs_per_spu must allow at least one process")
+        if self.max_inflight_io_per_spu is not None and self.max_inflight_io_per_spu < 1:
+            raise ValueError("max_inflight_io_per_spu must allow at least one syscall")
+        if self.spawn_backoff_us < 0:
+            raise ValueError("spawn_backoff_us must be >= 0")
+        if self.io_retry_us <= 0:
+            raise ValueError("io_retry_us must be positive")
+        if self.io_deadline_us <= 0:
+            raise ValueError("io_deadline_us must be positive")
+        if self.oom_failure_streak < 0:
+            raise ValueError("oom_failure_streak must be >= 0")
+
+    def clamped(self, limit: Optional[int]) -> Optional[int]:
+        """A throttled SPU's version of ``limit`` (halved, at least 1)."""
+        if limit is None:
+            return None
+        return max(1, limit // 2)

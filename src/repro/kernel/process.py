@@ -78,6 +78,10 @@ class Process:
         #: A live dispatch-retry event exists (time-shared CPUs only).
         self.dispatch_retry_pending = False
 
+        #: Why the kernel forcibly terminated this process (``"oom"``,
+        #: escalation), or None for a voluntary exit.
+        self.kill_reason: Optional[str] = None
+
         # --- metrics -------------------------------------------------------
         self.created = created
         self.finished = -1

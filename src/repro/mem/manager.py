@@ -56,6 +56,10 @@ class MemoryManager:
         #: Allocation denials per SPU since the last rebalance; the
         #: sharing daemon's memory-pressure signal.
         self.denials: Dict[int, int] = {}
+        #: Cumulative denials per SPU over the whole run — never reset,
+        #: so the overload guard can diff them across its periods even
+        #: while the sharing daemon consumes :attr:`denials`.
+        self.total_denials: Dict[int, int] = {}
         #: Pages removed by hardware faults over the run.
         self.decommissioned = 0
 
@@ -103,14 +107,18 @@ class MemoryManager:
         """Charge one page to ``spu_id``; False on denial."""
         spu = self.registry.get(spu_id)
         if self.free_pages <= 0:
-            self.denials[spu_id] = self.denials.get(spu_id, 0) + 1
+            self._deny(spu_id)
             return False
         if self._capped(spu) and not spu.memory().can_use(1):
-            self.denials[spu_id] = self.denials.get(spu_id, 0) + 1
+            self._deny(spu_id)
             return False
         spu.memory().acquire(1)
         self.free_pages -= 1
         return True
+
+    def _deny(self, spu_id: int) -> None:
+        self.denials[spu_id] = self.denials.get(spu_id, 0) + 1
+        self.total_denials[spu_id] = self.total_denials.get(spu_id, 0) + 1
 
     def free(self, spu_id: int) -> None:
         """Return one page charged to ``spu_id``."""

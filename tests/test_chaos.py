@@ -1,0 +1,152 @@
+"""The chaos harness: plans, soaks, repro files, and shrinking."""
+
+import pytest
+
+from repro.chaos import (
+    AntagonistBurst,
+    ChaosPlan,
+    ChaosPlanError,
+    generate_plan,
+    load_repro,
+    replay,
+    run_chaos,
+    run_soak,
+    shrink_plan,
+    write_repro,
+)
+from repro.chaos.plan import CHAOS_NCPUS, MIN_CPUS_ONLINE
+from repro.chaos.shrink import repro_record
+from repro.faults.plan import CpuAdd, CpuRemove, DiskFailure, FaultPlan
+from repro.sim.units import MSEC, SEC
+
+
+def sabotage_page_leak(kernel):
+    """A deliberate kernel bug: pages appear out of thin air, breaking
+    page conservation on every watchdog check."""
+    kernel.memory.total_pages += 50
+
+
+class TestChaosPlan:
+    def test_validates_bursts(self):
+        with pytest.raises(ChaosPlanError, match="unknown antagonist"):
+            ChaosPlan(seed=0, horizon_us=SEC,
+                      bursts=[AntagonistBurst(0, "nuke")])
+        with pytest.raises(ChaosPlanError, match="scale"):
+            ChaosPlan(seed=0, horizon_us=SEC,
+                      bursts=[AntagonistBurst(0, "fork_bomb", scale=-1)])
+        with pytest.raises(ChaosPlanError, match="before boot"):
+            ChaosPlan(seed=0, horizon_us=SEC,
+                      bursts=[AntagonistBurst(-5, "fork_bomb")])
+        with pytest.raises(ChaosPlanError, match="horizon"):
+            ChaosPlan(seed=0, horizon_us=0)
+
+    def test_json_round_trip(self):
+        plan = generate_plan(seed=7)
+        clone = ChaosPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+        assert len(clone) == len(plan)
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ChaosPlanError, match="not valid JSON"):
+            ChaosPlan.from_json("{nope")
+        with pytest.raises(ChaosPlanError, match="missing fields"):
+            ChaosPlan.from_json('{"seed": 0}')
+        with pytest.raises(ChaosPlanError, match="bad burst fields"):
+            ChaosPlan.from_json(
+                '{"seed": 0, "horizon_us": 1000, "faults": [],'
+                ' "bursts": [{"when": 3}]}'
+            )
+        with pytest.raises(ChaosPlanError, match="bad fault plan"):
+            ChaosPlan.from_json(
+                '{"seed": 0, "horizon_us": 1000, "bursts": [],'
+                ' "faults": [{"kind": "meteor_strike", "at_us": 1}]}'
+            )
+
+    def test_generation_is_deterministic_and_legal(self):
+        for seed in range(30):
+            plan = generate_plan(seed)
+            again = generate_plan(seed)
+            assert plan.to_dict() == again.to_dict()
+            assert plan.bursts, "every plan carries at least one antagonist"
+            online = CHAOS_NCPUS
+            for event in plan.faults:
+                if isinstance(event, DiskFailure):
+                    assert event.disk != 0, "disk 0 is the failover target"
+                elif isinstance(event, CpuRemove):
+                    online -= 1
+                elif isinstance(event, CpuAdd):
+                    assert online < CHAOS_NCPUS, "CpuAdd with nothing offline"
+                    online += 1
+                assert online >= MIN_CPUS_ONLINE
+
+
+class TestSoak:
+    def test_clean_run_has_progress_and_no_violations(self):
+        plan = generate_plan(seed=1, horizon_us=1500 * MSEC)
+        result = run_chaos(plan)
+        assert result.ok
+        assert result.checkpoints > 0
+        assert result.journal[0].startswith("plan |")
+        assert result.journal[-1].startswith("end |")
+        assert any("launch |" in line for line in result.journal)
+
+    def test_short_soak_over_seeds_is_clean(self):
+        for result in run_soak([0, 1, 2], horizon_us=1500 * MSEC):
+            assert result.ok, result.violations
+
+
+class TestReproAndShrink:
+    def make_failing(self):
+        plan = generate_plan(seed=2, horizon_us=1200 * MSEC)
+        result = run_chaos(plan, sabotage=sabotage_page_leak)
+        assert not result.ok
+        assert result.violations[0].name == "page-conservation"
+        return plan, result
+
+    def test_repro_record_requires_a_violation(self):
+        plan = generate_plan(seed=1, horizon_us=1200 * MSEC)
+        with pytest.raises(ValueError, match="no violation"):
+            repro_record(run_chaos(plan))
+
+    def test_repro_file_replays_to_the_same_violation(self, tmp_path):
+        plan, result = self.make_failing()
+        path = str(tmp_path / "repro.json")
+        write_repro(path, result)
+        loaded_plan, recorded = load_repro(path)
+        assert loaded_plan.to_dict() == plan.to_dict()
+        replayed = replay(path, sabotage=sabotage_page_leak)
+        assert not replayed.ok
+        assert replayed.violations[0] == recorded
+        assert replayed.journal == result.journal
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ChaosPlanError, match="not a chaos repro"):
+            load_repro(str(path))
+
+    def test_shrink_reaches_a_minimal_plan(self):
+        plan, result = self.make_failing()
+        assert len(plan) > 0
+        shrunk = shrink_plan(
+            plan, result.violations[0].name, sabotage=sabotage_page_leak
+        )
+        # The sabotage fires regardless of the schedule, so the minimal
+        # reproduction is (well under) three events.
+        assert len(shrunk.plan) <= 3
+        assert shrunk.runs >= 1
+        final = run_chaos(shrunk.plan, sabotage=sabotage_page_leak)
+        assert any(v.name == "page-conservation" for v in final.violations)
+
+    def test_shrink_refuses_a_passing_plan(self):
+        plan = generate_plan(seed=1, horizon_us=1200 * MSEC)
+        with pytest.raises(ValueError, match="cannot shrink"):
+            shrink_plan(plan, "page-conservation")
+
+
+class TestCli:
+    def test_clean_seeds_exit_zero(self, capsys):
+        from repro.chaos.__main__ import main
+        assert main(["--seeds", "1", "--horizon-ms", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 1: ok" in out

@@ -47,3 +47,17 @@ def test_memory_experiment_replays_exactly():
     a = run_memory_isolation(piso_scheme(), balanced=False, seed=5)
     b = run_memory_isolation(piso_scheme(), balanced=False, seed=5)
     assert a == b
+
+
+def test_chaos_journal_replays_byte_identical():
+    # The chaos journal is the replay contract: the same seed must
+    # produce the same plan, the same run, and the same journal text.
+    from repro.chaos import generate_plan, run_chaos
+    from repro.sim.units import MSEC
+
+    def journal(seed):
+        plan = generate_plan(seed, horizon_us=1500 * MSEC)
+        return "\n".join(run_chaos(plan).journal)
+
+    assert journal(5) == journal(5)
+    assert journal(5) != journal(6)

@@ -387,6 +387,50 @@ class TestFaultPlan:
             FaultPlan(["not-a-fault"])
 
 
+class TestFaultPlanJson:
+    def sample(self):
+        return FaultPlan([
+            DiskTransient(at_us=msecs(5), disk=1, duration_us=msecs(50),
+                          error_rate=0.4),
+            MemoryLoss(at_us=msecs(10), pages=64),
+            CpuRemove(at_us=msecs(20), cpu=1),
+            CpuAdd(at_us=msecs(40), cpu=1),
+            DiskFailure(at_us=msecs(60), disk=1),
+        ])
+
+    def test_round_trips_through_json(self):
+        plan = self.sample()
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dicts() == plan.to_dicts()
+        assert len(clone) == len(plan)
+        # The validated clone is a real plan, not just equal dicts.
+        assert all(type(a) is type(b) for a, b in zip(clone, plan))
+
+    def test_round_trips_through_dicts(self):
+        plan = self.sample()
+        assert FaultPlan.from_dicts(plan.to_dicts()).to_dicts() == plan.to_dicts()
+
+    def test_from_json_revalidates(self):
+        # Parsing reuses the same validation as direct construction.
+        with pytest.raises(FaultPlanError, match="error rate"):
+            FaultPlan.from_json(
+                '[{"kind": "disk_transient", "at_us": 0, "disk": 0,'
+                ' "duration_us": 5, "error_rate": 7.0}]'
+            )
+
+    def test_from_json_rejects_malformed_input(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("[{oops")
+        with pytest.raises(FaultPlanError, match="must be an array"):
+            FaultPlan.from_json('{"kind": "cpu_remove", "at_us": 0}')
+        with pytest.raises(FaultPlanError, match="needs a 'kind'"):
+            FaultPlan.from_json('[{"at_us": 0}]')
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.from_json('[{"kind": "meteor_strike", "at_us": 0}]')
+        with pytest.raises(FaultPlanError, match="bad fields for"):
+            FaultPlan.from_json('[{"kind": "memory_loss", "at_us": 0}]')
+
+
 class TestFaultInjector:
     def test_arm_validates_against_machine(self):
         kernel, _ = booted(ncpus=2, ndisks=2)

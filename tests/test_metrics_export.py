@@ -94,3 +94,43 @@ class TestRealExperimentOutput:
         assert "pos" in text
         records = json.loads(to_json(PAPER_TABLE4))
         assert {r["label"] for r in records} == {"pos", "iso", "piso"}
+
+    def test_antagonist_rows_flatten_nested_overload_stats(self):
+        # Regression: AntagonistRow nests an OverloadStats dataclass;
+        # export must flatten it to dotted columns rather than choking
+        # on (or stringifying) the inner dataclass.  Built by hand so
+        # the test doesn't pay for the full experiment.
+        from repro.experiments import AntagonistRow, OverloadStats
+
+        rows = [
+            AntagonistRow(
+                antagonist="fork_bomb", scheme="PIso",
+                victim_shared_s=4.1, victim_solo_s=4.0, slowdown=1.02,
+                overload=OverloadStats(
+                    spawn_denials=12, mem_denials=0, io_throttled=3,
+                    io_rejected=1, oom_kills=1, throttles=2, guard_kills=1,
+                ),
+                watchdog_checks=40, violations=0,
+            ),
+            AntagonistRow(
+                antagonist="fork_bomb", scheme="SMP",
+                victim_shared_s=11.0, victim_solo_s=4.0, slowdown=2.75,
+                overload=OverloadStats(
+                    spawn_denials=0, mem_denials=0, io_throttled=0,
+                    io_rejected=0, oom_kills=0, throttles=0, guard_kills=0,
+                ),
+                watchdog_checks=40, violations=0,
+            ),
+        ]
+        records = to_records(rows)
+        assert records[0]["overload.spawn_denials"] == 12
+        assert records[0]["overload.guard_kills"] == 1
+        assert records[1]["overload.oom_kills"] == 0
+        assert all(
+            not isinstance(value, (dict, tuple)) and not hasattr(value, "__dataclass_fields__")
+            for record in records for value in record.values()
+        )
+        header = to_csv(rows).splitlines()[0]
+        assert "overload.spawn_denials" in header
+        assert "overload.throttles" in header
+        assert "antagonist" in header
