@@ -1,0 +1,20 @@
+"""Registry-driven sweep bench: every quick experiment through the
+uniform ``run(ExperimentSpec)`` entry point, timed one by one.
+
+Unlike the per-figure benches (which call drivers directly and assert
+the paper's numbers), this one exercises the path the runner and the
+parallel executor use, and prints each experiment's rendered report.
+"""
+
+import pytest
+
+from repro.api import ExperimentSpec, get, names, run_experiment
+
+
+@pytest.mark.parametrize("name", names(quick_only=True))
+def test_registry_experiment(run_once, name):
+    result = run_once(run_experiment, ExperimentSpec(name=name, seed=0))
+    assert result.name == name
+    assert result.records, f"experiment {name} exported no records"
+    print()
+    print(get(name).report(result.data))

@@ -1,14 +1,49 @@
-"""``python -m repro`` — regenerate the paper's tables and figures.
+"""``python -m repro`` — the one front door.
 
-Delegates to :mod:`repro.experiments.runner`; pass section names
-(``pmake8 fig5 fig7 table3 table4 network faults antagonists
-ablations``) to run a subset, and ``--seed N`` to change the base
-RNG seed.
+Subcommands:
+
+* ``experiments`` — regenerate the paper's tables and figures
+  (``python -m repro experiments fig5 table4 --seed 1 --workers 4``);
+* ``chaos`` — the seeded chaos soak (``python -m repro chaos --seeds
+  0 1 2 --workers 4``); ``python -m repro.chaos`` remains a shim;
+* ``bench`` — the performance harness that writes
+  ``BENCH_parallel.json`` (``python -m repro bench --quick``).
+
+All three share ``--seed``-style determinism and ``--workers`` for the
+parallel sweep executor.  For back-compatibility, bare section names
+(``python -m repro pmake8 fig5``) still work and mean ``experiments``.
 """
 
-import sys
+from __future__ import annotations
 
-from repro.experiments.runner import main
+import sys
+from typing import List
+
+USAGE = __doc__
+
+
+def main(argv: List[str]) -> int:
+    if argv and argv[0] in ("-h", "--help"):
+        print(USAGE)
+        return 0
+    command, rest = (argv[0], argv[1:]) if argv else ("experiments", [])
+    if command == "experiments":
+        from repro.experiments.runner import main as experiments_main
+
+        return experiments_main(rest)
+    if command == "chaos":
+        from repro.chaos.__main__ import main as chaos_main
+
+        return chaos_main(rest)
+    if command == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(rest)
+    # Bare section names (the pre-subcommand CLI) mean "experiments".
+    from repro.experiments.runner import main as experiments_main
+
+    return experiments_main(argv)
+
 
 if __name__ == "__main__":
     raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,32 @@
+"""Public facade: declarative simulation specs and the experiment
+registry.  ``build``/``run`` replace the hand-rolled machine wiring;
+``experiment``/``run_experiment`` give every paper figure one uniform,
+picklable entry point."""
+
+from repro.api.registry import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    experiment,
+    get,
+    load_all,
+    names,
+)
+from repro.api.registry import run as run_experiment
+from repro.api.spec import Simulation, SimulationSpec, SpuSpec, build, run
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Simulation",
+    "SimulationSpec",
+    "SpuSpec",
+    "build",
+    "experiment",
+    "get",
+    "load_all",
+    "names",
+    "run",
+    "run_experiment",
+]

@@ -1,0 +1,201 @@
+"""The performance harness behind ``python -m repro.bench``.
+
+Three measurements, one JSON artifact (``BENCH_parallel.json``):
+
+* **hot path** — events/sec through the simulator core, on a fixed
+  probe (the Pmake8 unbalanced placement under SMP and PIso).  The
+  checked-in :data:`BASELINE_EVENTS_PER_SEC` is the same probe measured
+  on the pre-optimisation tree, so the report shows the optimisation
+  pass's improvement and gives future PRs a trajectory to beat.
+* **per-experiment wall clock** — serial seconds for each registered
+  experiment.
+* **sweep scaling** — the experiment sweep run serially and through
+  :func:`repro.parallel.run_sweep` at increasing worker counts, with a
+  byte-identity check (canonical JSON of every experiment's records)
+  between the serial and parallel results.  Any divergence is a
+  determinism bug and fails the bench.
+
+Wall-clock numbers are hardware-dependent by nature; the JSON records
+the host's CPU count alongside them so trajectories are only compared
+like-for-like.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.api import ExperimentSpec, SimulationSpec, SpuSpec, build, names, run_experiment
+from repro.core.schemes import piso_scheme, smp_scheme
+from repro.parallel import run_sweep, values
+
+#: The hot-path probe measured on the pre-optimisation tree (commit
+#: df5f0a7, 1-CPU container, CPython 3.11): best of 3.  The probe is
+#: deterministic — only the wall clock under it changes.
+BASELINE_EVENTS_PER_SEC = 43263
+
+#: Worker counts the sweep-scaling stage measures.
+SCALING_WORKERS = (2, 4)
+
+
+def _hot_path_probe(seed: int = 0) -> int:
+    """One probe pass; returns events executed (a fixed, seed-pure count)."""
+    from repro.experiments.pmake8 import DEFAULT_PMAKE, LIGHT_SPUS, N_SPUS
+    from repro.workloads.pmake import create_pmake_files, pmake_job
+
+    events = 0
+    for scheme in (smp_scheme(), piso_scheme()):
+        sim = build(SimulationSpec(
+            ncpus=8,
+            memory_mb=44,
+            scheme=scheme,
+            spus=[SpuSpec(f"user{i + 1}", swap_mount=i) for i in range(N_SPUS)],
+            disks=N_SPUS,
+            seed=seed,
+        ))
+        for i, spu in enumerate(sim.spus):
+            njobs = 1 if i in LIGHT_SPUS else 2
+            for j in range(njobs):
+                files = create_pmake_files(
+                    sim.fs, mount=i, params=DEFAULT_PMAKE,
+                    job_name=f"spu{i + 1}-job{j}",
+                )
+                sim.spawn(
+                    pmake_job(files, DEFAULT_PMAKE), spu,
+                    name=f"pmake-spu{i + 1}-{j}",
+                )
+        events += sim.run()
+    return events
+
+
+def bench_hot_path(reps: int = 3, seed: int = 0) -> Dict[str, Any]:
+    """Best-of-``reps`` events/sec on the fixed probe."""
+    best_s = float("inf")
+    events = 0
+    for _ in range(reps):
+        start = time.perf_counter()
+        events = _hot_path_probe(seed=seed)
+        best_s = min(best_s, time.perf_counter() - start)
+    events_per_sec = events / best_s
+    return {
+        "events": events,
+        "seconds": round(best_s, 4),
+        "events_per_sec": round(events_per_sec, 1),
+        "baseline_events_per_sec": BASELINE_EVENTS_PER_SEC,
+        "improvement_percent": round(
+            100.0 * (events_per_sec / BASELINE_EVENTS_PER_SEC - 1.0), 1
+        ),
+    }
+
+
+def bench_experiments(sections: List[str], seed: int = 0) -> Dict[str, Any]:
+    """Serial wall clock per experiment (also the serial sweep total)."""
+    per_figure: Dict[str, Any] = {}
+    canonical: Dict[str, str] = {}
+    total = 0.0
+    for name in sections:
+        start = time.perf_counter()
+        result = run_experiment(ExperimentSpec(name=name, seed=seed))
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        per_figure[name] = {"seconds": round(elapsed, 3)}
+        canonical[name] = result.canonical_json()
+    return {"per_figure": per_figure, "serial_seconds": round(total, 3),
+            "canonical": canonical}
+
+
+def bench_sweep_scaling(
+    sections: List[str],
+    serial_canonical: Dict[str, str],
+    seed: int = 0,
+    workers: tuple = SCALING_WORKERS,
+) -> Dict[str, Any]:
+    """The same sweep through the executor at each worker count.
+
+    Results must match the serial run byte-for-byte; ``divergence``
+    names any experiment whose canonical JSON differs.
+    """
+    payloads = [ExperimentSpec(name=name, seed=seed) for name in sections]
+    out: Dict[str, Any] = {"workers": {}, "divergence": []}
+    for n in workers:
+        start = time.perf_counter()
+        results = values(run_sweep(run_experiment, payloads, max_workers=n))
+        elapsed = time.perf_counter() - start
+        diverged = [
+            r.name for r in results
+            if r.canonical_json() != serial_canonical[r.name]
+        ]
+        out["workers"][str(n)] = {"seconds": round(elapsed, 3)}
+        for name in diverged:
+            if name not in out["divergence"]:
+                out["divergence"].append(name)
+    return out
+
+
+def run_bench(
+    quick: bool = False,
+    seed: int = 0,
+    reps: Optional[int] = None,
+    workers: tuple = SCALING_WORKERS,
+) -> Dict[str, Any]:
+    """The full bench; returns the ``BENCH_parallel.json`` payload."""
+    sections = names(quick_only=quick)
+    reps = reps if reps is not None else (1 if quick else 3)
+
+    hot = bench_hot_path(reps=reps, seed=seed)
+    serial = bench_experiments(sections, seed=seed)
+    scaling = bench_sweep_scaling(
+        sections, serial["canonical"], seed=seed, workers=workers
+    )
+
+    serial_s = serial["serial_seconds"]
+    for stats in scaling["workers"].values():
+        stats["speedup"] = round(serial_s / stats["seconds"], 2)
+
+    return {
+        "schema": "repro.bench/1",
+        "quick": quick,
+        "seed": seed,
+        "hot_path": hot,
+        "experiments": {
+            "sections": sections,
+            "per_figure": serial["per_figure"],
+            "serial_seconds": serial_s,
+        },
+        "sweep": {
+            "workers": scaling["workers"],
+            "divergence": scaling["divergence"],
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+    }
+
+
+def format_report(payload: Dict[str, Any]) -> str:
+    hot = payload["hot_path"]
+    lines = [
+        f"hot path: {hot['events_per_sec']:,.0f} events/s"
+        f" ({hot['events']} events in {hot['seconds']}s;"
+        f" baseline {hot['baseline_events_per_sec']:,} ->"
+        f" {hot['improvement_percent']:+.1f}%)",
+        f"serial sweep: {payload['experiments']['serial_seconds']}s over"
+        f" {len(payload['experiments']['sections'])} experiments",
+    ]
+    for name, stats in payload["experiments"]["per_figure"].items():
+        lines.append(f"  {name}: {stats['seconds']}s")
+    for n, stats in payload["sweep"]["workers"].items():
+        lines.append(
+            f"sweep at {n} workers: {stats['seconds']}s"
+            f" ({stats['speedup']}x; host has {payload['host']['cpu_count']}"
+            " CPUs)"
+        )
+    divergence = payload["sweep"]["divergence"]
+    lines.append(
+        "serial-vs-parallel results: "
+        + ("BYTE-IDENTICAL" if not divergence else f"DIVERGED: {divergence}")
+    )
+    return "\n".join(lines)

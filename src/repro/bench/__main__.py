@@ -1,0 +1,55 @@
+"""``python -m repro.bench`` — measure, report, and archive performance.
+
+Writes ``BENCH_parallel.json`` (events/sec on the hot path vs the
+checked-in baseline, per-experiment wall clock, sweep scaling) and
+exits 1 if the serial and parallel sweeps ever disagree on results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.bench import SCALING_WORKERS, format_report, run_bench
+
+
+def main(argv: List[str] = sys.argv[1:]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Benchmark the simulator hot path and the parallel"
+        " sweep executor; write BENCH_parallel.json.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fast subset: quick experiments only, one hot-path rep",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base RNG seed for every measured run (default: 0)",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=list(SCALING_WORKERS),
+        help="worker counts for the sweep-scaling stage (default: 2 4)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default="BENCH_parallel.json",
+        help="where to write the results (default: BENCH_parallel.json)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(
+        quick=args.quick, seed=args.seed, workers=tuple(args.workers)
+    )
+    with open(args.json, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print(format_report(payload))
+    print(f"written to {args.json}")
+    return 1 if payload["sweep"]["divergence"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

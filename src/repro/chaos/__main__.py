@@ -35,11 +35,19 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         help="where to write the repro file on violation"
         " (default: chaos-repro.json)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to fan seeds across"
+        " (default: 1 = in-process; 0 = auto)",
+    )
     args = parser.parse_args(argv)
 
+    max_workers = None if args.workers == 0 else args.workers
+    results = run_soak(
+        args.seeds, horizon_us=args.horizon_ms * MSEC, max_workers=max_workers
+    )
     failed = False
-    for seed in args.seeds:
-        [result] = run_soak([seed], horizon_us=args.horizon_ms * MSEC)
+    for seed, result in zip(args.seeds, results):
         status = "ok" if result.ok else "VIOLATION"
         print(
             f"seed {seed}: {status} — {result.checkpoints} checkpoints,"

@@ -213,17 +213,30 @@ def run_chaos(
     )
 
 
+def _soak_cell(payload: Tuple[int, Optional[int], Optional[SchemeConfig]]) -> ChaosResult:
+    """One (seed, horizon, scheme) soak — the sweep worker function."""
+    seed, horizon_us, scheme = payload
+    if horizon_us is not None:
+        plan = generate_plan(seed, horizon_us=horizon_us)
+    else:
+        plan = generate_plan(seed)
+    return run_chaos(plan, scheme=scheme)
+
+
 def run_soak(
     seeds: List[int],
     horizon_us: Optional[int] = None,
     scheme: Optional[SchemeConfig] = None,
+    max_workers: Optional[int] = 1,
 ) -> List[ChaosResult]:
-    """Generate and run one chaos plan per seed."""
-    results = []
-    for seed in seeds:
-        if horizon_us is not None:
-            plan = generate_plan(seed, horizon_us=horizon_us)
-        else:
-            plan = generate_plan(seed)
-        results.append(run_chaos(plan, scheme=scheme))
-    return results
+    """Generate and run one chaos plan per seed.
+
+    Each seed's plan is independent and each run is a pure function of
+    its plan (journals are byte-identical across replays), so seeds fan
+    out across worker processes; results come back in seed order
+    regardless of which worker finished first.
+    """
+    from repro.parallel import run_sweep, values
+
+    payloads = [(seed, horizon_us, scheme) for seed in seeds]
+    return values(run_sweep(_soak_cell, payloads, max_workers=max_workers))

@@ -59,6 +59,14 @@ class SPU:
         self.levels: Dict[Resource, ResourceLevels] = {
             r: ResourceLevels() for r in Resource
         }
+        # The per-resource accessors are on the allocation hot path
+        # (every page grant consults memory()); the enum-keyed dict
+        # lookups are hoisted to plain attributes here.  ``kind`` never
+        # changes after construction, so is_user is precomputed too.
+        self._cpu_levels = self.levels[Resource.CPU]
+        self._memory_levels = self.levels[Resource.MEMORY]
+        self._disk_bw_levels = self.levels[Resource.DISK_BW]
+        self.is_user = kind is SPUKind.USER
         #: Processes currently assigned to this SPU (by pid).
         self.pids: Set[int] = set()
         #: Decayed sectors-transferred counter per disk id (Section 3.3).
@@ -66,18 +74,14 @@ class SPU:
 
     # --- convenience accessors ------------------------------------------------
 
-    @property
-    def is_user(self) -> bool:
-        return self.kind is SPUKind.USER
-
     def cpu(self) -> ResourceLevels:
-        return self.levels[Resource.CPU]
+        return self._cpu_levels
 
     def memory(self) -> ResourceLevels:
-        return self.levels[Resource.MEMORY]
+        return self._memory_levels
 
     def disk_bw(self) -> ResourceLevels:
-        return self.levels[Resource.DISK_BW]
+        return self._disk_bw_levels
 
     def disk_counter(self, disk_id: int, decay_period: int, now: int) -> DecayedCounter:
         """The decayed sector counter for one disk, created on demand."""

@@ -29,7 +29,16 @@ KERNEL_PRIORITY_BAND = -1000
 
 
 class ProcessPriority:
-    """Priority state for one process; lower effective value runs first."""
+    """Priority state for one process; lower effective value runs first.
+
+    :meth:`effective` sits inside the scheduler's best-pick loop, so the
+    lazy decay is inlined there (and in :meth:`recent_cpu_ms`) rather
+    than factored through a helper — the arithmetic is kept
+    expression-identical in every copy so all paths decay to the same
+    float values.
+    """
+
+    __slots__ = ("base", "kernel_priority", "_recent_us", "_stamp")
 
     def __init__(self, base: int = 20, now: int = 0):
         self.base = base
@@ -55,11 +64,18 @@ class ProcessPriority:
 
     def recent_cpu_ms(self, now: int) -> float:
         """Decayed recent usage in milliseconds."""
-        self._decay_to(now)
+        if now > self._stamp:
+            elapsed = now - self._stamp
+            self._recent_us *= math.pow(0.5, elapsed / USAGE_HALF_LIFE)
+            self._stamp = now
         return self._recent_us / MSEC
 
     def effective(self, now: int) -> float:
         """The value the scheduler compares; lower is better."""
         if self.kernel_priority is not None:
             return float(self.kernel_priority)
-        return self.base + self.recent_cpu_ms(now) * USAGE_WEIGHT_PER_MS
+        if now > self._stamp:
+            elapsed = now - self._stamp
+            self._recent_us *= math.pow(0.5, elapsed / USAGE_HALF_LIFE)
+            self._stamp = now
+        return self.base + (self._recent_us / MSEC) * USAGE_WEIGHT_PER_MS

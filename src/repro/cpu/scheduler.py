@@ -18,11 +18,17 @@ Scheme behaviour:
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.core.schemes import SchemeConfig
 from repro.cpu.partition import CpuPartition
-from repro.cpu.priorities import ProcessPriority
+from repro.cpu.priorities import (
+    USAGE_HALF_LIFE,
+    USAGE_WEIGHT_PER_MS,
+    ProcessPriority,
+)
+from repro.sim.units import MSEC
 
 
 class SchedulableProcess(Protocol):
@@ -35,6 +41,8 @@ class SchedulableProcess(Protocol):
 
 class Processor:
     """One CPU's scheduling state."""
+
+    __slots__ = ("cpu_id", "running", "on_loan", "no_loan_until", "online")
 
     def __init__(self, cpu_id: int):
         self.cpu_id = cpu_id
@@ -106,7 +114,37 @@ class CpuScheduler:
         return sum(len(q) for q in self._queues.values())
 
     def _best(self, procs: List[SchedulableProcess], now: int) -> SchedulableProcess:
-        return min(procs, key=lambda p: (p.priority.effective(now), p.pid))
+        # Equivalent to min() keyed on (priority.effective(now), pid),
+        # written as a plain loop with ProcessPriority.effective inlined:
+        # this runs for every candidate on every dispatch and dominated
+        # the scheduler's profile.  The decay arithmetic is kept
+        # expression-identical to ProcessPriority.effective so both
+        # paths produce the same floats.
+        best = None
+        best_eff = 0.0
+        best_pid = 0
+        pow_ = math.pow
+        for p in procs:
+            pr = p.priority
+            kp = pr.kernel_priority
+            if kp is not None:
+                eff = float(kp)
+            else:
+                stamp = pr._stamp
+                if now > stamp:
+                    elapsed = now - stamp
+                    pr._recent_us *= pow_(0.5, elapsed / USAGE_HALF_LIFE)
+                    pr._stamp = now
+                eff = pr.base + (pr._recent_us / MSEC) * USAGE_WEIGHT_PER_MS
+            if (
+                best is None
+                or eff < best_eff
+                or (eff == best_eff and p.pid < best_pid)
+            ):
+                best = p
+                best_eff = eff
+                best_pid = p.pid
+        return best
 
     def _eligible(self, procs: List[SchedulableProcess], now: int) -> List[SchedulableProcess]:
         if self.eligibility is None:
@@ -180,13 +218,14 @@ class CpuScheduler:
         when a process becomes runnable rather than waiting for the
         next natural dispatch.
         """
-        idle = [c for c in self.processors if c.idle]
+        idle = [c for c in self.processors if c.online and c.running is None]
         if not idle:
             return None
         if not self.scheme.cpu_partitioned:
             return idle[0]
+        home_get = self.partition._home.get
         for cpu in idle:
-            if self.home_of(cpu) == proc.spu_id:
+            if home_get(cpu.cpu_id) == proc.spu_id:
                 return cpu
         if self.scheme.cpu_lending:
             lendable = [c for c in idle if now >= c.no_loan_until]
@@ -205,16 +244,25 @@ class CpuScheduler:
         if not (self.scheme.cpu_partitioned and self.scheme.cpu_lending):
             return []
         to_revoke: List[Processor] = []
+        # This scan runs on every clock tick; one pass over the
+        # processor table per queue, with the partition's home map
+        # bound locally (it is rebuilt — rebound — on CPU hot-remove,
+        # so it must not be cached across calls).
+        home_get = self.partition._home.get
         for spu_id, queue in self._queues.items():
             if not queue:
                 continue
-            home_cpus = [
-                c for c in self.processors if self.home_of(c) == spu_id
-            ]
             # Idle home CPUs will be dispatched anyway; only loaned-out
             # ones need revoking.
-            loaned = [c for c in home_cpus if c.on_loan]
-            needed = len(queue) - sum(1 for c in home_cpus if c.idle)
+            loaned: List[Processor] = []
+            idle_home = 0
+            for c in self.processors:
+                if home_get(c.cpu_id) == spu_id:
+                    if c.on_loan:
+                        loaned.append(c)
+                    elif c.online and c.running is None:
+                        idle_home += 1
+            needed = len(queue) - idle_home
             for cpu in loaned[: max(0, needed)]:
                 to_revoke.append(cpu)
         for cpu in to_revoke:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Tuple
 
+from repro.api import SimulationSpec, build, experiment
 from repro.core.schemes import (
     DiskSchedPolicy,
     IsolationParams,
@@ -26,12 +27,9 @@ from repro.core.schemes import (
     smp_scheme,
     stride_scheme,
 )
-from repro.disk.model import fast_disk
-from repro.kernel.kernel import Kernel
 from repro.kernel.locks import KernelLock
-from repro.kernel.machine import DiskSpec, MachineConfig
 from repro.kernel.syscalls import Acquire, Behavior, Compute, Release, Sleep
-from repro.metrics.stats import job_results, mean_response_us
+from repro.metrics.stats import mean_response_us
 from repro.sim.units import MSEC, SEC, usecs
 from repro.experiments.disk_bandwidth import run_big_small_copy
 from repro.experiments.memory_isolation import (
@@ -82,22 +80,19 @@ def run_lock_ablation(
     responses: Dict[bool, float] = {}
     contentions: Dict[bool, int] = {}
     for reader_writer in (False, True):
-        config = MachineConfig(
-            ncpus=4, memory_mb=32, disks=[DiskSpec(geometry=fast_disk())],
-            scheme=piso_scheme(), seed=seed,
-        )
-        kernel = Kernel(config)
-        spus = [kernel.create_spu(f"u{i}") for i in range(2)]
-        kernel.boot()
+        sim = build(SimulationSpec(
+            ncpus=4, memory_mb=32, scheme=piso_scheme(),
+            spus=["u0", "u1"], seed=seed,
+        ))
         inode_lock = KernelLock("root-inode", reader_writer=reader_writer)
         for i in range(nprocs):
-            kernel.spawn(
+            sim.spawn(
                 _lookup_job(inode_lock, lookups, crit_us, work_us, write_every),
-                spus[i % len(spus)],
+                i % len(sim.spus),
                 name=f"lookup{i}",
             )
-        kernel.run()
-        responses[reader_writer] = mean_response_us(job_results(kernel))
+        sim.run()
+        responses[reader_writer] = mean_response_us(sim.results())
         contentions[reader_writer] = inode_lock.contentions
     return LockAblationResult(
         mutex_response_us=responses[False],
@@ -134,13 +129,11 @@ def run_priority_inversion_ablation(seed: int = 0) -> InversionResult:
     """
     results = {}
     for inheritance in (False, True):
-        config = MachineConfig(
-            ncpus=1, memory_mb=16, disks=[DiskSpec(geometry=fast_disk())],
-            scheme=piso_scheme(), seed=seed,
-        )
-        kernel = Kernel(config)
-        spu = kernel.create_spu("u")
-        kernel.boot()
+        sim = build(SimulationSpec(
+            ncpus=1, memory_mb=16, scheme=piso_scheme(), spus=["u"], seed=seed,
+        ))
+        kernel = sim.kernel
+        spu = sim.spu("u")
         lock = KernelLock("resource", inheritance=inheritance)
 
         def low() -> Behavior:
@@ -297,17 +290,14 @@ def _interactive_latency(params: IsolationParams, seed: int) -> float:
     )
 
     spec = InteractiveParams(bursts=100, think_ms=20.0, burst_ms=1.0)
-    config = MachineConfig(
-        ncpus=2, memory_mb=16, disks=[DiskSpec(geometry=fast_disk())],
-        scheme=piso_scheme(params), seed=seed,
-    )
-    kernel = Kernel(config)
-    inter_spu = kernel.create_spu("interactive")
-    hog_spu = kernel.create_spu("hog")
-    kernel.boot()
-    proc = kernel.spawn(interactive_user(spec), inter_spu, name="interactive")
+    sim = build(SimulationSpec(
+        ncpus=2, memory_mb=16, scheme=piso_scheme(params),
+        spus=["interactive", "hog"], seed=seed,
+    ))
+    kernel = sim.kernel
+    proc = sim.spawn(interactive_user(spec), "interactive", name="interactive")
     for i in range(2):
-        kernel.spawn(cpu_hog(30_000.0), hog_spu, name=f"hog{i}")
+        sim.spawn(cpu_hog(30_000.0), "hog", name=f"hog{i}")
     kernel.run(until=3 * spec.ideal_us)
     if proc.finished < 0:
         # Interactive never finished inside the window: report the
@@ -357,20 +347,17 @@ def run_migration_sweep(
         for scheme_factory in (smp_scheme, piso_scheme, stride_scheme):
             params = IsolationParams(migration_cost=cost)
             scheme = scheme_factory(params)
-            config = MachineConfig(
-                ncpus=2, memory_mb=16, disks=[DiskSpec(geometry=fast_disk())],
-                scheme=scheme, seed=seed,
-            )
-            kernel = Kernel(config)
-            spus = [kernel.create_spu(f"u{i}") for i in range(2)]
-            kernel.boot()
+            sim = build(SimulationSpec(
+                ncpus=2, memory_mb=16, scheme=scheme,
+                spus=["u0", "u1"], seed=seed,
+            ))
             # An odd process count: round-robin over two CPUs then
             # lands each process on alternating CPUs, so affinity is
             # broken at nearly every slice on the global queue.
             procs = [
-                kernel.spawn(job(), spus[i % 2], name=f"j{i}") for i in range(5)
+                sim.spawn(job(), i % 2, name=f"j{i}") for i in range(5)
             ]
-            kernel.run()
+            sim.run()
             mean = sum(p.response_us for p in procs) / len(procs) / 1e6
             points.append(
                 MigrationPoint(
@@ -400,24 +387,20 @@ def run_holddown_ablation(holddown_ms: float = 50.0, seed: int = 0) -> HolddownR
     loans = {}
     for holddown in (0.0, holddown_ms):
         params = IsolationParams(loan_holddown=usecs(holddown * 1000))
-        config = MachineConfig(
-            ncpus=2, memory_mb=16, disks=[DiskSpec(geometry=fast_disk())],
-            scheme=piso_scheme(params), seed=seed,
-        )
-        kernel = Kernel(config)
-        inter_spu = kernel.create_spu("interactive")
-        hog_spu = kernel.create_spu("hog")
-        kernel.boot()
+        sim = build(SimulationSpec(
+            ncpus=2, memory_mb=16, scheme=piso_scheme(params),
+            spus=["interactive", "hog"], seed=seed,
+        ))
         from repro.workloads.interactive import (
             InteractiveParams, cpu_hog, interactive_user,
         )
 
         spec = InteractiveParams(bursts=50, think_ms=20.0, burst_ms=1.0)
-        kernel.spawn(interactive_user(spec), inter_spu)
+        sim.spawn(interactive_user(spec), "interactive")
         for i in range(2):
-            kernel.spawn(cpu_hog(5000.0), hog_spu)
-        kernel.run(until=usecs(2_000_000))
-        loans[holddown] = kernel.cpusched.loans_granted
+            sim.spawn(cpu_hog(5000.0), "hog")
+        sim.run(until=usecs(2_000_000))
+        loans[holddown] = sim.kernel.cpusched.loans_granted
     return HolddownResult(
         loans_without=loans[0.0], loans_with=loans[holddown_ms]
     )
@@ -483,20 +466,125 @@ def run_fractional_partition(
     def spinner(ms: float) -> Behavior:
         yield Compute(usecs(ms * 1000))
 
-    config = MachineConfig(
-        ncpus=ncpus, memory_mb=64, disks=[DiskSpec(geometry=fast_disk())],
-        scheme=piso_scheme(), seed=seed,
-    )
-    kernel = Kernel(config)
-    spus = [kernel.create_spu(f"project{i}") for i in range(nspus)]
-    kernel.boot()
-    for spu in spus:
+    sim = build(SimulationSpec(
+        ncpus=ncpus, memory_mb=64, scheme=piso_scheme(),
+        spus=[f"project{i}" for i in range(nspus)], seed=seed,
+    ))
+    for spu in sim.spus:
         # Enough processes to saturate any CPU the SPU is offered.
         for j in range(ncpus):
-            kernel.spawn(spinner(job_ms), spu, name=f"{spu.name}-spin{j}")
+            sim.spawn(spinner(job_ms), spu, name=f"{spu.name}-spin{j}")
     # Run for a fixed window; jobs are sized to outlast it.
-    kernel.run(until=2 * SEC)
+    sim.run(until=2 * SEC)
     by_spu = {
-        spu.name: kernel.cpu_account.total(spu.spu_id) / 1e6 for spu in spus
+        spu.name: sim.kernel.cpu_account.total(spu.spu_id) / 1e6
+        for spu in sim.spus
     }
     return FractionalPartitionResult(cpu_seconds_by_spu=by_spu)
+
+
+# --- the registry aggregate: every ablation in one run ---------------------------
+
+
+@dataclass(frozen=True)
+class AblationsResult:
+    """All the ablation sweeps for one seed, in one result."""
+
+    lock: LockAblationResult
+    bw_threshold: List[ThresholdPoint]
+    decay: List[ThresholdPoint]
+    reserve: List[ReservePoint]
+    fractional: FractionalPartitionResult
+    revocation: RevocationResult
+    migration: List[MigrationPoint]
+    holddown: HolddownResult
+    inversion: InversionResult
+
+
+def _render(result: AblationsResult) -> str:
+    from repro.metrics.report import format_table
+
+    parts = []
+    lock = result.lock
+    parts.append(
+        f"Lock ablation (Section 3.4): mutex {lock.mutex_response_us / 1e6:.2f}s"
+        f" -> readers/writer {lock.rwlock_response_us / 1e6:.2f}s"
+        f" ({lock.improvement_percent:.0f}% better; paper: 20-30%)"
+    )
+    rows = [
+        [f"{p.threshold:g}", f"{p.small_response_s:.2f}", f"{p.big_response_s:.2f}",
+         f"{p.latency_ms:.2f}"]
+        for p in result.bw_threshold
+    ]
+    parts.append(
+        format_table(
+            ["threshold", "small s", "big s", "lat ms"],
+            rows,
+            title="BW-difference threshold sweep (0 = round-robin-like,"
+            " inf = position-only)",
+        )
+    )
+    rows = [
+        [f"{p.threshold:g}", f"{p.small_response_s:.2f}", f"{p.big_response_s:.2f}"]
+        for p in result.decay
+    ]
+    parts.append(format_table(["decay ms", "small s", "big s"], rows,
+                              title="Bandwidth-counter decay period sweep"))
+    rows = [
+        [f"{p.reserve_fraction:.2f}", f"{p.spu1_unbalanced_s:.2f}",
+         f"{p.spu2_unbalanced_s:.2f}"]
+        for p in result.reserve
+    ]
+    parts.append(format_table(["reserve", "spu1 s", "spu2 s"], rows,
+                              title="Memory Reserve Threshold sweep"))
+    frac = result.fractional
+    parts.append(
+        "Fractional CPU partition (3 SPUs on 8 CPUs): "
+        + ", ".join(f"{k}={v:.2f}s" for k, v in frac.cpu_seconds_by_spu.items())
+        + f" (max imbalance {frac.max_imbalance_percent:.1f}%)"
+    )
+    revocation = result.revocation
+    parts.append(
+        f"Revocation latency: tick {revocation.tick_latency_ms:.2f} ms/burst"
+        f" vs IPI {revocation.ipi_latency_ms:.2f} ms/burst"
+        f" ({revocation.speedup:.0f}x; paper suggests IPIs for interactive"
+        " response-time guarantees)"
+    )
+    rows = [
+        [f"{p.migration_cost_us}", p.scheme, f"{p.mean_response_s:.3f}"]
+        for p in result.migration
+    ]
+    parts.append(format_table(
+        ["migration cost us", "scheme", "mean response s"], rows,
+        title="Cache-affinity (migration) cost sweep — partitioning is"
+        " itself an affinity mechanism",
+    ))
+    holddown = result.holddown
+    parts.append(
+        f"Loan hold-down: {holddown.loans_without} loans granted without"
+        f" vs {holddown.loans_with} with a 50 ms hold-down"
+    )
+    inversion = result.inversion
+    parts.append(
+        f"Priority inversion (Section 3.4 / [SRL90]): high-priority lock"
+        f" wait {inversion.no_inheritance_wait_ms:.0f} ms ->"
+        f" {inversion.inheritance_wait_ms:.0f} ms with inheritance"
+        f" ({inversion.speedup:.1f}x)"
+    )
+    return "\n\n".join(parts)
+
+
+@experiment("ablations", title="Ablations", render=_render, quick=True)
+def run_ablations(seed: int = 0) -> AblationsResult:
+    """Every ablation sweep, bundled for the registry and the runner."""
+    return AblationsResult(
+        lock=run_lock_ablation(seed=seed),
+        bw_threshold=run_bw_threshold_sweep(seed=seed),
+        decay=run_decay_sweep(seed=seed),
+        reserve=run_reserve_sweep(seed=seed),
+        fractional=run_fractional_partition(seed=seed),
+        revocation=run_revocation_ablation(seed=seed),
+        migration=run_migration_sweep(seed=seed),
+        holddown=run_holddown_ablation(seed=seed),
+        inversion=run_priority_inversion_ablation(seed=seed),
+    )

@@ -35,13 +35,12 @@ from typing import Dict, List, Optional, Tuple
 import random
 
 from repro.antagonists import ANTAGONIST_KINDS, launch
+from repro.api import SimulationSpec, build, experiment
 from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme
 from repro.core.spu import SPU
-from repro.disk.model import fast_disk
 from repro.faults import InvariantWatchdog, OverloadGuard
 from repro.kernel.kernel import Kernel
 from repro.kernel.locks import KernelLock
-from repro.kernel.machine import DiskSpec, MachineConfig
 from repro.kernel.syscalls import (
     Acquire,
     Behavior,
@@ -200,17 +199,17 @@ def run_shared(
     Returns (victim mean response seconds, overload stats, watchdog
     checks, violation count).
     """
-    config = MachineConfig(
+    sim = build(SimulationSpec(
         ncpus=scenario.ncpus,
         memory_mb=scenario.memory_mb,
-        disks=[DiskSpec(geometry=fast_disk())],
         scheme=scheme,
+        spus=["victim", "attacker"],
+        disks=1,
         seed=seed,
-    )
-    kernel = Kernel(config)
-    victim = kernel.create_spu("victim")
-    attacker = kernel.create_spu("attacker")
-    kernel.boot()
+    ))
+    kernel = sim.kernel
+    victim = sim.spu("victim")
+    attacker = sim.spu("attacker")
 
     lock = KernelLock("inode", reader_writer=True, inheritance=True)
     watchdog = InvariantWatchdog(kernel)
@@ -254,22 +253,50 @@ def run_solo(
     seed: int = 0,
 ) -> float:
     """The victim alone on its contract share: half CPUs, half memory."""
-    config = MachineConfig(
+    sim = build(SimulationSpec(
         ncpus=scenario.ncpus // 2,
         memory_mb=scenario.memory_mb // 2,
-        disks=[DiskSpec(geometry=fast_disk())],
         scheme=scheme,
+        spus=["victim"],
+        disks=1,
         seed=seed,
-    )
-    kernel = Kernel(config)
-    victim = kernel.create_spu("victim")
-    kernel.boot()
+    ))
     lock = KernelLock("inode", reader_writer=True, inheritance=True)
-    victim_procs = _make_victim(kernel, victim, lock, scenario)
-    kernel.run()
+    victim_procs = _make_victim(sim.kernel, sim.spu("victim"), lock, scenario)
+    sim.run()
     return _mean_response_s(victim_procs)
 
 
+def _render(result: AntagonistIsolationResult) -> str:
+    from repro.metrics.report import format_table
+
+    rows = []
+    for row in result.records():
+        rows.append(
+            [
+                row.antagonist,
+                row.scheme,
+                f"{row.victim_shared_s:.2f}",
+                f"{row.victim_solo_s:.2f}",
+                f"{row.slowdown:.2f}",
+                row.overload.spawn_denials + row.overload.mem_denials
+                + row.overload.io_throttled + row.overload.io_rejected,
+                row.overload.throttles,
+                row.overload.oom_kills + row.overload.guard_kills,
+                row.violations,
+            ]
+        )
+    return format_table(
+        ["antagonist", "scheme", "shared s", "solo s", "slowdown",
+         "pressure", "throttles", "kills", "violations"],
+        rows,
+        title="Antagonist isolation — victim slowdown next to an adversarial"
+        " neighbour, vs its contract share (PIso should stay ~1.0;"
+        " SMP collapses under fork/memory/disk bombs)",
+    )
+
+
+@experiment("antagonists", title="Antagonist isolation", render=_render)
 def run_antagonist_isolation(
     scenario: AntagonistScenario = DEFAULT_SCENARIO,
     seed: int = 0,

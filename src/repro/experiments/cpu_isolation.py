@@ -19,11 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.api import SimulationSpec, SpuSpec, build, experiment
 from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme
-from repro.disk.model import fast_disk
-from repro.kernel.kernel import Kernel
-from repro.kernel.machine import DiskSpec, MachineConfig
-from repro.metrics.stats import job_results, mean_response_us, normalize
+from repro.metrics.stats import mean_response_us, normalize
 from repro.workloads.scientific import (
     OceanParams,
     SimulatorParams,
@@ -67,29 +65,24 @@ def run_cpu_isolation(
     seed: int = 0,
 ) -> CpuIsolationRun:
     """One simulation of the CPU-isolation workload."""
-    config = MachineConfig(
+    sim = build(SimulationSpec(
         ncpus=8,
         memory_mb=64,
-        disks=[DiskSpec(geometry=fast_disk()) for _ in range(2)],
         scheme=scheme,
+        spus=[SpuSpec("ocean", swap_mount=0), SpuSpec("simulators", swap_mount=1)],
+        disks=2,
         seed=seed,
-    )
-    kernel = Kernel(config)
-    spu1 = kernel.create_spu("ocean")
-    spu2 = kernel.create_spu("simulators")
-    kernel.boot()
-    kernel.set_swap_mount(spu1, 0)
-    kernel.set_swap_mount(spu2, 1)
+    ))
 
     for i, behavior in enumerate(ocean_processes(ocean)):
-        kernel.spawn(behavior, spu1, name=f"ocean{i}")
+        sim.spawn(behavior, "ocean", name=f"ocean{i}")
     for i in range(3):
-        kernel.spawn(simulator_process(flashlite), spu2, name=f"flashlite{i}")
+        sim.spawn(simulator_process(flashlite), "simulators", name=f"flashlite{i}")
     for i in range(3):
-        kernel.spawn(simulator_process(vcs), spu2, name=f"vcs{i}")
+        sim.spawn(simulator_process(vcs), "simulators", name=f"vcs{i}")
 
-    kernel.run()
-    results = job_results(kernel)
+    sim.run()
+    results = sim.results()
 
     def mean_for(prefix: str) -> float:
         return mean_response_us([r for r in results if r.name.startswith(prefix)])
@@ -102,6 +95,22 @@ def run_cpu_isolation(
     )
 
 
+def _render(results: Dict[str, CpuIsolationResult]) -> str:
+    from repro.metrics.report import format_table
+
+    rows = [
+        [name, f"{r.ocean:.0f}", f"{r.flashlite:.0f}", f"{r.vcs:.0f}"]
+        for name, r in results.items()
+    ]
+    return format_table(
+        ["scheme", "ocean", "flashlite", "vcs"],
+        rows,
+        title="Figure 5 — CPU isolation (percent of SMP; paper: Quo/PIso"
+        " help Ocean, Quo alone hurts Flashlite/VCS)",
+    )
+
+
+@experiment("fig5", title="Figure 5 — CPU isolation", render=_render, quick=True)
 def run_figure_5(seed: int = 0) -> Dict[str, CpuIsolationResult]:
     """All three schemes, normalised to SMP per application."""
     runs = {

@@ -25,10 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.api import Simulation, SimulationSpec, build, experiment
 from repro.core.schemes import DiskSchedPolicy, IsolationParams, piso_scheme
 from repro.disk.model import hp97560
-from repro.kernel.kernel import Kernel
-from repro.kernel.machine import DiskSpec, MachineConfig
+from repro.kernel.machine import DiskSpec
 from repro.sim.units import KB, MB, msecs
 from repro.workloads.copy import CopyParams, copy_job, create_copy_files
 from repro.workloads.pmake import PmakeParams, create_pmake_files, pmake_job
@@ -76,16 +76,18 @@ class DiskRow:
 def _machine(
     policy: DiskSchedPolicy,
     seed: int,
-    params: IsolationParams = IsolationParams(),
-) -> MachineConfig:
+    params: IsolationParams,
+    spus: tuple,
+) -> Simulation:
     scheme = piso_scheme(params).with_disk_policy(policy)
-    return MachineConfig(
+    return build(SimulationSpec(
         ncpus=2,
         memory_mb=44,
-        disks=[DiskSpec(geometry=hp97560(seek_scale=0.5, media_scale=4))],
         scheme=scheme,
+        spus=list(spus),
+        disks=[DiskSpec(geometry=hp97560(seek_scale=0.5, media_scale=4))],
         seed=seed,
-    )
+    ))
 
 
 def run_pmake_copy(
@@ -94,32 +96,29 @@ def run_pmake_copy(
     params: IsolationParams = IsolationParams(),
 ) -> DiskRow:
     """One Table 3 simulation: job A = pmake, job B = 20 MB copy."""
-    kernel = Kernel(_machine(policy, seed, params))
-    spu_pmake = kernel.create_spu("pmake")
-    spu_copy = kernel.create_spu("copy")
-    kernel.boot()
+    sim = _machine(policy, seed, params, ("pmake", "copy"))
 
     pmake_files = create_pmake_files(
-        kernel.fs, mount=0, params=TABLE3_PMAKE, job_name="t3-pmake"
+        sim.fs, mount=0, params=TABLE3_PMAKE, job_name="t3-pmake"
     )
     # Put the copy's 40 MB of source+destination in the middle of the
     # disk, away from most of the pmake's scattered extents.
-    middle = kernel.drives[0].geometry.total_sectors // 2
+    middle = sim.drives[0].geometry.total_sectors // 2
     src, dst = create_copy_files(
-        kernel.fs, 0, TABLE3_COPY, name="t3-copy", at_sector=middle
+        sim.fs, 0, TABLE3_COPY, name="t3-copy", at_sector=middle
     )
 
-    pm = kernel.spawn(pmake_job(pmake_files, TABLE3_PMAKE), spu_pmake, name="pmake")
-    cp = kernel.spawn(copy_job(src, dst, TABLE3_COPY), spu_copy, name="copy")
-    kernel.run()
+    pm = sim.spawn(pmake_job(pmake_files, TABLE3_PMAKE), "pmake", name="pmake")
+    cp = sim.spawn(copy_job(src, dst, TABLE3_COPY), "copy", name="copy")
+    sim.run()
 
-    stats = kernel.drives[0].stats
+    stats = sim.drives[0].stats
     return DiskRow(
         policy=policy.value,
         response_a_s=pm.response_us / 1e6,
         response_b_s=cp.response_us / 1e6,
-        wait_a_ms=stats.mean_wait_ms(spu_pmake.spu_id),
-        wait_b_ms=stats.mean_wait_ms(spu_copy.spu_id),
+        wait_a_ms=stats.mean_wait_ms(sim.spu("pmake").spu_id),
+        wait_b_ms=stats.mean_wait_ms(sim.spu("copy").spu_id),
         latency_ms=stats.mean_latency_ms(),
         seek_ms=stats.mean_seek_ms(),
         requests=stats.count(),
@@ -137,50 +136,99 @@ def run_big_small_copy(
     first (the paper notes it "happen[s] to issue requests to the disk
     earlier"), which under Pos lets it lock the small copy out.
     """
-    kernel = Kernel(_machine(policy, seed, params))
-    spu_small = kernel.create_spu("small")
-    spu_big = kernel.create_spu("big")
-    kernel.boot()
+    sim = _machine(policy, seed, params, ("small", "big"))
 
-    total = kernel.drives[0].geometry.total_sectors
+    total = sim.drives[0].geometry.total_sectors
     small_src, small_dst = create_copy_files(
-        kernel.fs, 0, TABLE4_SMALL, name="t4-small", at_sector=total // 8
+        sim.fs, 0, TABLE4_SMALL, name="t4-small", at_sector=total // 8
     )
     big_src, big_dst = create_copy_files(
-        kernel.fs, 0, TABLE4_BIG, name="t4-big", at_sector=(total * 5) // 8
+        sim.fs, 0, TABLE4_BIG, name="t4-big", at_sector=(total * 5) // 8
     )
 
-    big = kernel.spawn(copy_job(big_src, big_dst, TABLE4_BIG), spu_big, name="big")
+    big = sim.spawn(copy_job(big_src, big_dst, TABLE4_BIG), "big", name="big")
     # The small copy arrives a moment later, finding the queue already
     # full of the big copy's contiguous requests.
     holder = {}
 
     def start_small() -> None:
-        holder["small"] = kernel.spawn(
-            copy_job(small_src, small_dst, TABLE4_SMALL), spu_small, name="small"
+        holder["small"] = sim.spawn(
+            copy_job(small_src, small_dst, TABLE4_SMALL), "small", name="small"
         )
 
-    kernel.engine.after(msecs(40), start_small)
-    kernel.run()
+    sim.engine.after(msecs(40), start_small)
+    sim.run()
     small = holder["small"]
 
-    stats = kernel.drives[0].stats
+    stats = sim.drives[0].stats
     return DiskRow(
         policy=policy.value,
         response_a_s=small.response_us / 1e6,
         response_b_s=big.response_us / 1e6,
-        wait_a_ms=stats.mean_wait_ms(spu_small.spu_id),
-        wait_b_ms=stats.mean_wait_ms(spu_big.spu_id),
+        wait_a_ms=stats.mean_wait_ms(sim.spu("small").spu_id),
+        wait_b_ms=stats.mean_wait_ms(sim.spu("big").spu_id),
         latency_ms=stats.mean_latency_ms(),
         seek_ms=stats.mean_seek_ms(),
         requests=stats.count(),
     )
 
 
+def _render_table3(results: Dict[str, DiskRow]) -> str:
+    from repro.metrics.report import format_table
+
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [
+                name,
+                f"{r.response_a_s:.2f}",
+                f"{r.response_b_s:.2f}",
+                f"{r.wait_a_ms:.1f}",
+                f"{r.wait_b_ms:.1f}",
+                f"{r.latency_ms:.2f}",
+            ]
+        )
+    return format_table(
+        ["policy", "pmake s", "copy s", "wait pmk ms", "wait cpy ms", "avg lat ms"],
+        rows,
+        title="Table 3 — pmake-copy (paper: PIso cuts pmake ~39%, wait"
+        " ~76%; copy +23%; latency flat)",
+    )
+
+
+def _render_table4(results: Dict[str, DiskRow]) -> str:
+    from repro.metrics.report import format_table
+
+    rows = []
+    for name, r in results.items():
+        paper = PAPER_TABLE4[name]
+        rows.append(
+            [
+                name,
+                f"{r.response_a_s:.2f}",
+                f"{r.response_b_s:.2f}",
+                f"{paper.response_a_s:.2f}/{paper.response_b_s:.2f}",
+                f"{r.wait_a_ms:.1f}",
+                f"{r.latency_ms:.2f}",
+                f"{paper.latency_ms:.1f}",
+            ]
+        )
+    return format_table(
+        ["policy", "small s", "big s", "paper s/b", "wait small ms", "lat ms", "paper lat"],
+        rows,
+        title="Table 4 — big-and-small copy",
+    )
+
+
+@experiment("table3", title="Table 3 — pmake-copy", render=_render_table3)
 def run_table_3(seed: int = 0) -> Dict[str, DiskRow]:
     return {p.value: run_pmake_copy(p, seed) for p in POLICIES}
 
 
+@experiment(
+    "table4", title="Table 4 — big-and-small copy", render=_render_table4,
+    quick=True,
+)
 def run_table_4(seed: int = 0) -> Dict[str, DiskRow]:
     return {p.value: run_big_small_copy(p, seed) for p in POLICIES}
 

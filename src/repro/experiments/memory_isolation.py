@@ -20,11 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.api import SimulationSpec, SpuSpec, build, experiment
 from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme
-from repro.disk.model import fast_disk
-from repro.kernel.kernel import Kernel
-from repro.kernel.machine import DiskSpec, MachineConfig
-from repro.metrics.stats import job_results, mean_response_us, normalize
+from repro.metrics.stats import mean_response_us, normalize
 from repro.workloads.pmake import PmakeParams, create_pmake_files, pmake_job
 
 #: Pmake with "four parallel compiles each" and a working set sized so
@@ -76,36 +74,34 @@ def run_memory_isolation(
     seed: int = 0,
 ) -> MemoryIsolationRun:
     """One simulation of the memory-isolation workload."""
-    config = MachineConfig(
+    sim = build(SimulationSpec(
         ncpus=4,
         memory_mb=memory_mb,
-        disks=[DiskSpec(geometry=fast_disk()) for _ in range(2)],
         scheme=scheme,
+        spus=[SpuSpec("user1", swap_mount=0), SpuSpec("user2", swap_mount=1)],
+        disks=2,
         seed=seed,
-    )
-    kernel = Kernel(config)
-    spu1 = kernel.create_spu("user1")
-    spu2 = kernel.create_spu("user2")
-    kernel.boot()
-    kernel.set_swap_mount(spu1, 0)
-    kernel.set_swap_mount(spu2, 1)
+    ))
+    spu1, spu2 = sim.spus
 
     jobs = [(spu1, 0, 1), (spu2, 1, 1 if balanced else 2)]
     for spu, mount, njobs in jobs:
         for j in range(njobs):
             files = create_pmake_files(
-                kernel.fs, mount=mount, params=params,
+                sim.fs, mount=mount, params=params,
                 job_name=f"{spu.name}-job{j}",
             )
-            kernel.spawn(pmake_job(files, params), spu, name=f"pmake-{spu.name}-{j}")
+            sim.spawn(pmake_job(files, params), spu, name=f"pmake-{spu.name}-{j}")
 
-    kernel.run()
-    results = job_results(kernel)
+    sim.run()
+    results = sim.results()
     spu1_jobs = [r for r in results if r.spu_id == spu1.spu_id]
     spu2_jobs = [r for r in results if r.spu_id == spu2.spu_id]
     faults = {
         s.spu_id: sum(
-            p.fault_count for p in kernel.processes.values() if p.spu_id == s.spu_id
+            p.fault_count
+            for p in sim.kernel.processes.values()
+            if p.spu_id == s.spu_id
         )
         for s in (spu1, spu2)
     }
@@ -119,6 +115,28 @@ def run_memory_isolation(
     )
 
 
+def _render(results: Dict[str, MemoryIsolationResult]) -> str:
+    from repro.metrics.report import format_table
+
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [
+                name,
+                f"{r.isolation_unbalanced:.0f}",
+                f"{PAPER_FIG7['isolation'][name]:.0f}",
+                f"{r.sharing_unbalanced:.0f}",
+                f"{PAPER_FIG7['sharing'][name]:.0f}",
+            ]
+        )
+    return format_table(
+        ["scheme", "SPU1 U", "paper", "SPU2 U", "paper"],
+        rows,
+        title="Figure 7 — memory isolation (percent of SMP-balanced)",
+    )
+
+
+@experiment("fig7", title="Figure 7 — memory isolation", render=_render, quick=True)
 def run_figure_7(
     params: PmakeParams = DEFAULT_PMAKE, seed: int = 0
 ) -> Dict[str, MemoryIsolationResult]:

@@ -19,10 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.api import SimulationSpec, build, experiment
 from repro.core.schemes import piso_scheme
-from repro.disk.model import fast_disk
-from repro.kernel.kernel import Kernel
-from repro.kernel.machine import DiskSpec, MachineConfig, NicSpec
+from repro.kernel.machine import NicSpec
 from repro.kernel.syscalls import Behavior, SendNetwork, Sleep
 from repro.sim.units import KB, MB, msecs
 
@@ -65,35 +64,52 @@ def bulk_job(total: int = BULK_TOTAL) -> Behavior:
 
 def run_network_isolation(policy: str, seed: int = 0) -> NetworkRow:
     """One simulation: RPC SPU vs bulk SPU on a shared 100 Mb/s link."""
-    config = MachineConfig(
+    sim = build(SimulationSpec(
         ncpus=2,
         memory_mb=32,
-        disks=[DiskSpec(geometry=fast_disk())],
-        nics=[NicSpec(bandwidth_mbps=100.0, policy=policy)],
         scheme=piso_scheme(),
+        spus=["rpc", "bulk"],
+        disks=1,
+        nics=[NicSpec(bandwidth_mbps=100.0, policy=policy)],
         seed=seed,
-    )
-    kernel = Kernel(config)
-    rpc_spu = kernel.create_spu("rpc")
-    bulk_spu = kernel.create_spu("bulk")
-    kernel.boot()
+    ))
 
-    rpc = kernel.spawn(rpc_job(), rpc_spu, name="rpc")
-    bulk = kernel.spawn(bulk_job(), bulk_spu, name="bulk")
-    kernel.run()
+    rpc = sim.spawn(rpc_job(), "rpc", name="rpc")
+    bulk = sim.spawn(bulk_job(), "bulk", name="bulk")
+    sim.run()
 
-    link = kernel.links[0]
-    elapsed_s = kernel.engine.now / 1e6
+    link = sim.kernel.links[0]
+    elapsed_s = sim.engine.now / 1e6
     return NetworkRow(
         policy=policy,
         rpc_response_s=rpc.response_us / 1e6,
         bulk_response_s=bulk.response_us / 1e6,
-        rpc_wait_ms=link.stats.mean_wait_ms(rpc_spu.spu_id),
-        bulk_wait_ms=link.stats.mean_wait_ms(bulk_spu.spu_id),
+        rpc_wait_ms=link.stats.mean_wait_ms(sim.spu("rpc").spu_id),
+        bulk_wait_ms=link.stats.mean_wait_ms(sim.spu("bulk").spu_id),
         goodput_mbps=link.stats.total_bytes() * 8 / elapsed_s / 1e6,
     )
 
 
+def _render(results: Dict[str, NetworkRow]) -> str:
+    from repro.metrics.report import format_table
+
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [name, f"{r.rpc_response_s:.2f}", f"{r.bulk_response_s:.2f}",
+             f"{r.rpc_wait_ms:.2f}", f"{r.goodput_mbps:.1f}"]
+        )
+    return format_table(
+        ["policy", "rpc s", "bulk s", "rpc wait ms", "goodput Mb/s"],
+        rows,
+        title="Network-bandwidth isolation (the paper's Section-5 sketch:"
+        " disk policy minus head position)",
+    )
+
+
+@experiment(
+    "network", title="Network-bandwidth isolation", render=_render, quick=True
+)
 def run_network_table(seed: int = 0) -> Dict[str, NetworkRow]:
     """All three link policies."""
     return {p: run_network_isolation(p, seed) for p in POLICIES}

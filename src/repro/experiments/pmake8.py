@@ -22,11 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.api import SimulationSpec, SpuSpec, build, experiment
 from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme
-from repro.disk.model import fast_disk
-from repro.kernel.kernel import Kernel
-from repro.kernel.machine import DiskSpec, MachineConfig
-from repro.metrics.stats import job_results, mean_response_us, normalize
+from repro.metrics.stats import mean_response_us, normalize
 from repro.workloads.pmake import PmakeParams, create_pmake_files, pmake_job
 
 #: Default pmake job for this experiment ("two parallel compiles each").
@@ -83,32 +81,28 @@ def run_pmake8(
     seed: int = 0,
 ) -> Pmake8Run:
     """One simulation of the Pmake8 workload."""
-    config = MachineConfig(
+    sim = build(SimulationSpec(
         ncpus=8,
         memory_mb=memory_mb,
-        disks=[DiskSpec(geometry=fast_disk()) for _ in range(N_SPUS)],
         scheme=scheme,
+        spus=[SpuSpec(f"user{i + 1}", swap_mount=i) for i in range(N_SPUS)],
+        disks=N_SPUS,
         seed=seed,
-    )
-    kernel = Kernel(config)
-    spus = [kernel.create_spu(f"user{i + 1}") for i in range(N_SPUS)]
-    kernel.boot()
-    for i, spu in enumerate(spus):
-        kernel.set_swap_mount(spu, i)
+    ))
 
-    for i, spu in enumerate(spus):
+    for i, spu in enumerate(sim.spus):
         njobs = 1 if balanced or i in LIGHT_SPUS else 2
         for j in range(njobs):
             files = create_pmake_files(
-                kernel.fs, mount=i, params=params, job_name=f"spu{i + 1}-job{j}"
+                sim.fs, mount=i, params=params, job_name=f"spu{i + 1}-job{j}"
             )
-            kernel.spawn(pmake_job(files, params), spu, name=f"pmake-spu{i + 1}-{j}")
+            sim.spawn(pmake_job(files, params), spu, name=f"pmake-spu{i + 1}-{j}")
 
-    kernel.run()
-    results = job_results(kernel)
-    light = [r for r in results if r.spu_id in {spus[i].spu_id for i in LIGHT_SPUS}]
-    heavy = [r for r in results if r.spu_id in {spus[i].spu_id for i in HEAVY_SPUS}]
-    sched = kernel.cpusched
+    sim.run()
+    results = sim.results()
+    light = [r for r in results if r.spu_id in {sim.spus[i].spu_id for i in LIGHT_SPUS}]
+    heavy = [r for r in results if r.spu_id in {sim.spus[i].spu_id for i in HEAVY_SPUS}]
+    sched = sim.kernel.cpusched
     return Pmake8Run(
         scheme=scheme.name,
         balanced=balanced,
@@ -119,6 +113,35 @@ def run_pmake8(
     )
 
 
+def _render(results: Dict[str, Pmake8Result]) -> str:
+    from repro.metrics.report import format_table
+
+    rows: List[List[object]] = []
+    for name, r in results.items():
+        paper_b, paper_u = PAPER_FIG2[name]
+        rows.append(
+            [
+                name,
+                f"{r.fig2_balanced:.0f}",
+                f"{r.fig2_unbalanced:.0f}",
+                f"{paper_b:.0f}/{paper_u:.0f}",
+                f"{r.fig3_unbalanced:.0f}",
+                f"{PAPER_FIG3[name]:.0f}",
+            ]
+        )
+    return format_table(
+        ["scheme", "fig2 B", "fig2 U", "paper B/U", "fig3 U", "paper"],
+        rows,
+        title="Figures 2 & 3 — Pmake8 (percent of SMP-balanced)",
+    )
+
+
+@experiment(
+    "pmake8",
+    title="Figures 2 & 3 — Pmake8",
+    render=_render,
+    quick=True,
+)
 def run_figures_2_and_3(
     params: PmakeParams = DEFAULT_PMAKE, seed: int = 0
 ) -> Dict[str, Pmake8Result]:

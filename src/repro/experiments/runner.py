@@ -1,293 +1,41 @@
-"""Run every experiment and print paper-vs-measured tables.
+"""Run registered experiments and print paper-vs-measured tables.
 
-This is the command-line entry point behind ``python -m
-repro.experiments.runner`` — it regenerates every table and figure in
-the paper's evaluation section and the ablations, printing the same
-rows/series the paper reports next to the paper's numbers.
+This is the ``experiments`` subcommand behind ``python -m repro`` (and
+still runnable as ``python -m repro.experiments.runner``).  It iterates
+the experiment registry — every module in :mod:`repro.experiments`
+registers its driver with :func:`repro.api.experiment` — fans the
+selected experiments across worker processes with
+:func:`repro.parallel.run_sweep`, and prints each experiment's rendered
+report in registration order, whatever order the workers finished in.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
+from typing import List, Optional
 
-from repro.experiments.ablations import (
-    run_bw_threshold_sweep,
-    run_decay_sweep,
-    run_fractional_partition,
-    run_holddown_ablation,
-    run_lock_ablation,
-    run_migration_sweep,
-    run_priority_inversion_ablation,
-    run_reserve_sweep,
-    run_revocation_ablation,
-)
-from repro.experiments.antagonist_isolation import run_antagonist_isolation
-from repro.experiments.cpu_isolation import run_figure_5
-from repro.experiments.fault_isolation import run_fault_isolation
-from repro.experiments.disk_bandwidth import (
-    PAPER_TABLE4,
-    run_table_3,
-    run_table_4,
-)
-from repro.experiments.memory_isolation import PAPER_FIG7, run_figure_7
-from repro.experiments.network_isolation import run_network_table
-from repro.experiments.pmake8 import PAPER_FIG2, PAPER_FIG3, run_figures_2_and_3
-from repro.metrics.report import format_table
+from repro.api import ExperimentResult, ExperimentSpec, get, names, run_experiment
+from repro.parallel import run_sweep, values
 
 
-def report_figures_2_and_3(seed: int = 0) -> str:
-    results = run_figures_2_and_3(seed=seed)
-    rows: List[List[object]] = []
-    for name, r in results.items():
-        paper_b, paper_u = PAPER_FIG2[name]
-        rows.append(
-            [
-                name,
-                f"{r.fig2_balanced:.0f}",
-                f"{r.fig2_unbalanced:.0f}",
-                f"{paper_b:.0f}/{paper_u:.0f}",
-                f"{r.fig3_unbalanced:.0f}",
-                f"{PAPER_FIG3[name]:.0f}",
-            ]
-        )
-    return format_table(
-        ["scheme", "fig2 B", "fig2 U", "paper B/U", "fig3 U", "paper"],
-        rows,
-        title="Figures 2 & 3 — Pmake8 (percent of SMP-balanced)",
+def run_sections(
+    sections: List[str],
+    seed: int = 0,
+    max_workers: Optional[int] = 1,
+    timeout_s: Optional[float] = None,
+) -> List[ExperimentResult]:
+    """Run the named experiments; results in the order requested."""
+    payloads = [ExperimentSpec(name=name, seed=seed) for name in sections]
+    outcomes = run_sweep(
+        run_experiment, payloads, max_workers=max_workers, timeout_s=timeout_s
     )
-
-
-def report_figure_5(seed: int = 0) -> str:
-    results = run_figure_5(seed=seed)
-    rows = [
-        [name, f"{r.ocean:.0f}", f"{r.flashlite:.0f}", f"{r.vcs:.0f}"]
-        for name, r in results.items()
-    ]
-    return format_table(
-        ["scheme", "ocean", "flashlite", "vcs"],
-        rows,
-        title="Figure 5 — CPU isolation (percent of SMP; paper: Quo/PIso"
-        " help Ocean, Quo alone hurts Flashlite/VCS)",
-    )
-
-
-def report_figure_7(seed: int = 0) -> str:
-    results = run_figure_7(seed=seed)
-    rows = []
-    for name, r in results.items():
-        rows.append(
-            [
-                name,
-                f"{r.isolation_unbalanced:.0f}",
-                f"{PAPER_FIG7['isolation'][name]:.0f}",
-                f"{r.sharing_unbalanced:.0f}",
-                f"{PAPER_FIG7['sharing'][name]:.0f}",
-            ]
-        )
-    return format_table(
-        ["scheme", "SPU1 U", "paper", "SPU2 U", "paper"],
-        rows,
-        title="Figure 7 — memory isolation (percent of SMP-balanced)",
-    )
-
-
-def report_table_3(seed: int = 0) -> str:
-    rows = []
-    for name, r in run_table_3(seed=seed).items():
-        rows.append(
-            [
-                name,
-                f"{r.response_a_s:.2f}",
-                f"{r.response_b_s:.2f}",
-                f"{r.wait_a_ms:.1f}",
-                f"{r.wait_b_ms:.1f}",
-                f"{r.latency_ms:.2f}",
-            ]
-        )
-    return format_table(
-        ["policy", "pmake s", "copy s", "wait pmk ms", "wait cpy ms", "avg lat ms"],
-        rows,
-        title="Table 3 — pmake-copy (paper: PIso cuts pmake ~39%, wait"
-        " ~76%; copy +23%; latency flat)",
-    )
-
-
-def report_table_4(seed: int = 0) -> str:
-    rows = []
-    for name, r in run_table_4(seed=seed).items():
-        paper = PAPER_TABLE4[name]
-        rows.append(
-            [
-                name,
-                f"{r.response_a_s:.2f}",
-                f"{r.response_b_s:.2f}",
-                f"{paper.response_a_s:.2f}/{paper.response_b_s:.2f}",
-                f"{r.wait_a_ms:.1f}",
-                f"{r.latency_ms:.2f}",
-                f"{paper.latency_ms:.1f}",
-            ]
-        )
-    return format_table(
-        ["policy", "small s", "big s", "paper s/b", "wait small ms", "lat ms", "paper lat"],
-        rows,
-        title="Table 4 — big-and-small copy",
-    )
-
-
-def report_network(seed: int = 0) -> str:
-    rows = []
-    for name, r in run_network_table(seed=seed).items():
-        rows.append(
-            [name, f"{r.rpc_response_s:.2f}", f"{r.bulk_response_s:.2f}",
-             f"{r.rpc_wait_ms:.2f}", f"{r.goodput_mbps:.1f}"]
-        )
-    return format_table(
-        ["policy", "rpc s", "bulk s", "rpc wait ms", "goodput Mb/s"],
-        rows,
-        title="Network-bandwidth isolation (the paper's Section-5 sketch:"
-        " disk policy minus head position)",
-    )
-
-
-def report_ablations(seed: int = 0) -> str:
-    parts = []
-    lock = run_lock_ablation(seed=seed)
-    parts.append(
-        f"Lock ablation (Section 3.4): mutex {lock.mutex_response_us / 1e6:.2f}s"
-        f" -> readers/writer {lock.rwlock_response_us / 1e6:.2f}s"
-        f" ({lock.improvement_percent:.0f}% better; paper: 20-30%)"
-    )
-    rows = [
-        [f"{p.threshold:g}", f"{p.small_response_s:.2f}", f"{p.big_response_s:.2f}",
-         f"{p.latency_ms:.2f}"]
-        for p in run_bw_threshold_sweep(seed=seed)
-    ]
-    parts.append(
-        format_table(
-            ["threshold", "small s", "big s", "lat ms"],
-            rows,
-            title="BW-difference threshold sweep (0 = round-robin-like,"
-            " inf = position-only)",
-        )
-    )
-    rows = [
-        [f"{p.threshold:g}", f"{p.small_response_s:.2f}", f"{p.big_response_s:.2f}"]
-        for p in run_decay_sweep(seed=seed)
-    ]
-    parts.append(format_table(["decay ms", "small s", "big s"], rows,
-                              title="Bandwidth-counter decay period sweep"))
-    rows = [
-        [f"{p.reserve_fraction:.2f}", f"{p.spu1_unbalanced_s:.2f}",
-         f"{p.spu2_unbalanced_s:.2f}"]
-        for p in run_reserve_sweep(seed=seed)
-    ]
-    parts.append(format_table(["reserve", "spu1 s", "spu2 s"], rows,
-                              title="Memory Reserve Threshold sweep"))
-    frac = run_fractional_partition(seed=seed)
-    parts.append(
-        "Fractional CPU partition (3 SPUs on 8 CPUs): "
-        + ", ".join(f"{k}={v:.2f}s" for k, v in frac.cpu_seconds_by_spu.items())
-        + f" (max imbalance {frac.max_imbalance_percent:.1f}%)"
-    )
-    revocation = run_revocation_ablation(seed=seed)
-    parts.append(
-        f"Revocation latency: tick {revocation.tick_latency_ms:.2f} ms/burst"
-        f" vs IPI {revocation.ipi_latency_ms:.2f} ms/burst"
-        f" ({revocation.speedup:.0f}x; paper suggests IPIs for interactive"
-        " response-time guarantees)"
-    )
-    rows = [
-        [f"{p.migration_cost_us}", p.scheme, f"{p.mean_response_s:.3f}"]
-        for p in run_migration_sweep(seed=seed)
-    ]
-    parts.append(format_table(
-        ["migration cost us", "scheme", "mean response s"], rows,
-        title="Cache-affinity (migration) cost sweep — partitioning is"
-        " itself an affinity mechanism",
-    ))
-    holddown = run_holddown_ablation(seed=seed)
-    parts.append(
-        f"Loan hold-down: {holddown.loans_without} loans granted without"
-        f" vs {holddown.loans_with} with a 50 ms hold-down"
-    )
-    inversion = run_priority_inversion_ablation(seed=seed)
-    parts.append(
-        f"Priority inversion (Section 3.4 / [SRL90]): high-priority lock"
-        f" wait {inversion.no_inheritance_wait_ms:.0f} ms ->"
-        f" {inversion.inheritance_wait_ms:.0f} ms with inheritance"
-        f" ({inversion.speedup:.1f}x)"
-    )
-    return "\n\n".join(parts)
-
-
-def report_faults(seed: int = 0) -> str:
-    rows = []
-    for name, r in run_fault_isolation(seed=seed).items():
-        rows.append(
-            [
-                name,
-                f"{r.survivor_faulted_s:.2f}",
-                f"{r.survivor_contract_s:.2f}",
-                f"{r.degradation_ratio:.2f}",
-                f"{r.victim_faulted_s:.2f}",
-                r.transient_errors,
-                r.renegotiations,
-                r.violations,
-            ]
-        )
-    return format_table(
-        ["scheme", "faulted s", "contract s", "ratio", "victim s",
-         "io errs", "reneg", "violations"],
-        rows,
-        title="Fault isolation — survivor response under mid-run disk death"
-        " + 2-CPU hot-remove, vs its renegotiated contract share"
-        " (ratio ~1 = isolation holds while hardware degrades)",
-    )
-
-
-def report_antagonists(seed: int = 0) -> str:
-    result = run_antagonist_isolation(seed=seed)
-    rows = []
-    for row in result.records():
-        rows.append(
-            [
-                row.antagonist,
-                row.scheme,
-                f"{row.victim_shared_s:.2f}",
-                f"{row.victim_solo_s:.2f}",
-                f"{row.slowdown:.2f}",
-                row.overload.spawn_denials + row.overload.mem_denials
-                + row.overload.io_throttled + row.overload.io_rejected,
-                row.overload.throttles,
-                row.overload.oom_kills + row.overload.guard_kills,
-                row.violations,
-            ]
-        )
-    return format_table(
-        ["antagonist", "scheme", "shared s", "solo s", "slowdown",
-         "pressure", "throttles", "kills", "violations"],
-        rows,
-        title="Antagonist isolation — victim slowdown next to an adversarial"
-        " neighbour, vs its contract share (PIso should stay ~1.0;"
-        " SMP collapses under fork/memory/disk bombs)",
-    )
+    return values(outcomes)
 
 
 def main(argv: List[str] = sys.argv[1:]) -> int:
     """Run everything (or the sections named on the command line)."""
-    sections = {
-        "pmake8": report_figures_2_and_3,
-        "fig5": report_figure_5,
-        "fig7": report_figure_7,
-        "table3": report_table_3,
-        "table4": report_table_4,
-        "network": report_network,
-        "faults": report_faults,
-        "antagonists": report_antagonists,
-        "ablations": report_ablations,
-    }
+    known = names()
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate the paper's tables and figures.",
@@ -296,7 +44,7 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         "sections",
         nargs="*",
         metavar="section",
-        help=f"sections to run (default: all); choose from {sorted(sections)}",
+        help=f"sections to run (default: all); choose from {sorted(known)}",
     )
     parser.add_argument(
         "--seed",
@@ -304,14 +52,38 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         default=0,
         help="base RNG seed shared by every experiment (default: 0)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to fan experiments across"
+        " (default: 1 = in-process; 0 = auto)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write every experiment's flat records as JSON",
+    )
     args = parser.parse_args(argv)
-    chosen = args.sections if args.sections else list(sections)
+    chosen = args.sections if args.sections else list(known)
     for name in chosen:
-        if name not in sections:
-            print(f"unknown section {name!r}; choose from {sorted(sections)}")
+        if name not in known:
+            print(f"unknown section {name!r}; choose from {sorted(known)}")
             return 2
-        print(sections[name](seed=args.seed))
+
+    max_workers = None if args.workers == 0 else args.workers
+    results = run_sections(chosen, seed=args.seed, max_workers=max_workers)
+    for result in results:
+        print(get(result.name).report(result.data))
         print()
+
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump([r.payload() for r in results], f, indent=2, sort_keys=True)
+        print(f"records written to {args.json}")
     return 0
 
 

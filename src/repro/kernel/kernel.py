@@ -1048,10 +1048,11 @@ class Kernel:
 
     def _make_runnable(self, proc: Process) -> None:
         proc.state = ProcessState.RUNNABLE
-        proc.runnable_since = self.engine.now
+        now = self.engine.now
+        proc.runnable_since = now
         sched = self._sched()
         sched.enqueue(proc)
-        cpu = sched.find_cpu_for(proc, self.engine.now)
+        cpu = sched.find_cpu_for(proc, now)
         if cpu is not None:
             self._dispatch(cpu)
             return
@@ -1134,28 +1135,31 @@ class Kernel:
     def _begin_slice(self, cpu: Processor, proc: Process) -> None:
         proc.state = ProcessState.RUNNING
         proc.cpu = cpu
+        params = self.scheme.params
         # Cache-affinity warm-up when moving to a different CPU; no
         # compute progress during it (Section 3.1's "cache pollution").
         warmup = 0
+        last_cpu_id = proc.last_cpu_id
         if (
-            self.scheme.params.migration_cost
-            and proc.last_cpu_id is not None
-            and proc.last_cpu_id != cpu.cpu_id
+            params.migration_cost
+            and last_cpu_id is not None
+            and last_cpu_id != cpu.cpu_id
         ):
-            warmup = self.scheme.params.migration_cost
+            warmup = params.migration_cost
         proc.slice_warmup = warmup
         proc.last_cpu_id = cpu.cpu_id
-        remaining = proc.pending_compute
-        length, reason = remaining, "done"
-        quantum = self.scheme.params.time_slice
+        length, reason = proc.pending_compute, "done"
+        quantum = params.time_slice
         if quantum < length:
             length, reason = quantum, "slice"
-        if proc.working_set is not None and not proc.spinning:
-            to_fault = proc.working_set.time_to_next_fault(proc.resident)
+        working_set = proc.working_set
+        if working_set is not None and not proc.spinning:
+            to_fault = working_set.time_to_next_fault(proc.resident)
             if to_fault is not None and to_fault < length:
                 length, reason = to_fault, "fault"
-        proc.slice_started = self.engine.now
-        proc.slice_handle = self.engine.after(
+        engine = self.engine
+        proc.slice_started = engine.now
+        proc.slice_handle = engine.after(
             max(1, warmup + length), self._end_slice, cpu, proc, reason
         )
 
@@ -1173,17 +1177,18 @@ class Kernel:
         self._dispatch(cpu)
 
     def _charge_slice(self, proc: Process) -> None:
-        elapsed = self.engine.now - proc.slice_started
+        now = self.engine.now
+        elapsed = now - proc.slice_started
         # The warm-up portion burns CPU time without making progress.
         progress = max(0, elapsed - proc.slice_warmup)
         proc.pending_compute = max(0, proc.pending_compute - progress)
         proc.cpu_time_us += elapsed
-        if proc.cpu is not None:
-            self.cpu_busy_us[proc.cpu.cpu_id] = (
-                self.cpu_busy_us.get(proc.cpu.cpu_id, 0) + elapsed
-            )
+        cpu = proc.cpu
+        if cpu is not None:
+            busy = self.cpu_busy_us
+            busy[cpu.cpu_id] = busy.get(cpu.cpu_id, 0) + elapsed
         self.context_switches += 1
-        proc.priority.charge(elapsed, self.engine.now)
+        proc.priority.charge(elapsed, now)
         self.cpu_account.charge(proc.spu_id, elapsed)
         self._sched().on_usage(proc.spu_id, elapsed)
 

@@ -25,6 +25,19 @@ class ProcessState(enum.Enum):
 class Process:
     """One process: a behaviour generator plus scheduling/memory state."""
 
+    # Simulations create and churn thousands of processes; slots keep
+    # them compact and attribute access cheap.  ``_ws_rng`` is assigned
+    # by the kernel when the process first gets a working-set model.
+    __slots__ = (
+        "pid", "spu_id", "behavior", "name", "default_base_priority",
+        "priority", "state", "parent", "children", "waiting_for_children",
+        "pending_compute", "cpu", "slice_started", "slice_handle",
+        "last_cpu_id", "slice_warmup", "working_set", "resident",
+        "paged_out", "gang", "spinning", "runnable_since",
+        "dispatch_retry_pending", "kill_reason", "created", "finished",
+        "cpu_time_us", "fault_count", "checkpoints", "_ws_rng",
+    )
+
     def __init__(
         self,
         pid: int,

@@ -104,15 +104,25 @@ class MemoryManager:
     # --- PageProvider protocol -----------------------------------------------
 
     def try_allocate(self, spu_id: int) -> bool:
-        """Charge one page to ``spu_id``; False on denial."""
+        """Charge one page to ``spu_id``; False on denial.
+
+        This is the hottest call in the memory subsystem (every page
+        grant lands here), so the :meth:`_capped`/``can_use`` pair is
+        inlined.
+        """
         spu = self.registry.get(spu_id)
         if self.free_pages <= 0:
             self._deny(spu_id)
             return False
-        if self._capped(spu) and not spu.memory().can_use(1):
+        levels = spu.memory()
+        if (
+            self.scheme.mem_limits
+            and spu.is_user
+            and levels.used + 1 > levels.allowed
+        ):
             self._deny(spu_id)
             return False
-        spu.memory().acquire(1)
+        levels.acquire(1)
         self.free_pages -= 1
         return True
 

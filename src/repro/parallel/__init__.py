@@ -1,0 +1,19 @@
+"""Parallel sweep execution for independent simulation runs."""
+
+from repro.parallel.executor import (
+    DEFAULT_WORKER_CAP,
+    RunOutcome,
+    SweepError,
+    resolve_workers,
+    run_sweep,
+    values,
+)
+
+__all__ = [
+    "DEFAULT_WORKER_CAP",
+    "RunOutcome",
+    "SweepError",
+    "resolve_workers",
+    "run_sweep",
+    "values",
+]

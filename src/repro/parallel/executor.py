@@ -1,0 +1,390 @@
+"""A multiprocessing sweep executor for independent simulation runs.
+
+Every figure and table in the paper's evaluation is a sweep of
+independent (scheme, workload, seed) simulations, and the chaos soak is
+a sweep of independent seeds — embarrassingly parallel work that the
+serial runner used to grind through one cell at a time.
+:func:`run_sweep` fans such cells across worker processes while keeping
+the *results* exactly what the serial loop would have produced:
+
+* **Deterministic merge order.**  Outcomes are returned in submission
+  order, whatever order workers finish in.  Each cell is a pure
+  function of its payload (the engine gives every simulation its own
+  seeded RNG), so serial and parallel sweeps produce byte-identical
+  results.
+* **Worker recycling.**  A worker retires after ``tasks_per_worker``
+  cells and is replaced by a fresh process, bounding the blast radius
+  of any per-process state a simulation might leak.
+* **Per-run timeouts.**  A cell that exceeds ``timeout_s`` has its
+  worker killed and is reported as ``"timeout"``; the sweep continues
+  on a replacement worker.
+* **Crash containment.**  A worker that dies mid-cell (segfault,
+  ``os._exit``, OOM-kill) is reported as ``"crashed"`` for that cell
+  only; remaining cells run on a replacement worker.
+* **Graceful fallback.**  ``max_workers=1`` (or a platform where
+  process creation fails) runs every cell in-process, in order, with
+  no multiprocessing machinery at all.
+
+Transport is one duplex :func:`multiprocessing.Pipe` per worker rather
+than shared queues, deliberately: a ``Queue`` flushes through a feeder
+thread, so a worker killed between cells can die holding the shared
+write lock and wedge every other worker.  With a pipe the worker sends
+synchronously from its main thread — a message is fully written before
+the next (crashable) cell starts — each worker's failure domain is its
+own pipe, and a broken pipe doubles as immediate crash detection
+(EOF on :func:`multiprocessing.connection.wait`).
+
+The worker function must be a module-level callable (it is imported by
+name in the worker) and payloads/results must be picklable.  Timeouts
+are only enforceable when real workers exist; the in-process path runs
+each cell to completion and records the timeout budget as advisory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: Default worker-count cap when ``max_workers`` is None: enough to
+#: cover the experiment sweeps without oversubscribing small machines.
+DEFAULT_WORKER_CAP = 4
+
+#: How long the parent waits for worker messages per poll, seconds.
+_POLL_S = 0.02
+
+
+class SweepError(RuntimeError):
+    """Raised by :func:`values` when a sweep cell did not succeed."""
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one sweep cell.
+
+    ``status`` is one of ``"ok"``, ``"error"`` (the callable raised),
+    ``"timeout"`` (killed at the per-run deadline), or ``"crashed"``
+    (the worker process died without reporting).  ``value`` is only
+    meaningful when ``status == "ok"``.
+    """
+
+    index: int
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+    #: Ordinal of the worker process that ran the cell; -1 in-process.
+    worker: int = -1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def values(outcomes: Sequence[RunOutcome]) -> List[Any]:
+    """Unwrap outcome values, raising :class:`SweepError` on any failure."""
+    bad = [o for o in outcomes if not o.ok]
+    if bad:
+        first = bad[0]
+        raise SweepError(
+            f"{len(bad)} of {len(outcomes)} sweep cells failed; first:"
+            f" cell {first.index} {first.status}: {first.error}"
+        )
+    return [o.value for o in outcomes]
+
+
+def resolve_workers(max_workers: Optional[int]) -> int:
+    """Map the user-facing ``--workers`` value to a worker count.
+
+    ``None`` means auto: one worker per CPU, capped at
+    :data:`DEFAULT_WORKER_CAP`.  Anything below 2 means in-process.
+    """
+    if max_workers is None:
+        max_workers = min(DEFAULT_WORKER_CAP, os.cpu_count() or 1)
+    return max(1, int(max_workers))
+
+
+# --- worker side -----------------------------------------------------------
+
+
+def _worker_main(worker_id: int, conn, tasks_per_worker: Optional[int]) -> None:
+    """Run cells from the pipe until retired, poisoned, or crashed."""
+    done = 0
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        index, fn, payload = item
+        try:
+            value = fn(payload)
+            message = ("ok", worker_id, index, value, None)
+        except BaseException:
+            message = ("error", worker_id, index, None, traceback.format_exc())
+        try:
+            # send() pickles then writes from this thread, so the
+            # message is fully flushed before the next cell can crash
+            # the process, and an unpicklable result surfaces here as a
+            # structured error rather than killing the worker.
+            conn.send(message)
+        except Exception as exc:
+            conn.send(("error", worker_id, index, None,
+                       f"result of cell {index} is not picklable: {exc!r}"))
+        done += 1
+        if tasks_per_worker is not None and done >= tasks_per_worker:
+            conn.send(("retired", worker_id, None, None, None))
+            return
+
+
+# --- parent side -----------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    ordinal: int
+    process: Any
+    conn: Any
+    #: Index of the cell currently assigned, or None when idle.
+    inflight: Optional[int] = None
+    #: Wall-clock deadline for the in-flight cell, or None.
+    deadline: Optional[float] = None
+    started_at: float = 0.0
+    tasks_done: int = field(default=0)
+
+
+class _Pool:
+    """The worker set: spawn, assign, reap, recycle, kill."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        n_workers: int,
+        tasks_per_worker: Optional[int],
+    ):
+        self._fn = fn
+        self._tasks_per_worker = tasks_per_worker
+        self._ctx = multiprocessing.get_context()
+        self._next_ordinal = 0
+        self.workers: List[_Worker] = []
+        for _ in range(n_workers):
+            self.workers.append(self._spawn())
+
+    def _spawn(self) -> _Worker:
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(ordinal, child_conn, self._tasks_per_worker),
+            daemon=True,
+        )
+        process.start()
+        # Close the child's end in the parent so a dead worker reads as
+        # EOF here instead of a half-open pipe.
+        child_conn.close()
+        return _Worker(ordinal=ordinal, process=process, conn=parent_conn)
+
+    def replace(self, worker: _Worker) -> _Worker:
+        """Kill a worker (timeout/crash/retired) and refill its slot."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        worker.conn.close()
+        slot = self.workers.index(worker)
+        fresh = self._spawn()
+        self.workers[slot] = fresh
+        return fresh
+
+    def assign(self, worker: _Worker, index: int, payload: Any,
+               timeout_s: Optional[float]) -> None:
+        worker.inflight = index
+        worker.started_at = time.monotonic()
+        worker.deadline = (
+            worker.started_at + timeout_s if timeout_s is not None else None
+        )
+        worker.conn.send((index, self._fn, payload))
+
+    def poll(self) -> List[Tuple[_Worker, Optional[tuple]]]:
+        """(worker, message) for every worker with something to say.
+
+        A ``None`` message means the worker's pipe hit EOF (or broke
+        mid-message): the process is gone.
+        """
+        ready = connection.wait(
+            [worker.conn for worker in self.workers], timeout=_POLL_S
+        )
+        events: List[Tuple[_Worker, Optional[tuple]]] = []
+        by_conn = {worker.conn: worker for worker in self.workers}
+        for conn in ready:
+            worker = by_conn[conn]
+            try:
+                events.append((worker, conn.recv()))
+            except (EOFError, OSError):
+                events.append((worker, None))
+        return events
+
+    def by_ordinal(self, ordinal: int) -> Optional[_Worker]:
+        for worker in self.workers:
+            if worker.ordinal == ordinal:
+                return worker
+        return None
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except Exception:  # pragma: no cover - pipe already broken
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2)
+            worker.conn.close()
+
+
+def _run_serial(
+    fn: Callable[[Any], Any], payloads: Sequence[Any]
+) -> List[RunOutcome]:
+    """The in-process fallback: the plain loop the serial runner was."""
+    outcomes = []
+    for index, payload in enumerate(payloads):
+        start = time.monotonic()
+        try:
+            value = fn(payload)
+            outcomes.append(RunOutcome(
+                index=index, status="ok", value=value,
+                elapsed_s=time.monotonic() - start,
+            ))
+        except Exception:
+            outcomes.append(RunOutcome(
+                index=index, status="error", error=traceback.format_exc(),
+                elapsed_s=time.monotonic() - start,
+            ))
+    return outcomes
+
+
+def run_sweep(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    max_workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    tasks_per_worker: Optional[int] = None,
+) -> List[RunOutcome]:
+    """Run ``fn(payload)`` for every payload; outcomes in payload order.
+
+    ``max_workers=None`` auto-sizes (see :func:`resolve_workers`);
+    ``1`` runs in-process.  ``timeout_s`` bounds each cell's wall time
+    (workers only).  ``tasks_per_worker`` retires a worker after that
+    many cells (``None`` = never).
+    """
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    n_workers = min(resolve_workers(max_workers), len(payloads))
+    if n_workers <= 1:
+        return _run_serial(fn, payloads)
+    try:
+        pool = _Pool(fn, n_workers, tasks_per_worker)
+    except (OSError, ValueError):
+        # No processes on this platform (sandbox, resource limits):
+        # degrade to the serial path rather than failing the sweep.
+        return _run_serial(fn, payloads)
+    try:
+        return _run_pool(pool, payloads, timeout_s)
+    finally:
+        pool.shutdown()
+
+
+def _run_pool(
+    pool: _Pool, payloads: Sequence[Any], timeout_s: Optional[float]
+) -> List[RunOutcome]:
+    outcomes: List[Optional[RunOutcome]] = [None] * len(payloads)
+    next_index = 0
+    completed = 0
+    budget = pool._tasks_per_worker
+
+    def feed() -> None:
+        nonlocal next_index
+        for worker in pool.workers:
+            # Never hand a cell to a worker that has hit its recycling
+            # budget: it exits right after announcing retirement, and a
+            # cell sent behind that announcement would strand in a dead
+            # process's pipe.  Its replacement picks up the slack.
+            if budget is not None and worker.tasks_done >= budget:
+                continue
+            if worker.inflight is None and next_index < len(payloads):
+                pool.assign(worker, next_index, payloads[next_index], timeout_s)
+                next_index += 1
+
+    def record(worker: _Worker, message: tuple) -> None:
+        """Fold one worker message into outcomes and bookkeeping."""
+        nonlocal completed
+        status, ordinal, index, value, error = message
+        if status == "retired":
+            # The worker hit its recycling budget: replace it with a
+            # fresh process.
+            if pool.by_ordinal(ordinal) is not None:
+                pool.replace(worker)
+            return
+        if index is not None and outcomes[index] is None:
+            outcomes[index] = RunOutcome(
+                index=index, status=status, value=value, error=error,
+                elapsed_s=time.monotonic() - worker.started_at, worker=ordinal,
+            )
+            completed += 1
+        if worker.inflight == index:
+            worker.inflight = None
+            worker.deadline = None
+            worker.tasks_done += 1
+
+    feed()
+    while completed < len(payloads):
+        events = pool.poll()
+        for worker, message in events:
+            if message is None:
+                # EOF: the worker died.  Charge its in-flight cell (if
+                # any) as crashed and refill the slot.
+                index = worker.inflight
+                if index is not None and outcomes[index] is None:
+                    outcomes[index] = RunOutcome(
+                        index=index, status="crashed",
+                        error=f"worker {worker.ordinal} died"
+                              f" (exitcode {worker.process.exitcode})",
+                        elapsed_s=time.monotonic() - worker.started_at,
+                        worker=worker.ordinal,
+                    )
+                    completed += 1
+                if pool.by_ordinal(worker.ordinal) is not None:
+                    pool.replace(worker)
+            else:
+                record(worker, message)
+        if events:
+            feed()
+            continue
+
+        # Nothing to read: enforce per-cell deadlines.
+        now = time.monotonic()
+        for worker in list(pool.workers):
+            if worker.inflight is None:
+                continue
+            if worker.deadline is not None and now > worker.deadline:
+                index = worker.inflight
+                outcomes[index] = RunOutcome(
+                    index=index, status="timeout",
+                    error=f"cell exceeded {timeout_s}s",
+                    elapsed_s=now - worker.started_at, worker=worker.ordinal,
+                )
+                completed += 1
+                pool.replace(worker)
+        feed()
+
+    return [o for o in outcomes if o is not None]

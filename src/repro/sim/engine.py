@@ -15,13 +15,19 @@ memory rebalancing) reschedules itself forever, which would keep
 ``daemon=True``: like daemon threads, they do not keep the simulation
 alive.  ``run()`` with no deadline returns once only daemon events
 remain.
+
+The heap holds ``(time, seq, handle)`` tuples rather than handles:
+tuple comparison runs in C and the unique sequence number guarantees
+the handle itself is never compared, which keeps the dispatch loop —
+the hottest code in the whole simulator — free of Python-level
+``__lt__`` calls.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -83,10 +89,12 @@ class Engine:
         exactly.
     """
 
+    __slots__ = ("_now", "_seq", "_queue", "_live", "rng", "_seed", "_running")
+
     def __init__(self, seed: int = 0):
         self._now = 0
         self._seq = 0
-        self._queue: List[EventHandle] = []
+        self._queue: List[Tuple[int, int, EventHandle]] = []
         #: Count of pending non-daemon events; run() without a deadline
         #: returns when this reaches zero.
         self._live = 0
@@ -125,11 +133,12 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time} before now ({self._now})"
             )
-        handle = EventHandle(time, self._seq, fn, args, daemon, self)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, daemon, self)
         if not daemon:
             self._live += 1
-        heapq.heappush(self._queue, handle)
+        heappush(self._queue, (time, seq, handle))
         return handle
 
     def after(
@@ -138,7 +147,16 @@ class Engine:
         """Schedule ``fn(*args)`` after ``delay`` microseconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self._now + delay, fn, *args, daemon=daemon)
+        # Open-coded at(): delay >= 0 means the time can never be in
+        # the past, and this is the most common way events are made.
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, daemon, self)
+        if not daemon:
+            self._live += 1
+        heappush(self._queue, (time, seq, handle))
+        return handle
 
     def every(
         self,
@@ -161,20 +179,17 @@ class Engine:
 
     # --- execution ---------------------------------------------------------
 
-    def _pop_and_run(self, handle: EventHandle) -> None:
-        self._now = handle.time
-        handle.fired = True
-        if not handle.daemon:
-            self._live -= 1
-        handle.fn(*handle.args)
-
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
         while self._queue:
-            handle = heapq.heappop(self._queue)
+            time, _seq, handle = heappop(self._queue)
             if handle.cancelled:
                 continue
-            self._pop_and_run(handle)
+            self._now = time
+            handle.fired = True
+            if not handle.daemon:
+                self._live -= 1
+            handle.fn(*handle.args)
             return True
         return False
 
@@ -190,20 +205,41 @@ class Engine:
             raise SimulationError("engine is not re-entrant")
         self._running = True
         executed = 0
+        # The queue list is never rebound, so it (and heappop) can live
+        # in locals; _live and _now cannot — callbacks mutate them
+        # through self.
+        queue = self._queue
         try:
-            while self._queue:
+            if until is None and max_events is None:
+                # The common case, kept free of per-event branch tests.
+                while queue and self._live:
+                    time, _seq, handle = heappop(queue)
+                    if handle.cancelled:
+                        continue
+                    self._now = time
+                    handle.fired = True
+                    if not handle.daemon:
+                        self._live -= 1
+                    handle.fn(*handle.args)
+                    executed += 1
+                return executed
+            while queue:
                 if max_events is not None and executed >= max_events:
                     break
                 if until is None and self._live == 0:
                     break
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+                time, _seq, handle = queue[0]
+                if handle.cancelled:
+                    heappop(queue)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                self._pop_and_run(head)
+                heappop(queue)
+                self._now = time
+                handle.fired = True
+                if not handle.daemon:
+                    self._live -= 1
+                handle.fn(*handle.args)
                 executed += 1
             if until is not None and until > self._now:
                 self._now = until
@@ -213,7 +249,7 @@ class Engine:
 
     def pending(self) -> int:
         """Number of scheduled, uncancelled events."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        return sum(1 for _, _, h in self._queue if not h.cancelled)
 
     def live_events(self) -> int:
         """Number of pending non-daemon events."""
@@ -222,6 +258,8 @@ class Engine:
 
 class PeriodicTimer:
     """A repeating event; reschedules itself after each firing."""
+
+    __slots__ = ("_engine", "period", "daemon", "_fn", "_args", "_handle", "_stopped")
 
     def __init__(
         self,

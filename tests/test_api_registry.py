@@ -1,0 +1,77 @@
+"""The experiment registry: lookup, uniform run(), result round-trip."""
+
+import json
+
+import pytest
+
+from repro.api import ExperimentSpec, experiment, get, names, run_experiment
+from repro.api import registry as registry_module
+from repro.experiments import run_figure_5
+
+
+EXPECTED = {
+    "pmake8", "fig5", "fig7", "table3", "table4",
+    "network", "faults", "antagonists", "ablations",
+}
+
+
+def test_every_experiment_is_registered():
+    assert set(names()) == EXPECTED
+
+
+def test_quick_subset_is_a_subset():
+    quick = set(names(quick_only=True))
+    assert quick
+    assert quick <= EXPECTED
+
+
+def test_decorator_returns_driver_unchanged():
+    assert get("fig5").fn is run_figure_5
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="registered twice"):
+        experiment("fig5")(lambda seed=0: None)
+
+
+def test_unknown_name_lists_registered():
+    with pytest.raises(KeyError, match="no experiment 'nope'"):
+        get("nope")
+
+
+def test_run_produces_uniform_result():
+    result = run_experiment(ExperimentSpec(name="table4", seed=0))
+    assert result.name == "table4"
+    assert result.seed == 0
+    assert result.data  # the driver's typed return, untouched
+    assert result.records  # the shared flat schema
+    payload = result.payload()
+    assert set(payload) == {"name", "seed", "records"}
+    # canonical_json is a faithful, deterministic serialisation.
+    assert json.loads(result.canonical_json()) == payload
+
+
+def test_run_is_deterministic_for_a_spec():
+    spec = ExperimentSpec(name="fig5", seed=0)
+    first = run_experiment(spec).canonical_json()
+    second = run_experiment(spec).canonical_json()
+    assert first == second
+
+
+def test_spec_is_picklable_and_hashable():
+    import pickle
+
+    spec = ExperimentSpec(name="network", seed=3)
+    assert pickle.loads(pickle.dumps(spec)) == spec
+    assert hash(spec) == hash(ExperimentSpec(name="network", seed=3))
+
+
+def test_report_uses_renderer():
+    exp = get("fig5")
+    data = exp.fn(seed=0)
+    report = exp.report(data)
+    assert "Figure 5" in report
+
+
+def test_registration_order_is_stable():
+    assert names() == list(registry_module._REGISTRY)

@@ -1,0 +1,45 @@
+"""Serial and parallel sweeps must produce byte-identical results.
+
+This is the determinism contract the executor advertises: every
+experiment is a pure function of (name, seed), so fanning the sweep
+across worker processes may change nothing but wall-clock time.
+"""
+
+import pytest
+
+from repro.api import ExperimentSpec, run_experiment
+from repro.parallel import run_sweep, values
+
+#: Three cheap experiments x two seeds — enough to cross process
+#: boundaries on every experiment kind without a long test.
+SECTIONS = ("fig5", "table4", "network")
+SEEDS = (0, 1)
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return [
+        ExperimentSpec(name=name, seed=seed)
+        for name in SECTIONS for seed in SEEDS
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_canonical(payloads):
+    return [run_experiment(p).canonical_json() for p in payloads]
+
+
+def test_parallel_sweep_matches_serial_byte_for_byte(payloads, serial_canonical):
+    results = values(run_sweep(run_experiment, payloads, max_workers=2))
+    assert [r.canonical_json() for r in results] == serial_canonical
+
+
+def test_in_process_sweep_matches_serial_byte_for_byte(payloads, serial_canonical):
+    results = values(run_sweep(run_experiment, payloads, max_workers=1))
+    assert [r.canonical_json() for r in results] == serial_canonical
+
+
+def test_parallel_results_carry_correct_specs(payloads):
+    results = values(run_sweep(run_experiment, payloads, max_workers=2))
+    assert [(r.name, r.seed) for r in results] == \
+           [(p.name, p.seed) for p in payloads]

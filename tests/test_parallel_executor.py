@@ -1,0 +1,110 @@
+"""The parallel sweep executor: ordering, fallback, crashes, timeouts."""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel import (
+    DEFAULT_WORKER_CAP,
+    RunOutcome,
+    SweepError,
+    resolve_workers,
+    run_sweep,
+    values,
+)
+
+
+# Worker functions must be module-level (imported by name in workers).
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def _crash_on_two(x):
+    if x == 2:
+        os._exit(17)  # die without reporting, like a segfault would
+    return x
+
+
+def _sleep_on_one(x):
+    if x == 1:
+        time.sleep(30)
+    return x
+
+
+def test_empty_sweep():
+    assert run_sweep(_square, []) == []
+
+
+def test_resolve_workers():
+    assert resolve_workers(1) == 1
+    assert resolve_workers(0) == 1
+    assert resolve_workers(7) == 7
+    assert 1 <= resolve_workers(None) <= DEFAULT_WORKER_CAP
+
+
+def test_serial_fallback_preserves_order():
+    outcomes = run_sweep(_square, range(6), max_workers=1)
+    assert [o.index for o in outcomes] == list(range(6))
+    assert all(o.ok and o.worker == -1 for o in outcomes)
+    assert values(outcomes) == [x * x for x in range(6)]
+
+
+def test_serial_fallback_reports_errors():
+    outcomes = run_sweep(_fail_on_three, range(5), max_workers=1)
+    assert [o.status for o in outcomes] == ["ok", "ok", "ok", "error", "ok"]
+    assert "three is right out" in outcomes[3].error
+    with pytest.raises(SweepError, match="cell 3 error"):
+        values(outcomes)
+
+
+def test_parallel_results_merge_in_submission_order():
+    outcomes = run_sweep(_square, range(8), max_workers=2)
+    assert [o.index for o in outcomes] == list(range(8))
+    assert values(outcomes) == [x * x for x in range(8)]
+    assert all(o.worker >= 0 for o in outcomes)
+
+
+def test_parallel_error_is_contained_to_its_cell():
+    outcomes = run_sweep(_fail_on_three, range(5), max_workers=2)
+    assert [o.status for o in outcomes] == ["ok", "ok", "ok", "error", "ok"]
+    assert "ValueError" in outcomes[3].error
+
+
+def test_worker_crash_is_contained_to_its_cell():
+    outcomes = run_sweep(_crash_on_two, range(5), max_workers=2)
+    assert outcomes[2].status == "crashed"
+    assert "died" in outcomes[2].error
+    others = [o for o in outcomes if o.index != 2]
+    assert all(o.ok for o in others)
+    assert [o.value for o in others] == [0, 1, 3, 4]
+
+
+def test_per_run_timeout_kills_only_the_slow_cell():
+    outcomes = run_sweep(
+        _sleep_on_one, range(4), max_workers=2, timeout_s=1.0
+    )
+    assert outcomes[1].status == "timeout"
+    others = [o for o in outcomes if o.index != 1]
+    assert all(o.ok for o in others)
+    assert [o.value for o in others] == [0, 2, 3]
+
+
+def test_worker_recycling_spawns_fresh_processes():
+    outcomes = run_sweep(_square, range(4), max_workers=2, tasks_per_worker=1)
+    assert values(outcomes) == [0, 1, 4, 9]
+    # Each worker retires after one cell, so no ordinal repeats.
+    ordinals = [o.worker for o in outcomes]
+    assert len(set(ordinals)) == len(ordinals)
+
+
+def test_values_passthrough_on_success():
+    outcomes = [RunOutcome(index=0, status="ok", value="a")]
+    assert values(outcomes) == ["a"]
