@@ -7,7 +7,9 @@ Subcommands:
 * ``chaos`` — the seeded chaos soak (``python -m repro chaos --seeds
   0 1 2 --workers 4``); ``python -m repro.chaos`` remains a shim;
 * ``bench`` — the performance harness that writes
-  ``BENCH_parallel.json`` (``python -m repro bench --quick``).
+  ``BENCH_parallel.json`` (``python -m repro bench --quick``);
+* ``lint`` — simlint, the simulator's own static analysis
+  (``python -m repro lint --baseline lint-baseline.json``).
 
 All three share ``--seed``-style determinism and ``--workers`` for the
 parallel sweep executor.  For back-compatibility, bare section names
@@ -39,6 +41,10 @@ def main(argv: List[str]) -> int:
         from repro.bench.__main__ import main as bench_main
 
         return bench_main(rest)
+    if command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(rest)
     # Bare section names (the pre-subcommand CLI) mean "experiments".
     from repro.experiments.runner import main as experiments_main
 

@@ -175,7 +175,7 @@ class GoalManager:
         if not unsatisfied:
             return
         # Help the most important unsatisfied SPU first (OS390 style).
-        unsatisfied.sort(key=lambda s: self.goals[s.spu_id].importance)
+        unsatisfied.sort(key=lambda s: (self.goals[s.spu_id].importance, s.spu_id))
         needy = unsatisfied[0]
         self.contract.set_weight(
             needy.name, self.contract.weight_of(needy.name) * self.STEP

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.accounting import DecayedCounter
 from repro.core.resources import Resource, ResourceLevels

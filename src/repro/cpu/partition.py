@@ -32,6 +32,8 @@ class TimeSharedCpu:
     never idles.
     """
 
+    __slots__ = ("cpu_id", "shares", "_credit", "_idle_share")
+
     #: Key for the implicit idle party in the credit table.
     _IDLE = None
 

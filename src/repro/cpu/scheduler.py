@@ -19,7 +19,7 @@ Scheme behaviour:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.core.schemes import SchemeConfig
 from repro.cpu.partition import CpuPartition
@@ -68,6 +68,11 @@ class Processor:
 
 class CpuScheduler:
     """Run queues plus the pick/lend/revoke logic."""
+
+    __slots__ = (
+        "scheme", "partition", "processors", "_queues",
+        "loans_granted", "loans_revoked", "eligibility",
+    )
 
     def __init__(
         self,

@@ -39,6 +39,8 @@ class StrideCpuScheduler(CpuScheduler):
       (the standard re-joining rule), so it cannot hoard credit.
     """
 
+    __slots__ = ("tickets", "_pass")
+
     def __init__(self, ncpus: int, scheme: SchemeConfig, tickets: Dict[int, int]):
         # Deliberately no partition: stride is the global alternative.
         super().__init__(ncpus, _unpartitioned(scheme), partition=None)

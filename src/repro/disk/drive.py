@@ -75,10 +75,16 @@ class SpuBandwidthLedger:
     bandwidth fails the fairness criterion at twice the usage.
     """
 
+    __slots__ = ("disk_id", "registry", "decay_period", "total_charged")
+
     def __init__(self, disk_id: int, registry: SPURegistry, decay_period: int = 500 * MSEC):
         self.disk_id = disk_id
         self.registry = registry
         self.decay_period = decay_period
+        #: Cumulative (never-decayed) sectors charged per SPU; the
+        #: sanitizer checks it against the drive's completed-request
+        #: totals (conservation of charged bandwidth).
+        self.total_charged: Dict[int, int] = {}
 
     def _share(self, spu_id: int) -> int:
         entitled = self.registry.get(spu_id).disk_bw().entitled
@@ -92,6 +98,7 @@ class SpuBandwidthLedger:
     def charge(self, spu_id: int, nsectors: int, now: int) -> None:
         spu = self.registry.get(spu_id)
         spu.disk_counter(self.disk_id, self.decay_period, now).add(nsectors, now)
+        self.total_charged[spu_id] = self.total_charged.get(spu_id, 0) + nsectors
 
     def is_background(self, spu_id: int) -> bool:
         return spu_id == SHARED_SPU_ID

@@ -100,11 +100,17 @@ class DiskStats:
     #: Requests that exhausted their retry budget or deadline and
     #: completed with ``failed=True``.
     failed_requests: int = 0
+    #: Sectors moved by *successful* completions — exactly the sectors
+    #: the drive charges to its bandwidth ledger, so the sanitizer can
+    #: check conservation without walking ``completed``.
+    ok_sectors: int = 0
 
     def record(self, request: DiskRequest) -> None:
         self.completed.append(request)
         if request.failed:
             self.failed_requests += 1
+        else:
+            self.ok_sectors += request.nsectors
 
     def for_spu(self, spu_id: int) -> List[DiskRequest]:
         return [r for r in self.completed if r.spu_id == spu_id]

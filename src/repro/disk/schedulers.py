@@ -10,7 +10,7 @@ bandwidth usage relative to its share.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Protocol, Sequence
 
 from repro.disk.request import DiskRequest
 
@@ -144,7 +144,7 @@ class BlindFairScheduler(DiskScheduler):
         candidates = _split_background(queue, ledger, now)
         ratios = {
             spu_id: ledger.usage_ratio(spu_id, now)
-            for spu_id in {r.spu_id for r in candidates}
+            for spu_id in sorted({r.spu_id for r in candidates})
         }
         neediest = min(ratios, key=lambda s: (ratios[s], s))
         own = [r for r in candidates if r.spu_id == neediest]

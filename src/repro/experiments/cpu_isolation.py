@@ -17,7 +17,7 @@ Response times are normalised per-application to the SMP case.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.api import SimulationSpec, SpuSpec, build, experiment
 from repro.core.schemes import SchemeConfig, piso_scheme, quota_scheme, smp_scheme

@@ -22,8 +22,8 @@ from typing import Dict
 from repro.api import SimulationSpec, build, experiment
 from repro.core.schemes import piso_scheme
 from repro.kernel.machine import NicSpec
-from repro.kernel.syscalls import Behavior, SendNetwork, Sleep
-from repro.sim.units import KB, MB, msecs
+from repro.kernel.syscalls import Behavior
+from repro.sim.units import KB, MB
 
 POLICIES = ("fifo", "fair", "threshold")
 

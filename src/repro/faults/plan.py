@@ -100,7 +100,7 @@ class FaultPlan:
     def __post_init__(self) -> None:
         for event in self.events:
             self._check(event)
-        self.events = sorted(self.events, key=lambda e: e.at_us)
+        self.events = sorted(self.events, key=lambda e: (e.at_us, type(e).__name__))
 
     @staticmethod
     def _check(event: FaultEvent) -> None:
@@ -116,7 +116,7 @@ class FaultPlan:
         """Append an event, keeping the plan ordered.  Returns self."""
         self._check(event)
         self.events.append(event)
-        self.events.sort(key=lambda e: e.at_us)
+        self.events.sort(key=lambda e: (e.at_us, type(e).__name__))
         return self
 
     def __iter__(self) -> Iterator[FaultEvent]:

@@ -11,7 +11,7 @@ recharged to the ``shared`` SPU (Section 2.2 / 3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Protocol, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.core.spu import SHARED_SPU_ID
 
@@ -38,6 +38,8 @@ class UnlimitedPageProvider:
     Lets the filesystem run standalone (disk-only experiments, unit
     tests) without the memory subsystem.
     """
+
+    __slots__ = ("capacity_pages", "used", "by_spu")
 
     def __init__(self, capacity_pages: int):
         if capacity_pages <= 0:
@@ -174,7 +176,7 @@ class BufferCache:
         ]
         if not candidates:
             return False
-        victim = min(candidates, key=lambda b: b.last_access)
+        victim = min(candidates, key=lambda b: (b.last_access, b.file_id, b.block))
         self.remove(victim.key)
         return True
 

@@ -83,13 +83,13 @@ class WritebackDaemon:
         for block in blocks:
             file, drive = self.resolve(block.file_id)
             sector = file.block_sector(block.block)
-            by_drive.setdefault(id(drive), []).append((sector, block))
-            drives[id(drive)] = drive
+            by_drive.setdefault(drive.disk_id, []).append((sector, block))
+            drives[drive.disk_id] = drive
 
         outstanding = 0
         requests: List[Tuple[DiskDrive, DiskRequest]] = []
         for drive_key, entries in by_drive.items():
-            entries.sort(key=lambda e: e[0])
+            entries.sort(key=lambda e: (e[0], e[1].file_id, e[1].block))
             cluster: List[Tuple[int, CacheBlock]] = []
             for sector, block in entries:
                 if cluster and (

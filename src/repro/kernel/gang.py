@@ -17,7 +17,7 @@ members being *ready*, not on all of them holding CPUs at once.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict, List, Set
+from typing import TYPE_CHECKING, List
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.process import Process

@@ -18,7 +18,6 @@ The lifecycle of an experiment::
 from __future__ import annotations
 
 import itertools
-import math
 from functools import partial
 from typing import Dict, List, Optional
 
@@ -188,6 +187,9 @@ class Kernel:
         #: Consecutive complete page-allocation failures, per SPU.
         self._oom_pressure: Dict[int, int] = {}
 
+        #: Installed at boot when REPRO_SIMSAN=1 (see repro.sanitizer).
+        self.sanitizer = None
+
         self._booted = False
 
     # --- configuration ---------------------------------------------------------
@@ -353,6 +355,12 @@ class Kernel:
         self.engine.every(self.scheme.params.clock_tick, self._tick)
         self._booted = True
 
+        # Imported here, not at module top: the sanitizer needs the
+        # Kernel type for its checks, so a top-level import would cycle.
+        from repro.sanitizer import maybe_install
+
+        self.sanitizer = maybe_install(self)
+
     # --- process lifecycle --------------------------------------------------------
 
     def spawn(
@@ -505,7 +513,12 @@ class Kernel:
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run the simulation (to quiescence, or to ``until``)."""
-        return self.engine.run(until=until, max_events=max_events)
+        executed = self.engine.run(until=until, max_events=max_events)
+        if self.sanitizer is not None:
+            # One last full pass: with a check stride > 1 the final
+            # events of the run may otherwise go unchecked.
+            self.sanitizer.check()
+        return executed
 
     def jobs_done(self) -> bool:
         return all(p.state is ProcessState.EXITED for p in self.processes.values())
@@ -624,7 +637,7 @@ class Kernel:
         users = [
             s for s in self.registry.active_user_spus() if s.memory().used > 0
         ]
-        victims = sorted(users, key=lambda s: -s.memory().used) or [
+        victims = sorted(users, key=lambda s: (-s.memory().used, s.spu_id)) or [
             s for s in (self.registry.shared_spu,) if s.memory().used > 0
         ]
         for victim in victims:

@@ -15,8 +15,8 @@ any).  Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Generator, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.fs.layout import File

@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — shim for ``python -m repro lint``."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

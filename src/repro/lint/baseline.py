@@ -1,0 +1,168 @@
+"""The lint baseline: known findings that are intentional, with reasons.
+
+A baseline entry matches findings by (rule, path, fingerprint) — the
+fingerprint hashes the offending line's text, so unrelated edits that
+shift line numbers do not invalidate entries, while any edit to the
+flagged line itself forces the entry to be re-justified.
+
+Each entry carries a ``justification``; ``--write-baseline`` preserves
+justifications for surviving entries and stamps new ones with a TODO
+so a reviewer can spot them.  Entries whose finding disappeared are
+dropped on rewrite (and reported as stale by :func:`diff`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.finding import Finding
+
+BASELINE_VERSION = 1
+TODO_JUSTIFICATION = "TODO: justify this exception"
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or wrong-shape baseline files."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    #: Line recorded when the baseline was written; informational only
+    #: (matching goes by fingerprint).
+    line: int
+    snippet: str
+    justification: str = TODO_JUSTIFICATION
+
+    @classmethod
+    def from_finding(cls, finding: Finding, justification: str) -> "BaselineEntry":
+        return cls(
+            rule=finding.rule,
+            path=finding.path,
+            fingerprint=finding.fingerprint,
+            line=finding.line,
+            snippet=finding.snippet,
+            justification=justification,
+        )
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def _counts(self) -> Dict[Tuple[str, str, str], int]:
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            key = (entry.rule, entry.path, entry.fingerprint)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def diff(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, baselined) and report stale entries.
+
+        Duplicate findings with the same fingerprint (the same construct
+        repeated on identical lines) consume one baseline entry each.
+        """
+        budget = self._counts()
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.fingerprint)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale: List[BaselineEntry] = []
+        remaining = dict(budget)
+        for entry in self.entries:
+            key = (entry.rule, entry.path, entry.fingerprint)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                stale.append(entry)
+        return new, baselined, stale
+
+    def justification_for(self, finding: Finding) -> str:
+        for entry in self.entries:
+            if (
+                entry.rule == finding.rule
+                and entry.path == finding.path
+                and entry.fingerprint == finding.fingerprint
+            ):
+                return entry.justification
+        return TODO_JUSTIFICATION
+
+
+def load(path: str) -> Baseline:
+    if not os.path.exists(path):
+        raise BaselineError(f"baseline file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported shape/version; expected"
+            f' {{"version": {BASELINE_VERSION}, "entries": [...]}}'
+        )
+    entries = []
+    for record in payload.get("entries", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=record["rule"],
+                    path=record["path"],
+                    fingerprint=record["fingerprint"],
+                    line=int(record.get("line", 0)),
+                    snippet=record.get("snippet", ""),
+                    justification=record.get("justification", TODO_JUSTIFICATION),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise BaselineError(f"bad baseline entry {record!r}: {exc}") from None
+    return Baseline(entries=entries)
+
+
+def save(path: str, baseline: Baseline) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "simlint",
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "line": entry.line,
+                "fingerprint": entry.fingerprint,
+                "snippet": entry.snippet,
+                "justification": entry.justification,
+            }
+            for entry in sorted(
+                baseline.entries,
+                key=lambda e: (e.path, e.line, e.rule, e.fingerprint),
+            )
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def from_findings(
+    findings: Sequence[Finding], previous: Optional[Baseline] = None
+) -> Baseline:
+    """Baseline covering ``findings``, keeping prior justifications."""
+    previous = previous if previous is not None else Baseline()
+    return Baseline(
+        entries=[
+            BaselineEntry.from_finding(f, previous.justification_for(f))
+            for f in findings
+        ]
+    )

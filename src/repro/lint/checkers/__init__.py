@@ -1,0 +1,5 @@
+"""Built-in simlint checkers; importing the package registers them."""
+
+from repro.lint.checkers import determinism, eventsafety, hotpath, units
+
+__all__ = ["determinism", "eventsafety", "hotpath", "units"]

@@ -1,0 +1,214 @@
+"""SL1xx — the nondeterminism detector.
+
+Everything the simulator computes must be a pure function of the
+machine configuration and the engine seed (INTERNALS §1, §12).  These
+rules ban the ways wall-clock time, process entropy, and memory-address
+identity leak into simulated behaviour:
+
+* SL101 — wall-clock reads (``time.time``, ``datetime.now``, …)
+* SL102 — unseeded module-level randomness (``random.random``,
+  ``os.urandom``, ``uuid.uuid4``, ``secrets``)
+* SL103 — ``random.Random()`` constructed without a seed
+* SL104 — environment-dependent behaviour (``os.environ`` /
+  ``os.getenv``) inside the simulated world
+* SL105 — iteration over a set/frozenset (hash order) without
+  ``sorted()``
+* SL106 — ``id()`` (an address, different every run) feeding sort
+  keys, dict keys, or heap entries
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.finding import Finding, Rule
+from repro.lint.framework import Checker, FileContext, SIM_SCOPE, register
+
+SL101 = Rule(
+    "SL101", "wall-clock-read",
+    "wall-clock time leaks host state into the simulation; use Engine.now",
+    severity="error", scope=SIM_SCOPE,
+)
+SL102 = Rule(
+    "SL102", "unseeded-randomness",
+    "module-level randomness is seeded from process entropy; draw from "
+    "Engine.rng or a fork_rng() stream",
+    severity="error", scope=SIM_SCOPE,
+)
+SL103 = Rule(
+    "SL103", "unseeded-random-instance",
+    "random.Random() without a seed draws from process entropy; pass a "
+    "seed or an engine-forked stream",
+    severity="error", scope=SIM_SCOPE,
+)
+SL104 = Rule(
+    "SL104", "env-dependent-branch",
+    "environment variables vary between hosts and runs; thread "
+    "configuration through MachineConfig instead",
+    severity="error", scope=SIM_SCOPE,
+)
+SL105 = Rule(
+    "SL105", "set-iteration-order",
+    "set iteration order depends on hashes; wrap the iterable in sorted()",
+    severity="warning", scope=SIM_SCOPE,
+)
+SL106 = Rule(
+    "SL106", "identity-as-key",
+    "id() is a memory address, different every run; key on a stable "
+    "field (disk_id, pid, request_id, ...)",
+    severity="error", scope=SIM_SCOPE,
+)
+
+#: Dotted call targets that read the host's clock.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+}
+
+#: Module-level RNG draws (the functions on the hidden global Random).
+_GLOBAL_RANDOM = {
+    "random.random", "random.randrange", "random.randint", "random.choice",
+    "random.choices", "random.shuffle", "random.sample", "random.uniform",
+    "random.gauss", "random.expovariate", "random.betavariate",
+    "random.seed", "random.getrandbits", "random.triangular",
+    "random.lognormvariate", "random.normalvariate", "random.vonmisesvariate",
+    "random.paretovariate", "random.weibullvariate",
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+}
+
+_ENV_READS = {"os.getenv", "os.environ.get", "os.environ"}
+
+
+@register
+class DeterminismChecker(Checker):
+    RULES = (SL101, SL102, SL103, SL104, SL105, SL106)
+    SCOPE = SIM_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Optional[Finding]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.Attribute, ast.Subscript)):
+                yield from self._check_env_access(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(ctx, node.iter)
+            elif isinstance(node, ast.comprehension):
+                yield from self._check_iteration(ctx, node.iter)
+
+    # --- calls -------------------------------------------------------------
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Optional[Finding]]:
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None:
+            return
+        if dotted in _WALL_CLOCK:
+            yield ctx.finding(
+                SL101, node,
+                f"call to {dotted}() reads the wall clock; simulated "
+                "components must use Engine.now",
+            )
+        elif dotted in _GLOBAL_RANDOM or dotted.startswith("secrets."):
+            yield ctx.finding(
+                SL102, node,
+                f"call to {dotted}() uses process entropy; draw from the "
+                "engine's seeded RNG (Engine.rng / Engine.fork_rng)",
+            )
+        elif dotted == "random.Random" and not node.args and not node.keywords:
+            yield ctx.finding(
+                SL103, node,
+                "random.Random() without a seed is nondeterministic; pass "
+                "a seed derived from the engine seed",
+            )
+        elif dotted in ("os.getenv", "os.environ.get"):
+            yield ctx.finding(
+                SL104, node,
+                f"{dotted}() makes simulated behaviour depend on the host "
+                "environment",
+            )
+        elif dotted == "id":
+            yield from self._check_id_use(ctx, node)
+
+    def _check_env_access(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Optional[Finding]]:
+        # os.environ[...] or bare os.environ attribute reads.
+        target = node.value if isinstance(node, ast.Subscript) else node
+        dotted = ctx.dotted_name(target)
+        if dotted != "os.environ":
+            return
+        # Subscripts and os.environ.get() report through their own
+        # branches; don't double-report the inner attribute node.
+        parent = ctx.parent(node)
+        if isinstance(node, ast.Attribute) and isinstance(
+            parent, (ast.Attribute, ast.Subscript)
+        ):
+            return
+        if isinstance(parent, ast.Call) and parent.func is node:
+            return
+        yield ctx.finding(
+            SL104, node,
+            "os.environ read makes simulated behaviour depend on the host "
+            "environment",
+        )
+
+    # --- set iteration ------------------------------------------------------
+
+    def _is_set_expr(self, ctx: FileContext, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = ctx.dotted_name(node.func)
+            return dotted in ("set", "frozenset")
+        return False
+
+    def _check_iteration(
+        self, ctx: FileContext, iterable: ast.AST
+    ) -> Iterator[Optional[Finding]]:
+        if self._is_set_expr(ctx, iterable):
+            yield ctx.finding(
+                SL105, iterable,
+                "iterating a set: element order follows hash layout, not "
+                "program order; wrap in sorted()",
+            )
+
+    # --- id() --------------------------------------------------------------
+
+    def _check_id_use(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Optional[Finding]]:
+        context = self._id_context(ctx, node)
+        if context is None:
+            return
+        yield ctx.finding(
+            SL106, node,
+            f"id() used as a {context}: addresses differ between runs, so "
+            "any order derived from them is unstable",
+        )
+
+    def _id_context(self, ctx: FileContext, node: ast.Call) -> Optional[str]:
+        """Where the id() value flows; None for harmless uses (repr)."""
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.Subscript):
+                return "dict/sequence key"
+            if isinstance(ancestor, ast.Lambda):
+                # Typically key=lambda x: id(x) in a sort.
+                return "sort key"
+            if isinstance(ancestor, ast.Call):
+                dotted = ctx.dotted_name(ancestor.func) or ""
+                if dotted.endswith("heappush"):
+                    return "heap entry"
+                if dotted.endswith(("setdefault", "sorted", "sort", "min", "max")):
+                    return "ordering or mapping key"
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if ancestor.name == "__repr__":
+                    return None
+        # Bare id() in other positions (comparisons, storage) is still
+        # address-dependent state.
+        return "value"

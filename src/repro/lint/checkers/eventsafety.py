@@ -1,0 +1,162 @@
+"""SL2xx — the event-safety checker.
+
+The SPU ledgers (entitled/allowed/used, paper §2.3) keep their
+invariants only because every mutation funnels through the accounting
+API (``ResourceLevels.acquire``/``release``/``set_*``), and replays are
+byte-identical only because every ordering decision carries an explicit
+deterministic tie-break.  These rules keep both properties local:
+
+* SL201 — direct writes to ledger fields outside the accounting API
+* SL202 — heap entries without a sequence tie-break between the sort
+  key and the payload
+* SL203 — sort/min/max keys with no tie-break component (equal keys
+  fall back to memory layout or arrival order, both fragile)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.finding import Finding, Rule
+from repro.lint.framework import Checker, FileContext, register
+
+SL201 = Rule(
+    "SL201", "direct-ledger-write",
+    "SPU accounting fields must change through the ResourceLevels API "
+    "(acquire/release/set_entitled/set_allowed)",
+    severity="error",
+)
+SL202 = Rule(
+    "SL202", "heap-entry-tiebreak",
+    "heap entries need (key, seq, payload): without a unique integer "
+    "between key and payload, equal keys compare the payloads",
+    severity="error",
+)
+SL203 = Rule(
+    "SL203", "sort-key-tiebreak",
+    "sort keys need a deterministic tie-break; add a stable secondary "
+    "component (spu_id, pid, name, ...)",
+    severity="warning",
+)
+
+#: The ledger triple; writes anywhere but the accounting module are
+#: SL201.  ``used`` on ``self`` is exempt so unrelated classes may have
+#: a ``used`` field of their own (e.g. the buffer cache's page count).
+_LEDGER_FIELDS = ("entitled", "allowed", "used")
+
+#: Files allowed to assign the ledger fields (the accounting API).
+_ACCOUNTING_MODULES = ("core/resources.py",)
+
+#: Terminal attribute names that identify an entity uniquely, making a
+#: single-component sort key tie-free by construction.
+_UNIQUE_SUFFIXES = ("_id", "_seq", "_key")
+_UNIQUE_NAMES = ("pid", "seq", "key", "name", "spu", "cpu")
+
+
+@register
+class EventSafetyChecker(Checker):
+    RULES = (SL201, SL202, SL203)
+    SCOPE = None  # ledger writes and orderings matter everywhere
+
+    def check(self, ctx: FileContext) -> Iterator[Optional[Finding]]:
+        in_accounting = "/".join(ctx.module_parts()) in _ACCOUNTING_MODULES
+        for node in ast.walk(ctx.tree):
+            if not in_accounting and isinstance(node, (ast.Assign, ast.AugAssign)):
+                yield from self._check_ledger_write(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_heappush(ctx, node)
+                yield from self._check_sort_key(ctx, node)
+
+    # --- SL201 -------------------------------------------------------------
+
+    def _check_ledger_write(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Optional[Finding]]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            if target.attr not in _LEDGER_FIELDS:
+                continue
+            if target.attr == "used" and (
+                isinstance(target.value, ast.Name) and target.value.id == "self"
+            ):
+                # A class's own `used` attribute (buffer cache, pools)
+                # is not the SPU ledger.
+                continue
+            yield ctx.finding(
+                SL201, node,
+                f"direct write to .{target.attr} bypasses the accounting "
+                "API and its invariant checks (entitled <= allowed, "
+                "0 <= used <= allowed)",
+            )
+
+    # --- SL202 -------------------------------------------------------------
+
+    def _check_heappush(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Optional[Finding]]:
+        dotted = ctx.dotted_name(node.func) or ""
+        if dotted.rsplit(".", 1)[-1] != "heappush" or len(node.args) != 2:
+            return
+        entry = node.args[1]
+        if not isinstance(entry, ast.Tuple):
+            yield ctx.finding(
+                SL202, node,
+                "heappush of a bare object relies on its __lt__ for "
+                "ordering; push a (key, seq, payload) tuple instead",
+            )
+            return
+        if len(entry.elts) < 3:
+            yield ctx.finding(
+                SL202, node,
+                f"heap entry has {len(entry.elts)} element(s); same-key "
+                "entries need an explicit integer sequence tie-break "
+                "before the payload",
+            )
+
+    # --- SL203 -------------------------------------------------------------
+
+    def _check_sort_key(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Optional[Finding]]:
+        dotted = ctx.dotted_name(node.func) or ""
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail not in ("sorted", "sort", "min", "max"):
+            return
+        key = next((kw.value for kw in node.keywords if kw.arg == "key"), None)
+        if key is None or not isinstance(key, ast.Lambda):
+            return
+        if self._tie_safe(key.body):
+            return
+        yield ctx.finding(
+            SL203, node,
+            f"{tail}() key has no tie-break: equal keys fall back to "
+            "list order (stable but fragile) or object comparison; make "
+            "the key a tuple ending in a unique stable field",
+        )
+
+    def _tie_safe(self, body: ast.AST) -> bool:
+        """Whether a key-lambda body is deterministic under key ties."""
+        # A tuple with >= 2 components: assume the author added the
+        # tie-break deliberately.
+        if isinstance(body, ast.Tuple) and len(body.elts) >= 2:
+            return True
+        # A single component that is itself unique (request_id, pid, ...)
+        # cannot tie at all.
+        terminal = self._terminal_name(body)
+        if terminal is None:
+            return False
+        lowered = terminal.lower()
+        return lowered in _UNIQUE_NAMES or lowered.endswith(_UNIQUE_SUFFIXES)
+
+    def _terminal_name(self, node: ast.AST) -> Optional[str]:
+        """The attribute/name a single-component key ultimately reads."""
+        while isinstance(node, ast.UnaryOp):
+            node = node.operand
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None

@@ -1,0 +1,128 @@
+"""SL4xx — hot-path lint for the modules PR 3 optimised.
+
+The dispatch loop, the scheduler pick path, and the page-grant path
+were hand-tuned (tuple heap entries, ``__slots__``, inlined checks);
+these rules keep later edits from quietly regressing them:
+
+* SL401 — a class in a hot module without ``__slots__`` (every
+  instance pays a dict, and attribute loads miss the fast path)
+* SL402 — container/lambda allocation inside a ``while`` loop in a hot
+  module (per-iteration garbage on the dispatch path)
+
+Scope is the :data:`~repro.lint.framework.HOT_MODULES` list only;
+exception classes, dataclasses, enums, and Protocols are exempt from
+SL401 (their shape is fixed by their role, not by the hot path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.finding import Finding, Rule
+from repro.lint.framework import Checker, FileContext, register
+
+SL401 = Rule(
+    "SL401", "hot-class-no-slots",
+    "classes in hot modules should declare __slots__",
+    severity="warning",
+)
+SL402 = Rule(
+    "SL402", "hot-loop-allocation",
+    "allocation inside a while-loop in a hot module churns the GC on "
+    "the dispatch path; hoist it out of the loop",
+    severity="warning",
+)
+
+#: Base classes / decorators that exempt a class from SL401.
+_EXEMPT_BASES = ("Exception", "Error", "Protocol", "Enum", "IntEnum")
+_EXEMPT_DECORATORS = ("dataclass",)
+
+_ALLOCATING_NODES = (
+    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    ast.Lambda, ast.Dict, ast.Set,
+)
+
+
+@register
+class HotPathChecker(Checker):
+    RULES = (SL401, SL402)
+    SCOPE = None  # gated by is_hot_module() instead of a package scope
+
+    def check(self, ctx: FileContext) -> Iterator[Optional[Finding]]:
+        if not ctx.is_hot_module():
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_slots(ctx, node)
+            elif isinstance(node, ast.While):
+                yield from self._check_loop_allocation(ctx, node)
+
+    # --- SL401 -------------------------------------------------------------
+
+    def _exempt(self, ctx: FileContext, node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = ctx.dotted_name(base) or ""
+            tail = name.rsplit(".", 1)[-1]
+            if tail.endswith(_EXEMPT_BASES):
+                return True
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = ctx.dotted_name(target) or ""
+            if name.rsplit(".", 1)[-1] in _EXEMPT_DECORATORS:
+                return True
+        return False
+
+    def _check_slots(
+        self, ctx: FileContext, node: ast.ClassDef
+    ) -> Iterator[Optional[Finding]]:
+        if self._exempt(ctx, node):
+            return
+        for statement in node.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name) and target.id == "__slots__":
+                        return
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ) and statement.target.id == "__slots__":
+                return
+        yield ctx.finding(
+            SL401, node,
+            f"class {node.name} in a hot module has no __slots__; "
+            "instances carry a __dict__ and attribute access skips the "
+            "fast path",
+        )
+
+    # --- SL402 -------------------------------------------------------------
+
+    def _check_loop_allocation(
+        self, ctx: FileContext, loop: ast.While
+    ) -> Iterator[Optional[Finding]]:
+        for node in ast.walk(loop):
+            if node is loop:
+                continue
+            # Allocations inside a nested function/class definition run
+            # when *that* code runs, not per loop iteration.
+            if self._inside_nested_scope(ctx, node, loop):
+                continue
+            if isinstance(node, _ALLOCATING_NODES):
+                kind = type(node).__name__
+                yield ctx.finding(
+                    SL402, node,
+                    f"{kind} allocated inside a while-loop in a hot "
+                    "module; build it once outside the loop",
+                )
+
+    def _inside_nested_scope(
+        self, ctx: FileContext, node: ast.AST, loop: ast.While
+    ) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if ancestor is loop:
+                return False
+            if isinstance(
+                ancestor,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                return True
+        return False

@@ -1,0 +1,203 @@
+"""SL3xx — the typed-units checker.
+
+The simulator's unit conventions (:mod:`repro.sim.units`): simulated
+time is integer microsecond *ticks*, sizes are bytes with pages and
+sectors as kernel/disk granularities.  There is no wrapper type — the
+conventions live in identifier suffixes (``deadline_us``, ``nbytes``,
+``npages``) and in the converter helpers (``msecs()``, ``pages()``).
+This checker enforces those conventions structurally:
+
+* SL301 — adding/subtracting/comparing values from different unit
+  families (``x_ms + y_us``, ``nbytes < npages``)
+* SL302 — converter called on a value already in another family
+  (``msecs(delay_us)``; ``msecs`` takes milliseconds)
+* SL303 — converter result bound to a name of the wrong family
+  (``timeout_ms = msecs(5)``; ``msecs`` returns ticks/µs)
+
+Only identifiers whose suffix names a known family participate; an
+unsuffixed operand never fires a rule, so the conventions stay opt-in
+and the checker stays quiet on generic arithmetic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.lint.finding import Finding, Rule
+from repro.lint.framework import Checker, FileContext, register
+
+SL301 = Rule(
+    "SL301", "unit-family-mix",
+    "arithmetic between different unit families; convert explicitly "
+    "via repro.sim.units first",
+    severity="error",
+)
+SL302 = Rule(
+    "SL302", "converter-arg-unit",
+    "converter applied to a value already in a different unit family",
+    severity="error",
+)
+SL303 = Rule(
+    "SL303", "converter-result-unit",
+    "converter result bound to a name declaring a different unit family",
+    severity="error",
+)
+
+#: identifier suffix -> unit family.  Longest suffix wins.
+_SUFFIX_FAMILY: Tuple[Tuple[str, str], ...] = (
+    ("_usecs", "us"), ("_usec", "us"), ("_us", "us"), ("_ticks", "us"),
+    ("_msecs", "ms"), ("_msec", "ms"), ("_ms", "ms"), ("_millis", "ms"),
+    ("_secs", "s"), ("_sec", "s"), ("_seconds", "s"),
+    ("_nbytes", "bytes"), ("_bytes", "bytes"),
+    ("_npages", "pages"), ("_pages", "pages"),
+    ("_nsectors", "sectors"), ("_sectors", "sectors"),
+    ("_mb", "mb"), ("_kb", "kb"),
+)
+
+#: Whole identifiers with a known family (mostly repro.sim.units
+#: constants and common parameter names).
+_NAME_FAMILY: Dict[str, str] = {
+    "USEC": "us", "MSEC": "us", "SEC": "us",  # constants are in ticks
+    "nbytes": "bytes", "npages": "pages", "nsectors": "sectors",
+    "usecs": "us", "ticks": "us",
+    "PAGE_SIZE": "bytes", "SECTOR_SIZE": "bytes", "KB": "bytes", "MB": "bytes",
+    "SECTORS_PER_PAGE": "sectors",
+}
+
+#: converter -> (argument family, result family).
+_CONVERTERS: Dict[str, Tuple[str, str]] = {
+    "usecs": ("us", "us"),
+    "msecs": ("ms", "us"),
+    "secs": ("s", "us"),
+    "to_millis": ("us", "ms"),
+    "to_seconds": ("us", "s"),
+    "pages": ("bytes", "pages"),
+    "sectors": ("bytes", "sectors"),
+}
+
+
+def family_of_name(name: str) -> Optional[str]:
+    """Unit family an identifier declares, or None."""
+    if name in _NAME_FAMILY:
+        return _NAME_FAMILY[name]
+    lowered = name.lower()
+    for suffix, family in _SUFFIX_FAMILY:
+        if lowered.endswith(suffix):
+            return family
+    return None
+
+
+@register
+class UnitsChecker(Checker):
+    RULES = (SL301, SL302, SL303)
+    SCOPE = None
+
+    def check(self, ctx: FileContext) -> Iterator[Optional[Finding]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(ctx, node, node.left, node.right, "+/-")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(ctx, node, left, right, "comparison")
+            elif isinstance(node, ast.Call):
+                yield from self._check_converter_arg(ctx, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_converter_result(ctx, node)
+
+    # --- expression families -----------------------------------------------
+
+    def _family(self, node: ast.AST) -> Optional[str]:
+        """Family of an expression, when a name states one."""
+        while isinstance(node, ast.UnaryOp):
+            node = node.operand
+        if isinstance(node, ast.Name):
+            return family_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return family_of_name(node.attr)
+        if isinstance(node, ast.Call):
+            dotted = node.func
+            name = None
+            if isinstance(dotted, ast.Name):
+                name = dotted.id
+            elif isinstance(dotted, ast.Attribute):
+                name = dotted.attr
+            if name in _CONVERTERS:
+                return _CONVERTERS[name][1]
+        return None
+
+    def _check_pair(
+        self, ctx: FileContext, node: ast.AST, left: ast.AST, right: ast.AST,
+        what: str,
+    ) -> Iterator[Optional[Finding]]:
+        left_family = self._family(left)
+        right_family = self._family(right)
+        if left_family is None or right_family is None:
+            return
+        if left_family == right_family:
+            return
+        yield ctx.finding(
+            SL301, node,
+            f"{what} mixes unit families {left_family!r} and "
+            f"{right_family!r}; convert via repro.sim.units first",
+        )
+
+    # --- converters ---------------------------------------------------------
+
+    def _converter_name(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name if name in _CONVERTERS else None
+
+    def _check_converter_arg(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Optional[Finding]]:
+        name = self._converter_name(node)
+        if name is None or not node.args:
+            return
+        expected, _result = _CONVERTERS[name]
+        actual = self._family(node.args[0])
+        if actual is None or actual == expected:
+            return
+        yield ctx.finding(
+            SL302, node,
+            f"{name}() takes a value in {expected!r} but the argument "
+            f"declares family {actual!r}",
+        )
+
+    def _check_converter_result(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Optional[Finding]]:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        name = self._converter_name(value)
+        if name is None:
+            return
+        _expected, result = _CONVERTERS[name]
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            target_name = None
+            if isinstance(target, ast.Name):
+                target_name = target.id
+            elif isinstance(target, ast.Attribute):
+                target_name = target.attr
+            if target_name is None:
+                continue
+            declared = family_of_name(target_name)
+            if declared is None or declared == result:
+                continue
+            yield ctx.finding(
+                SL303, node,
+                f"{name}() returns a value in {result!r} but the target "
+                f"{target_name!r} declares family {declared!r}",
+            )

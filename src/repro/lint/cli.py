@@ -1,0 +1,150 @@
+"""``python -m repro lint`` — the simlint command line.
+
+Exit status is 0 when every finding is covered by the baseline (or
+there are none), 1 when new findings exist, 2 for usage errors.
+
+Typical invocations::
+
+    python -m repro lint                          # src/repro vs lint-baseline.json
+    python -m repro lint --format sarif -o out.sarif
+    python -m repro lint --write-baseline         # refresh the baseline
+    python -m repro lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.framework import LintError, all_rules, run_lint
+from repro.lint.output import render_json, render_sarif, render_text
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _default_paths() -> List[str]:
+    # Prefer the repo layout (src/repro below the cwd); fall back to
+    # the installed package's own directory so the CLI always has a
+    # target.
+    candidate = os.path.join("src", "repro")
+    if os.path.isdir(candidate):
+        return [candidate]
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simlint: determinism, event-safety, units, and "
+        "hot-path static analysis for the simulator",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with its severity and summary",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  [{rule.severity:7}]  {rule.name}: {rule.summary}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    rules = None
+    if args.rules:
+        rules = {code.strip() for code in args.rules.split(",") if code.strip()}
+
+    try:
+        findings = run_lint(paths, rules=rules)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if args.baseline is not None or os.path.exists(baseline_path):
+            try:
+                baseline = baseline_mod.load(baseline_path)
+            except baseline_mod.BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    if args.write_baseline:
+        previous = None
+        if os.path.exists(baseline_path):
+            try:
+                previous = baseline_mod.load(baseline_path)
+            except baseline_mod.BaselineError:
+                previous = None
+        baseline_mod.save(
+            baseline_path, baseline_mod.from_findings(findings, previous)
+        )
+        print(f"wrote {len(findings)} entr(ies) to {baseline_path}")
+        return 0
+
+    if baseline is not None:
+        new, baselined, stale = baseline.diff(findings)
+    else:
+        new, baselined, stale = list(findings), [], []
+
+    if args.format == "text":
+        report = render_text(new, baselined)
+        if stale:
+            report += (
+                f"\n{len(stale)} stale baseline entr(ies) no longer match;"
+                f" refresh with --write-baseline"
+            )
+    elif args.format == "json":
+        report = render_json(new, baselined)
+    else:
+        report = render_sarif(new, all_rules())
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

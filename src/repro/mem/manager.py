@@ -21,7 +21,6 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Optional
 
-from repro.core.resources import Resource
 from repro.core.schemes import SchemeConfig
 from repro.core.spu import SPU, SPURegistry
 
@@ -228,7 +227,10 @@ class MemoryManager:
                 return requester if requester.memory().used > 0 else None
             borrowers = [s for s in users if s.memory().over_entitlement]
             if borrowers:
-                return max(borrowers, key=lambda s: s.memory().used - s.memory().entitled)
+                return max(
+                    borrowers,
+                    key=lambda s: (s.memory().used - s.memory().entitled, -s.spu_id),
+                )
         holders = [s for s in users if s.memory().used > 0]
         if not holders:
             return None

@@ -81,11 +81,11 @@ class PageoutDaemon:
             if borrowers:
                 victim = max(
                     borrowers,
-                    key=lambda s: s.memory().used - s.memory().entitled,
+                    key=lambda s: (s.memory().used - s.memory().entitled, -s.spu_id),
                 )
                 return victim.spu_id
             return None
         holders = [s for s in users if s.memory().used > 0]
         if not holders:
             return None
-        return max(holders, key=lambda s: s.memory().used).spu_id
+        return max(holders, key=lambda s: (s.memory().used, -s.spu_id)).spu_id

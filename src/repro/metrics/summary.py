@@ -10,7 +10,7 @@ methodology leaned on (Section 4.1), for this simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, TYPE_CHECKING
+from typing import List, TYPE_CHECKING
 
 from repro.metrics.report import format_table
 

@@ -11,7 +11,7 @@ period; the result renders as a plain-text table or feeds assertions
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, TYPE_CHECKING
 
 from repro.sim.units import MSEC
 

@@ -12,7 +12,7 @@ the threshold is deferred.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Protocol, Sequence
+from typing import Dict, Protocol, Sequence
 
 from repro.net.packet import Packet
 
@@ -57,7 +57,7 @@ class FairShareLinkScheduler(LinkScheduler):
     def select(self, queue, now, ledger):
         ratios: Dict[int, float] = {
             spu_id: ledger.usage_ratio(spu_id, now)
-            for spu_id in {p.spu_id for p in queue}
+            for spu_id in sorted({p.spu_id for p in queue})
         }
         neediest = min(ratios, key=lambda s: (ratios[s], s))
         own = [p for p in queue if p.spu_id == neediest]

@@ -89,7 +89,7 @@ class Engine:
         exactly.
     """
 
-    __slots__ = ("_now", "_seq", "_queue", "_live", "rng", "_seed", "_running")
+    __slots__ = ("_now", "_seq", "_queue", "_live", "rng", "_seed", "_running", "_san")
 
     def __init__(self, seed: int = 0):
         self._now = 0
@@ -101,6 +101,9 @@ class Engine:
         self.rng = random.Random(seed)
         self._seed = seed
         self._running = False
+        #: Post-event hook (the SIMSAN sanitizer).  None keeps the
+        #: dispatch loop on its branch-free fast path.
+        self._san: Optional[Callable[[], None]] = None
 
     # --- time ------------------------------------------------------------
 
@@ -179,6 +182,15 @@ class Engine:
 
     # --- execution ---------------------------------------------------------
 
+    def set_sanitizer(self, hook: Optional[Callable[[], None]]) -> None:
+        """Install (or remove, with None) a hook run after every event.
+
+        Used by :mod:`repro.sanitizer` to check invariants at event
+        granularity.  With no hook installed, the dispatch loop stays on
+        its branch-free fast path.
+        """
+        self._san = hook
+
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
         while self._queue:
@@ -190,6 +202,8 @@ class Engine:
             if not handle.daemon:
                 self._live -= 1
             handle.fn(*handle.args)
+            if self._san is not None:
+                self._san()
             return True
         return False
 
@@ -210,7 +224,7 @@ class Engine:
         # through self.
         queue = self._queue
         try:
-            if until is None and max_events is None:
+            if until is None and max_events is None and self._san is None:
                 # The common case, kept free of per-event branch tests.
                 while queue and self._live:
                     time, _seq, handle = heappop(queue)
@@ -240,6 +254,8 @@ class Engine:
                 if not handle.daemon:
                     self._live -= 1
                 handle.fn(*handle.args)
+                if self._san is not None:
+                    self._san()
                 executed += 1
             if until is not None and until > self._now:
                 self._now = until

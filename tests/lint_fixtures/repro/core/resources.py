@@ -1,0 +1,19 @@
+"""Fixture: the accounting module itself may write the ledger fields.
+
+This file's path (``core/resources.py`` under the ``repro`` root) is the
+one module SL201 exempts — it IS the accounting API.
+"""
+
+
+class Levels:
+    def set_entitled(self, value):
+        self.entitled = value
+
+    def set_allowed(self, value):
+        self.allowed = value
+
+    def acquire(self, amount):
+        self.used += amount
+
+    def release(self, amount):
+        self.used -= amount

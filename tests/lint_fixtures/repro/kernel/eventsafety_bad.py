@@ -1,0 +1,24 @@
+"""Fixture: every SL2xx rule fires here (positive cases)."""
+
+from heapq import heappush
+
+
+def raise_cap(levels, spu):
+    levels.allowed = 100  # SL201: direct ledger write
+    spu.entitled += 5  # SL201: augmented ledger write
+
+
+def recharge(block, target):
+    target.used = block.npages  # SL201: `used` on a non-self target
+
+
+def push_bare(heap, proc):
+    heappush(heap, proc)  # SL202: bare payload
+
+
+def push_pair(heap, proc, now):
+    heappush(heap, (now, proc))  # SL202: no sequence tie-break
+
+
+def pick(queue):
+    return sorted(queue, key=lambda p: p.deadline)  # SL203: ties unresolved

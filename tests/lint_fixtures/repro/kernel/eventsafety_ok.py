@@ -1,0 +1,31 @@
+"""Fixture: the compliant shapes of eventsafety_bad — no findings."""
+
+from heapq import heappush
+
+
+class Pool:
+    """A class's own ``used`` counter is not the SPU ledger."""
+
+    __slots__ = ("used",)
+
+    def __init__(self):
+        self.used = 0
+
+    def grab(self):
+        self.used += 1
+
+
+def adjust(levels, npages):
+    levels.set_allowed(npages)
+
+
+def push(heap, seq, proc, now):
+    heappush(heap, (now, seq, proc))
+
+
+def pick(queue):
+    return sorted(queue, key=lambda p: (p.deadline, p.pid))
+
+
+def oldest(queue):
+    return min(queue, key=lambda r: r.request_id)

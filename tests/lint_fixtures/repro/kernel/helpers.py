@@ -1,0 +1,12 @@
+"""Fixture: the same shapes as the hot-module fixture, but this path is
+not in HOT_MODULES — the SL4xx rules must stay silent."""
+
+
+class Dispatcher:
+    def __init__(self):
+        self.pending = []
+
+    def drain(self, queue):
+        while queue:
+            item = queue.pop()
+            self.pending.append({"item": item})

@@ -1,0 +1,12 @@
+"""Fixture: SL4xx positives.  The ``kernel/kernel.py`` tail makes this
+path count as a hot module, so the hot-path rules apply."""
+
+
+class Dispatcher:  # SL401: hot class without __slots__
+    def __init__(self):
+        self.pending = []
+
+    def drain(self, queue):
+        while queue:
+            item = queue.pop()
+            self.pending.append({"item": item})  # SL402: alloc in loop

@@ -1,0 +1,28 @@
+"""Fixture: a hot module (``mem/manager.py`` tail) whose classes all use
+the exempt shapes — __slots__, dataclass, exception — so SL4xx stays
+silent, and whose loops hoist allocations."""
+
+from dataclasses import dataclass
+
+
+class Manager:
+    __slots__ = ("pages",)
+
+    def __init__(self):
+        self.pages = 0
+
+
+@dataclass
+class Snapshot:
+    free: int
+
+
+class ManagerError(ValueError):
+    pass
+
+
+def drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out

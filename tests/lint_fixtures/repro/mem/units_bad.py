@@ -1,0 +1,24 @@
+"""Fixture: every SL3xx rule fires here (positive cases)."""
+
+from repro.sim.units import msecs, pages
+
+
+def total(delay_ms, now_us):
+    return delay_ms + now_us  # SL301: ms + us
+
+
+def within(size_bytes, quota_pages):
+    return size_bytes < quota_pages  # SL301: bytes vs pages
+
+
+def convert(delay_us):
+    return msecs(delay_us)  # SL302: msecs() takes milliseconds
+
+
+def budget():
+    budget_ms = msecs(5)  # SL303: msecs() returns ticks (us)
+    return budget_ms
+
+
+def cache(nbytes):
+    return pages(nbytes)  # correct use: no finding

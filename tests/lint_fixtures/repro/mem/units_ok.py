@@ -1,0 +1,21 @@
+"""Fixture: unit-correct counterparts of units_bad — no findings."""
+
+from repro.sim.units import msecs, pages, to_millis
+
+
+def total(delay_us, now_us):
+    return delay_us + now_us
+
+
+def deadline(delay_ms):
+    return msecs(delay_ms)
+
+
+def report(elapsed_us):
+    elapsed_ms = to_millis(elapsed_us)
+    return elapsed_ms
+
+
+def cache_budget(nbytes):
+    npages = pages(nbytes)
+    return npages

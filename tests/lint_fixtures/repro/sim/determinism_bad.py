@@ -1,0 +1,44 @@
+"""Fixture: every SL1xx rule fires here (positive cases).
+
+The ``repro/sim`` path puts this file inside the linter's simulated-world
+scope; the surrounding ``tests/lint_fixtures`` tree is never linted by
+default, only by the golden-fixture tests.
+"""
+
+import os
+import random
+import time
+import uuid
+
+
+def stamp():
+    return time.time()  # SL101: wall clock
+
+
+def jitter():
+    return random.random()  # SL102: global RNG
+
+
+def token():
+    return uuid.uuid4()  # SL102: process entropy
+
+
+def fresh_rng():
+    return random.Random()  # SL103: unseeded instance
+
+
+def env_mode():
+    return os.getenv("REPRO_MODE")  # SL104: env read
+
+
+def env_flag():
+    return os.environ["FLAG"]  # SL104: env subscript
+
+
+def walk(items):
+    for item in {i for i in items}:  # SL105: set iteration
+        yield item
+
+
+def order(objs):
+    return sorted(objs, key=lambda o: (id(o), 0))  # SL106: address as key

@@ -1,0 +1,28 @@
+"""Fixture: deterministic equivalents of determinism_bad — no findings."""
+
+import random
+
+
+def stamp(engine):
+    return engine.now
+
+
+def jitter(engine):
+    return engine.rng.random()
+
+
+def fresh_rng(engine):
+    return engine.fork_rng("component")
+
+
+def seeded():
+    return random.Random(1234)
+
+
+def walk(items):
+    for item in sorted({i for i in items}):
+        yield item
+
+
+def order(objs):
+    return sorted(objs, key=lambda o: (o.priority, o.request_id))

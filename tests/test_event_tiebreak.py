@@ -1,0 +1,126 @@
+"""Same-tick tie-breaking regression tests.
+
+The heap holds ``(time, seq, handle)`` tuples, so events scheduled for
+the same instant fire strictly in scheduling order and the handle itself
+is never compared.  These tests pin that contract down at the engine
+level and then at the kernel level, where a same-tick burst of wakeups
+must replay identically across runs.
+"""
+
+from repro.kernel import Compute, DiskSpec, Kernel, MachineConfig, Sleep, Spawn
+from repro.core import piso_scheme
+from repro.disk.model import fast_disk
+from repro.sim.engine import Engine
+from repro.sim.units import msecs, usecs
+
+
+class TestEngineSameTick:
+    def test_burst_fires_in_scheduling_order(self):
+        engine = Engine(seed=0)
+        order = []
+        for i in range(50):
+            engine.at(usecs(10), order.append, i)
+        engine.run()
+        assert order == list(range(50))
+
+    def test_interleaved_times_keep_per_tick_fifo(self):
+        engine = Engine(seed=0)
+        order = []
+        # Schedule out of time order: tick 20, tick 10, tick 20, tick 10...
+        for i in range(20):
+            engine.at(usecs(20 if i % 2 == 0 else 10), order.append, i)
+        engine.run()
+        early = [i for i in range(20) if i % 2 == 1]
+        late = [i for i in range(20) if i % 2 == 0]
+        assert order == early + late
+
+    def test_events_scheduled_from_within_a_tick_run_after_that_tick(self):
+        engine = Engine(seed=0)
+        order = []
+
+        def first():
+            order.append("first")
+            engine.at(engine.now, lambda: order.append("nested"))
+
+        engine.at(usecs(10), first)
+        engine.at(usecs(10), lambda: order.append("second"))
+        engine.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_cancellation_preserves_order_of_survivors(self):
+        engine = Engine(seed=0)
+        order = []
+        handles = [engine.at(usecs(10), order.append, i) for i in range(10)]
+        for handle in handles[::2]:
+            handle.cancel()
+        engine.run()
+        assert order == [1, 3, 5, 7, 9]
+
+    def test_noncomparable_payloads_never_break_the_heap(self):
+        # Handles wrap plain callables (closures, bound methods, None
+        # args); the (time, seq) tuple prefix must keep heapq from ever
+        # comparing them.
+        engine = Engine(seed=0)
+        order = []
+
+        class Opaque:
+            pass
+
+        for i in range(10):
+            engine.at(usecs(5), lambda o=Opaque(), i=i: order.append(i))
+        engine.run()
+        assert order == list(range(10))
+
+    def test_burst_replays_identically(self):
+        def trace(seed):
+            engine = Engine(seed=seed)
+            order = []
+            for i in range(30):
+                engine.at(usecs(7), order.append, i)
+                engine.at(usecs(7 + (i % 3)), order.append, 100 + i)
+            engine.run()
+            return order
+
+        assert trace(1) == trace(1)
+
+
+class TestKernelSameTick:
+    def run_burst(self):
+        kernel = Kernel(
+            MachineConfig(
+                ncpus=2,
+                memory_mb=16,
+                disks=[DiskSpec(geometry=fast_disk())],
+                scheme=piso_scheme(),
+                seed=0,
+            )
+        )
+        spu = kernel.create_spu("u")
+        kernel.boot()
+
+        finish_order = []
+
+        def sleeper(name):
+            # Everyone sleeps to the same absolute instant, producing a
+            # same-tick burst of wakeups that then race for the CPUs.
+            yield Sleep(msecs(5))
+            yield Compute(msecs(1))
+            finish_order.append(name)
+
+        def parent():
+            for i in range(8):
+                yield Spawn(sleeper(f"p{i}"))
+
+        kernel.spawn(parent(), spu)
+        kernel.run()
+        return finish_order
+
+    def test_same_tick_wakeup_burst_is_deterministic(self):
+        first = self.run_burst()
+        assert len(first) == 8
+        assert first == self.run_burst()
+
+    def test_wakeups_complete_in_spawn_order(self):
+        # With identical sleeps and identical compute, the seq tie-break
+        # means spawn order IS completion order.
+        assert self.run_burst() == [f"p{i}" for i in range(8)]

@@ -1,0 +1,117 @@
+"""Golden-fixture tests for the simlint checkers.
+
+Each checker family has a positive fixture (every rule fires, with exact
+counts) and a negative fixture (the compliant equivalents stay silent).
+The fixtures live under ``tests/lint_fixtures/repro/...`` so that the
+framework's module-path logic (scope, accounting exemption, hot-module
+detection) sees the same shapes it sees on the real tree.
+"""
+
+from collections import Counter
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def lint(relpath):
+    return run_lint([str(FIXTURES / relpath)], root=str(FIXTURES))
+
+
+def codes(findings):
+    return Counter(f.rule for f in findings)
+
+
+class TestDeterminismChecker:
+    def test_positive_fixture_fires_every_rule(self):
+        counts = codes(lint("repro/sim/determinism_bad.py"))
+        assert counts == {
+            "SL101": 1,  # time.time()
+            "SL102": 2,  # random.random(), uuid.uuid4()
+            "SL103": 1,  # random.Random()
+            "SL104": 2,  # os.getenv, os.environ[...]
+            "SL105": 1,  # iteration over a set comprehension
+            "SL106": 1,  # id() as a sort key
+        }
+
+    def test_negative_fixture_is_clean(self):
+        assert lint("repro/sim/determinism_ok.py") == []
+
+    def test_findings_carry_location_and_snippet(self):
+        findings = lint("repro/sim/determinism_bad.py")
+        for f in findings:
+            assert f.path == "repro/sim/determinism_bad.py"
+            assert f.line > 0
+            assert f.snippet.strip()
+            assert f.message
+
+
+class TestEventSafetyChecker:
+    def test_positive_fixture_fires_every_rule(self):
+        counts = codes(lint("repro/kernel/eventsafety_bad.py"))
+        assert counts == {
+            "SL201": 3,  # allowed=, entitled+=, used= on another object
+            "SL202": 2,  # bare payload, 2-tuple without seq
+            "SL203": 1,  # sort key without tie-break
+        }
+
+    def test_negative_fixture_is_clean(self):
+        assert lint("repro/kernel/eventsafety_ok.py") == []
+
+    def test_accounting_module_may_write_ledger_fields(self):
+        # Same writes as the positive fixture, but the path IS the
+        # accounting API (core/resources.py) — SL201 must not fire.
+        assert lint("repro/core/resources.py") == []
+
+
+class TestUnitsChecker:
+    def test_positive_fixture_fires_every_rule(self):
+        counts = codes(lint("repro/mem/units_bad.py"))
+        assert counts == {
+            "SL301": 2,  # ms + us, bytes vs pages
+            "SL302": 1,  # msecs(delay_us)
+            "SL303": 1,  # budget_ms = msecs(...)
+        }
+
+    def test_negative_fixture_is_clean(self):
+        assert lint("repro/mem/units_ok.py") == []
+
+
+class TestHotPathChecker:
+    def test_hot_module_fixture_fires_every_rule(self):
+        counts = codes(lint("repro/kernel/kernel.py"))
+        assert counts == {
+            "SL401": 1,  # hot class without __slots__
+            "SL402": 1,  # dict literal allocated inside a while loop
+        }
+
+    def test_same_shapes_outside_hot_modules_are_silent(self):
+        assert lint("repro/kernel/helpers.py") == []
+
+    def test_hot_module_with_exempt_shapes_is_silent(self):
+        # __slots__, @dataclass, and exception classes are all exempt,
+        # and a hoisted list with append-in-loop is the blessed shape.
+        assert lint("repro/mem/manager.py") == []
+
+
+class TestFixtureDirectorySweep:
+    def test_directory_lint_matches_per_file_totals(self):
+        # Linting the whole fixture tree equals the union of the
+        # per-file runs: nothing is double-reported or dropped.
+        whole = codes(run_lint([str(FIXTURES)], root=str(FIXTURES)))
+        merged = Counter()
+        for rel in (
+            "repro/sim/determinism_bad.py",
+            "repro/sim/determinism_ok.py",
+            "repro/kernel/eventsafety_bad.py",
+            "repro/kernel/eventsafety_ok.py",
+            "repro/kernel/kernel.py",
+            "repro/kernel/helpers.py",
+            "repro/core/resources.py",
+            "repro/mem/units_bad.py",
+            "repro/mem/units_ok.py",
+            "repro/mem/manager.py",
+        ):
+            merged.update(codes(lint(rel)))
+        assert whole == merged

@@ -1,0 +1,36 @@
+"""The tree itself must lint clean against the checked-in baseline.
+
+This is the repo-level guarantee behind ``python -m repro lint``: every
+finding on ``src/repro`` is either fixed or recorded (with a written
+justification) in ``lint-baseline.json``, and no baseline entry is dead
+weight.
+"""
+
+from pathlib import Path
+
+from repro.lint import load_baseline, run_lint
+from repro.lint.baseline import TODO_JUSTIFICATION
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_src_repro_is_clean_against_the_baseline():
+    findings = run_lint([str(ROOT / "src" / "repro")], root=str(ROOT))
+    baseline = load_baseline(str(ROOT / "lint-baseline.json"))
+    new, _, stale = baseline.diff(findings)
+    assert not new, "new lint findings:\n" + "\n".join(f.render() for f in new)
+    assert not stale, "stale baseline entries: " + ", ".join(
+        f"{e.rule} {e.path}" for e in stale
+    )
+
+
+def test_every_baseline_entry_is_justified():
+    baseline = load_baseline(str(ROOT / "lint-baseline.json"))
+    assert baseline.entries, "baseline unexpectedly empty"
+    for entry in baseline.entries:
+        assert entry.justification != TODO_JUSTIFICATION, (
+            f"{entry.rule} {entry.path} has a TODO justification"
+        )
+        assert len(entry.justification) >= 20, (
+            f"{entry.rule} {entry.path}: justification too thin"
+        )

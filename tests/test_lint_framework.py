@@ -1,0 +1,246 @@
+"""Framework-level tests for simlint: suppressions, fingerprints,
+baseline round-trips, output schemas, and the CLI contract."""
+
+import json
+from pathlib import Path
+
+from repro.lint import all_rules, load_baseline, run_lint
+from repro.lint import baseline as baseline_mod
+from repro.lint.baseline import Baseline, BaselineEntry, from_findings
+from repro.lint.cli import main as lint_main
+from repro.lint.output import render_json, render_sarif, render_text
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+BAD_SOURCE = 'import os\n\nMODE = os.getenv("REPRO_MODE")\n'
+
+
+def write_module(root, relpath, source):
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def lint_tree(root):
+    return run_lint([str(root)], root=str(root))
+
+
+class TestSuppression:
+    def test_same_line_disable_comment_suppresses(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/sim/clocks.py",
+            'import os\n\nMODE = os.getenv("REPRO_MODE")  # simlint: disable=SL104\n',
+        )
+        assert lint_tree(tmp_path) == []
+
+    def test_disable_comment_only_covers_named_rule(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/sim/clocks.py",
+            'import os\n\nMODE = os.getenv("REPRO_MODE")  # simlint: disable=SL101\n',
+        )
+        assert [f.rule for f in lint_tree(tmp_path)] == ["SL104"]
+
+    def test_skip_file_pragma_silences_whole_module(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro/sim/clocks.py",
+            "# simlint: skip-file\n" + BAD_SOURCE,
+        )
+        assert lint_tree(tmp_path) == []
+
+    def test_without_pragma_the_finding_fires(self, tmp_path):
+        write_module(tmp_path, "repro/sim/clocks.py", BAD_SOURCE)
+        assert [f.rule for f in lint_tree(tmp_path)] == ["SL104"]
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_as_sl000(self, tmp_path):
+        write_module(tmp_path, "repro/sim/broken.py", "def f(:\n")
+        findings = lint_tree(tmp_path)
+        assert [f.rule for f in findings] == ["SL000"]
+
+
+class TestFingerprints:
+    def test_fingerprint_survives_line_shifts(self, tmp_path):
+        path = write_module(tmp_path, "repro/sim/clocks.py", BAD_SOURCE)
+        (before,) = lint_tree(tmp_path)
+        path.write_text("\n\n\n" + BAD_SOURCE)
+        (after,) = lint_tree(tmp_path)
+        assert after.line == before.line + 3
+        assert after.fingerprint == before.fingerprint
+
+    def test_fingerprint_changes_when_the_line_changes(self, tmp_path):
+        path = write_module(tmp_path, "repro/sim/clocks.py", BAD_SOURCE)
+        (before,) = lint_tree(tmp_path)
+        path.write_text('import os\n\nMODE = os.getenv("OTHER_VAR")\n')
+        (after,) = lint_tree(tmp_path)
+        assert after.fingerprint != before.fingerprint
+
+
+class TestBaseline:
+    def findings(self, tmp_path):
+        write_module(tmp_path, "repro/sim/clocks.py", BAD_SOURCE)
+        return lint_tree(tmp_path)
+
+    def test_round_trip_preserves_entries(self, tmp_path):
+        findings = self.findings(tmp_path)
+        baseline = from_findings(findings)
+        blpath = tmp_path / "baseline.json"
+        baseline_mod.save(str(blpath), baseline)
+        loaded = load_baseline(str(blpath))
+        assert loaded.entries == baseline.entries
+
+    def test_diff_splits_new_baselined_stale(self, tmp_path):
+        findings = self.findings(tmp_path)
+        stale_entry = BaselineEntry(
+            rule="SL101", path="repro/sim/gone.py", fingerprint="deadbeef",
+            line=1, snippet="time.time()",
+        )
+        baseline = Baseline(entries=list(from_findings(findings).entries) + [stale_entry])
+        new, baselined, stale = baseline.diff(findings)
+        assert new == []
+        assert baselined == findings
+        assert stale == [stale_entry]
+
+    def test_duplicate_findings_consume_entry_budget(self, tmp_path):
+        # Two identical lines produce two findings with one fingerprint;
+        # a single baseline entry must cover only one of them.
+        write_module(
+            tmp_path,
+            "repro/sim/clocks.py",
+            'import os\nos.getenv("X")\nos.getenv("X")\n',
+        )
+        findings = lint_tree(tmp_path)
+        assert len(findings) == 2
+        assert findings[0].fingerprint == findings[1].fingerprint
+        baseline = from_findings(findings[:1])
+        new, baselined, _ = baseline.diff(findings)
+        assert len(baselined) == 1 and len(new) == 1
+
+    def test_rewrite_preserves_justifications(self, tmp_path):
+        findings = self.findings(tmp_path)
+        previous = from_findings(findings)
+        entry = previous.entries[0]
+        justified = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=entry.rule, path=entry.path,
+                    fingerprint=entry.fingerprint, line=entry.line,
+                    snippet=entry.snippet, justification="env read is host-side",
+                )
+            ]
+        )
+        refreshed = from_findings(findings, justified)
+        assert refreshed.entries[0].justification == "env read is host-side"
+
+
+class TestOutputSchemas:
+    def findings(self, tmp_path):
+        write_module(tmp_path, "repro/sim/clocks.py", BAD_SOURCE)
+        return lint_tree(tmp_path)
+
+    def test_text_summary_counts(self, tmp_path):
+        findings = self.findings(tmp_path)
+        report = render_text([], findings)
+        assert report.endswith("0 finding(s), 1 baselined")
+        report = render_text(findings)
+        assert "SL104" in report and report.endswith("1 finding(s)")
+
+    def test_json_schema(self, tmp_path):
+        findings = self.findings(tmp_path)
+        payload = json.loads(render_json(findings, findings))
+        assert payload["tool"] == "simlint"
+        assert payload["summary"] == {"new": 1, "baselined": 1}
+        for record in payload["findings"]:
+            assert set(record) == {
+                "rule", "path", "line", "col", "severity", "message",
+                "snippet", "fingerprint", "baselined",
+            }
+        assert [r["baselined"] for r in payload["findings"]] == [False, True]
+
+    def test_sarif_schema(self, tmp_path):
+        findings = self.findings(tmp_path)
+        sarif = json.loads(render_sarif(findings, all_rules()))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "simlint"
+        declared = {rule["id"] for rule in driver["rules"]}
+        assert {r.code for r in all_rules()} <= declared
+        (result,) = run["results"]
+        assert result["ruleId"] == "SL104"
+        assert result["level"] in ("warning", "error")
+        assert result["partialFingerprints"]["simlint/v1"] == findings[0].fingerprint
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == findings[0].path
+        assert location["region"]["startLine"] == findings[0].line
+
+
+class TestCli:
+    def test_exit_codes_and_baseline_lifecycle(self, tmp_path, capsys):
+        target = str(write_module(tmp_path, "repro/sim/clocks.py", BAD_SOURCE))
+        blpath = str(tmp_path / "baseline.json")
+
+        # New finding, no baseline: exit 1.
+        assert lint_main([target, "--no-baseline"]) == 1
+        assert "SL104" in capsys.readouterr().out
+
+        # Write the baseline: exit 0, file created.
+        assert lint_main([target, "--baseline", blpath, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert Path(blpath).exists()
+
+        # Baselined run: exit 0, finding suppressed.
+        assert lint_main([target, "--baseline", blpath]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # A second violation is new on top of the baseline: exit 1.
+        Path(target).write_text(BAD_SOURCE + 'OTHER = os.getenv("OTHER")\n')
+        assert lint_main([target, "--baseline", blpath]) == 1
+        assert "1 finding(s), 1 baselined" in capsys.readouterr().out
+
+        # Fix everything: the surviving entry goes stale, still exit 0.
+        Path(target).write_text("import os  # simlint: disable=SL000\n")
+        assert lint_main([target, "--baseline", blpath]) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_json_report_written_to_file(self, tmp_path, capsys):
+        target = str(write_module(tmp_path, "repro/sim/clocks.py", BAD_SOURCE))
+        out = tmp_path / "report.json"
+        assert lint_main(
+            [target, "--no-baseline", "--format", "json", "-o", str(out)]
+        ) == 1
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["new"] == 1
+
+    def test_sarif_report_written_to_file(self, tmp_path, capsys):
+        target = str(write_module(tmp_path, "repro/sim/clocks.py", BAD_SOURCE))
+        out = tmp_path / "report.sarif"
+        assert lint_main(
+            [target, "--no-baseline", "--format", "sarif", "-o", str(out)]
+        ) == 1
+        capsys.readouterr()
+        sarif = json.loads(out.read_text())
+        assert sarif["runs"][0]["results"][0]["ruleId"] == "SL104"
+
+    def test_rule_filter(self, tmp_path, capsys):
+        target = str(
+            write_module(
+                tmp_path,
+                "repro/sim/clocks.py",
+                "import time\n\nNOW = time.time()\n" + 'import os\nM = os.getenv("X")\n',
+            )
+        )
+        assert lint_main([target, "--no-baseline", "--rules", "SL101"]) == 1
+        out = capsys.readouterr().out
+        assert "SL101" in out and "SL104" not in out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SL101", "SL106", "SL201", "SL301", "SL401"):
+            assert code in out
