@@ -35,6 +35,7 @@ Subpackages
 * :mod:`repro.faults` — deterministic hardware-fault injection.
 * :mod:`repro.workloads` — pmake, copy, Ocean/Flashlite/VCS models.
 * :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.fuzz` — generative scenario fuzzing with ddmin shrinking.
 """
 
 from repro.core import (

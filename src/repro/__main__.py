@@ -4,16 +4,20 @@ Subcommands:
 
 * ``experiments`` — regenerate the paper's tables and figures
   (``python -m repro experiments fig5 table4 --seed 1 --workers 4``);
-* ``chaos`` — the seeded chaos soak (``python -m repro chaos --seeds
-  0 1 2 --workers 4``); ``python -m repro.chaos`` remains a shim;
+* ``chaos`` — the seeded chaos soak (``python -m repro chaos --seed 0
+  --workers 4``); ``python -m repro.chaos`` remains a shim;
+* ``fuzz`` — generative scenario fuzzing with a resumable corpus and
+  ddmin-shrunken repro files (``python -m repro fuzz --seed 0
+  --count 50 --workers 4``; ``--repro FILE`` replays a repro);
 * ``bench`` — the performance harness that writes
   ``BENCH_parallel.json`` (``python -m repro bench --quick``);
 * ``lint`` — simlint, the simulator's own static analysis
   (``python -m repro lint --baseline lint-baseline.json``).
 
-All three share ``--seed``-style determinism and ``--workers`` for the
-parallel sweep executor.  For back-compatibility, bare section names
-(``python -m repro pmake8 fig5``) still work and mean ``experiments``.
+All subcommands share ``--seed``-style determinism and ``--workers``
+for the parallel sweep executor (1 = in-process, 0 = auto-size).  For
+back-compatibility, bare section names (``python -m repro pmake8
+fig5``) still work and mean ``experiments``.
 """
 
 from __future__ import annotations
@@ -37,6 +41,10 @@ def main(argv: List[str]) -> int:
         from repro.chaos.__main__ import main as chaos_main
 
         return chaos_main(rest)
+    if command == "fuzz":
+        from repro.fuzz.__main__ import main as fuzz_main
+
+        return fuzz_main(rest)
     if command == "bench":
         from repro.bench.__main__ import main as bench_main
 

@@ -121,13 +121,17 @@ def bench_sweep_scaling(
     out: Dict[str, Any] = {"workers": {}, "divergence": []}
     for n in workers:
         start = time.perf_counter()
-        results = values(run_sweep(run_experiment, payloads, max_workers=n))
+        outcomes = run_sweep(run_experiment, payloads, max_workers=n)
+        results = values(outcomes)
         elapsed = time.perf_counter() - start
         diverged = [
             r.name for r in results
             if r.canonical_json() != serial_canonical[r.name]
         ]
-        out["workers"][str(n)] = {"seconds": round(elapsed, 3)}
+        out["workers"][str(n)] = {
+            "seconds": round(elapsed, 3),
+            "retried_cells": sum(o.retries for o in outcomes),
+        }
         for name in diverged:
             if name not in out["divergence"]:
                 out["divergence"].append(name)
@@ -188,10 +192,11 @@ def format_report(payload: Dict[str, Any]) -> str:
     for name, stats in payload["experiments"]["per_figure"].items():
         lines.append(f"  {name}: {stats['seconds']}s")
     for n, stats in payload["sweep"]["workers"].items():
+        retried = stats.get("retried_cells", 0)
         lines.append(
             f"sweep at {n} workers: {stats['seconds']}s"
             f" ({stats['speedup']}x; host has {payload['host']['cpu_count']}"
-            " CPUs)"
+            " CPUs" + (f"; {retried} cell(s) retried" if retried else "") + ")"
         )
     divergence = payload["sweep"]["divergence"]
     lines.append(

@@ -30,8 +30,10 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         help="base RNG seed for every measured run (default: 0)",
     )
     parser.add_argument(
-        "--workers", type=int, nargs="+", default=list(SCALING_WORKERS),
-        help="worker counts for the sweep-scaling stage (default: 2 4)",
+        "--workers", type=int, default=0,
+        help="worker count for the sweep-scaling stage, matching the"
+        " other subcommands (0 = auto: measure the standard"
+        f" {'/'.join(str(w) for w in SCALING_WORKERS)}-worker ladder)",
     )
     parser.add_argument(
         "--json", metavar="PATH", default="BENCH_parallel.json",
@@ -39,9 +41,8 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
     )
     args = parser.parse_args(argv)
 
-    payload = run_bench(
-        quick=args.quick, seed=args.seed, workers=tuple(args.workers)
-    )
+    workers = SCALING_WORKERS if args.workers == 0 else (args.workers,)
+    payload = run_bench(quick=args.quick, seed=args.seed, workers=workers)
     with open(args.json, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")

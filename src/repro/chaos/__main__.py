@@ -23,8 +23,14 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         " against a victim SPU, with invariants checked throughout.",
     )
     parser.add_argument(
-        "--seeds", type=int, nargs="+", default=list(range(5)),
-        help="seeds to soak, one generated plan each (default: 0..4)",
+        "--seed", type=int, default=0,
+        help="first seed of the soak range; the soak runs seeds"
+        " seed..seed+4 unless --seeds overrides (default: 0)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="explicit seed list, one generated plan each"
+        " (overrides --seed)",
     )
     parser.add_argument(
         "--horizon-ms", type=int, default=4000,
@@ -42,12 +48,14 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
     )
     args = parser.parse_args(argv)
 
+    seeds = args.seeds if args.seeds is not None \
+        else list(range(args.seed, args.seed + 5))
     max_workers = None if args.workers == 0 else args.workers
     results = run_soak(
-        args.seeds, horizon_us=args.horizon_ms * MSEC, max_workers=max_workers
+        seeds, horizon_us=args.horizon_ms * MSEC, max_workers=max_workers
     )
     failed = False
-    for seed, result in zip(args.seeds, results):
+    for seed, result in zip(seeds, results):
         status = "ok" if result.ok else "VIOLATION"
         print(
             f"seed {seed}: {status} — {result.checkpoints} checkpoints,"

@@ -19,6 +19,7 @@ runner arms plans with ``on_error="skip"`` so such plans stay runnable.
 from __future__ import annotations
 
 import json
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -58,6 +59,16 @@ class AntagonistBurst:
     scale: float = 1.0
 
     def _validate(self) -> None:
+        # NaN fails every comparison, so explicit finiteness checks
+        # must come before the range checks or a NaN time/scale from a
+        # hand-edited repro file would slip through.
+        for name, value in (("at_us", self.at_us), ("scale", self.scale)):
+            if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                    or not math.isfinite(value):
+                raise ChaosPlanError(
+                    f"burst {name} must be a finite number,"
+                    f" got {value!r}: {self!r}"
+                )
         if self.at_us < 0:
             raise ChaosPlanError(f"burst scheduled before boot: {self!r}")
         if self.kind not in ANTAGONIST_KINDS:
@@ -79,6 +90,12 @@ class ChaosPlan:
     faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
+        if isinstance(self.horizon_us, bool) \
+                or not isinstance(self.horizon_us, (int, float)) \
+                or not math.isfinite(self.horizon_us):
+            raise ChaosPlanError(
+                f"horizon must be a finite number, got {self.horizon_us!r}"
+            )
         if self.horizon_us <= 0:
             raise ChaosPlanError(f"horizon must be positive, got {self.horizon_us}")
         for burst in self.bursts:

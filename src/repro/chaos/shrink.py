@@ -6,12 +6,13 @@ violation it produced.  Loading the file and calling :func:`replay`
 re-runs the identical simulation (same seed → same RNG streams → same
 schedule) and must reproduce the same violation.
 
-:func:`shrink_plan` then minimises the plan with ddmin [ZH02]: it
-repeatedly re-runs subsets of the plan's events (bursts and faults
-together) and keeps the smallest subset that still triggers a
-violation of the same *name*.  A ``CpuAdd`` orphaned by dropping its
-paired ``CpuRemove`` is fine — the soak runner arms plans with
-``on_error="skip"`` precisely so every subset stays runnable.
+:func:`shrink_plan` then minimises the plan with the universal ddmin
+core (:func:`repro.fuzz.ddmin.ddmin`): it repeatedly re-runs subsets of
+the plan's events (bursts and faults together) and keeps the smallest
+subset that still triggers a violation of the same *name*.  A
+``CpuAdd`` orphaned by dropping its paired ``CpuRemove`` is fine — the
+soak runner arms plans with ``on_error="skip"`` precisely so every
+subset stays runnable.
 """
 
 from __future__ import annotations
@@ -113,6 +114,8 @@ def shrink_plan(
     wander off to a different bug.  ``max_runs`` bounds the number of
     replays (each replay is a full simulation).
     """
+    from repro.fuzz.ddmin import ddmin
+
     runs = 0
 
     def fails(events: List[ChaosEvent]) -> bool:
@@ -127,31 +130,10 @@ def shrink_plan(
             f"plan does not produce a {violation_name!r} violation; cannot shrink"
         )
 
-    n = 2
-    while len(events) >= 2 and runs < max_runs:
-        chunk = max(1, len(events) // n)
-        subsets = [events[i:i + chunk] for i in range(0, len(events), chunk)]
-        reduced = False
-        for i, subset in enumerate(subsets):
-            if runs >= max_runs:
-                break
-            complement = [e for j, s in enumerate(subsets) if j != i for e in s]
-            if fails(subset):
-                events, n = subset, 2
-                reduced = True
-                break
-            if len(subsets) > 2 and complement and fails(complement):
-                events, n = complement, max(2, n - 1)
-                reduced = True
-                break
-        if not reduced:
-            if n >= len(events):
-                break
-            n = min(len(events), n * 2)
-
-    # The sabotage-only case: the bug fires with no events at all.
-    if events and runs < max_runs and fails([]):
-        events = []
+    if events and runs < max_runs:
+        # The closure counts every probe in ``runs``; ddmin's own
+        # count is deliberately unused.
+        events, _ = ddmin(events, fails, max_runs=max_runs - runs)
 
     return ShrinkResult(
         plan=_join_events(plan, events),

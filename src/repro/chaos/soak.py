@@ -74,7 +74,7 @@ class ChaosResult:
         return not self.violations
 
 
-def _victim_job(lock: KernelLock, rounds: int, tag: str) -> Behavior:
+def victim_job(lock: KernelLock, rounds: int, tag: str) -> Behavior:
     """Short compute bursts, each followed by a checkpoint.
 
     The brief shared-lock section keeps the victim on the kernel-lock
@@ -91,8 +91,17 @@ def _victim_job(lock: KernelLock, rounds: int, tag: str) -> Behavior:
     yield SetWorkingSet(pages=0)
 
 
-def _progress_violations(victim_procs: List, horizon_us: int) -> List[Violation]:
-    """Flag every empty checkpoint window while the victim should move."""
+def progress_violations(
+    victim_procs: List, horizon_us: int, window_us: int = PROGRESS_WINDOW_US
+) -> List[Violation]:
+    """Flag every empty checkpoint window while the victim should move.
+
+    ``window_us`` is the oracle's bound: no window of that many
+    microseconds may pass without a single victim checkpoint.  The
+    chaos soak uses the fixed :data:`PROGRESS_WINDOW_US`; the fuzzer
+    scales the window per scheme (isolation schemes promise tighter
+    bounds than sharing ones).
+    """
     times = sorted(
         t for p in victim_procs for (_label, t) in p.checkpoints
     )
@@ -103,8 +112,8 @@ def _progress_violations(victim_procs: List, horizon_us: int) -> List[Violation]
         end = min(horizon_us, max(p.finished for p in victim_procs))
     violations = []
     cursor = 0
-    for start in range(0, end - PROGRESS_WINDOW_US + 1, PROGRESS_WINDOW_US):
-        stop = start + PROGRESS_WINDOW_US
+    for start in range(0, end - window_us + 1, window_us):
+        stop = start + window_us
         while cursor < len(times) and times[cursor] < start:
             cursor += 1
         if cursor < len(times) and times[cursor] < stop:
@@ -157,7 +166,7 @@ def run_chaos(
 
     rounds = plan.horizon_us // (VICTIM_BURST_US + VICTIM_LOCK_HOLD_US)
     victim_procs = [
-        kernel.spawn(_victim_job(lock, rounds, f"v{j}"), victim, name=f"victim-{j}")
+        kernel.spawn(victim_job(lock, rounds, f"v{j}"), victim, name=f"victim-{j}")
         for j in range(VICTIM_JOBS)
     ]
 
@@ -178,7 +187,7 @@ def run_chaos(
     kernel.run(until=plan.horizon_us)
 
     violations = list(watchdog.violations)
-    violations += _progress_violations(victim_procs, plan.horizon_us)
+    violations += progress_violations(victim_procs, plan.horizon_us)
     violations.sort(key=lambda v: (v.time_us, v.name))
 
     entries: List[Tuple[int, str]] = []

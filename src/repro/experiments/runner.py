@@ -26,11 +26,24 @@ def run_sections(
     timeout_s: Optional[float] = None,
 ) -> List[ExperimentResult]:
     """Run the named experiments; results in the order requested."""
+    results, _retried = run_sections_with_stats(
+        sections, seed=seed, max_workers=max_workers, timeout_s=timeout_s
+    )
+    return results
+
+
+def run_sections_with_stats(
+    sections: List[str],
+    seed: int = 0,
+    max_workers: Optional[int] = 1,
+    timeout_s: Optional[float] = None,
+) -> "tuple[List[ExperimentResult], int]":
+    """Like :func:`run_sections`, plus the crash/timeout retry count."""
     payloads = [ExperimentSpec(name=name, seed=seed) for name in sections]
     outcomes = run_sweep(
         run_experiment, payloads, max_workers=max_workers, timeout_s=timeout_s
     )
-    return values(outcomes)
+    return values(outcomes), sum(o.retries for o in outcomes)
 
 
 def main(argv: List[str] = sys.argv[1:]) -> int:
@@ -73,10 +86,15 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
             return 2
 
     max_workers = None if args.workers == 0 else args.workers
-    results = run_sections(chosen, seed=args.seed, max_workers=max_workers)
+    results, retried = run_sections_with_stats(
+        chosen, seed=args.seed, max_workers=max_workers
+    )
     for result in results:
         print(get(result.name).report(result.data))
         print()
+    if retried:
+        print(f"({retried} sweep cell(s) retried after worker"
+              " crash/timeout)")
 
     if args.json is not None:
         import json

@@ -11,12 +11,38 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 
 class FaultPlanError(ValueError):
     """Raised for ill-formed fault plans."""
+
+
+def _finite(name: str, value: Any, event: Any) -> None:
+    """Reject NaN/inf/non-numbers: ``NaN <= 0`` is False, so without
+    this a NaN duration or timestamp would sail through the range
+    checks and corrupt the engine's schedule much later."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FaultPlanError(
+            f"{name} must be a finite number, got {value!r} in {event!r}"
+        )
+    if not math.isfinite(value):
+        raise FaultPlanError(
+            f"{name} must be finite, got {value!r} in {event!r}"
+        )
+
+
+def _check_disk(disk: Any, event: Any) -> None:
+    if isinstance(disk, bool) or not isinstance(disk, int):
+        raise FaultPlanError(
+            f"disk index must be an integer, got {disk!r} in {event!r}"
+        )
+    if disk < 0:
+        raise FaultPlanError(
+            f"disk index must be >= 0, got {disk} in {event!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -35,6 +61,9 @@ class DiskTransient:
     error_rate: float = 1.0
 
     def _validate(self) -> None:
+        _finite("transient duration_us", self.duration_us, self)
+        _finite("transient error_rate", self.error_rate, self)
+        _check_disk(self.disk, self)
         if self.duration_us <= 0:
             raise FaultPlanError(
                 f"transient window must last >= 1us, got {self.duration_us}"
@@ -51,7 +80,7 @@ class DiskFailure:
     disk: int
 
     def _validate(self) -> None:
-        return None
+        _check_disk(self.disk, self)
 
 
 @dataclass(frozen=True)
@@ -84,6 +113,7 @@ class MemoryLoss:
     pages: int
 
     def _validate(self) -> None:
+        _finite("memory loss pages", self.pages, self)
         if self.pages <= 0:
             raise FaultPlanError(f"memory loss must remove >= 1 page, got {self.pages}")
 
@@ -100,6 +130,7 @@ class FaultPlan:
     def __post_init__(self) -> None:
         for event in self.events:
             self._check(event)
+        self._check_failures(self.events)
         self.events = sorted(self.events, key=lambda e: (e.at_us, type(e).__name__))
 
     @staticmethod
@@ -108,13 +139,32 @@ class FaultPlan:
             event, (DiskTransient, DiskFailure, CpuRemove, CpuAdd, MemoryLoss)
         ):
             raise FaultPlanError(f"not a fault event: {event!r}")
+        _finite("fault at_us", event.at_us, event)
         if event.at_us < 0:
             raise FaultPlanError(f"fault scheduled before boot: {event!r}")
         event._validate()
 
+    @staticmethod
+    def _check_failures(events: List[FaultEvent]) -> None:
+        """A drive dies at most once: a second DiskFailure for the same
+        disk means two permanent-death windows overlap (usually a sign
+        two plans were merged), and the injector would half-apply it."""
+        seen: Dict[int, int] = {}
+        for event in events:
+            if not isinstance(event, DiskFailure):
+                continue
+            if event.disk in seen:
+                raise FaultPlanError(
+                    f"disk {event.disk} dies twice (at {seen[event.disk]}us"
+                    f" and {event.at_us}us); a DiskFailure is permanent, so"
+                    " drop one of the two events"
+                )
+            seen[event.disk] = event.at_us
+
     def add(self, event: FaultEvent) -> "FaultPlan":
         """Append an event, keeping the plan ordered.  Returns self."""
         self._check(event)
+        self._check_failures(self.events + [event])
         self.events.append(event)
         self.events.sort(key=lambda e: (e.at_us, type(e).__name__))
         return self

@@ -1,0 +1,64 @@
+"""repro.fuzz — generative scenario fuzzing for the simulator.
+
+The chaos harness (PR 2) replays *hand-shaped* adversity: a fixed
+machine, a fixed victim, randomized bursts and faults.  The fuzzer
+generalises every axis the paper's claims quantify over — machine
+shape, allocation scheme, workload mix, antagonist schedule, fault
+schedule — into one seeded, legal-by-construction draw
+(:func:`generate_scenario`), runs it under the full oracle stack
+(:func:`run_scenario`), campaigns over seed ranges with a resumable
+JSONL corpus (:func:`run_campaign`), and shrinks every failure to a
+minimal replayable repro (:func:`shrink_scenario`), with the ddmin
+core (:func:`ddmin`) now generic enough that the chaos shrinker is a
+client of it too.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignConfig,
+    CampaignError,
+    CampaignReport,
+    load_corpus,
+    repair_corpus,
+    run_campaign,
+)
+from repro.fuzz.ddmin import ddmin
+from repro.fuzz.generate import generate_scenario
+from repro.fuzz.runner import ScenarioResult, run_record, run_scenario
+from repro.fuzz.scenario import (
+    SCHEMES,
+    WORKLOAD_KINDS,
+    ScenarioError,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+from repro.fuzz.shrink import (
+    ShrinkScenarioResult,
+    load_repro,
+    replay,
+    shrink_scenario,
+    write_repro,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignReport",
+    "SCHEMES",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ShrinkScenarioResult",
+    "WORKLOAD_KINDS",
+    "WorkloadSpec",
+    "ddmin",
+    "generate_scenario",
+    "load_corpus",
+    "load_repro",
+    "repair_corpus",
+    "replay",
+    "run_campaign",
+    "run_record",
+    "run_scenario",
+    "shrink_scenario",
+    "write_repro",
+]

@@ -1,0 +1,302 @@
+"""Crash-resilient fuzz campaigns over the sweep executor.
+
+A campaign maps a seed range through generate → run → judge, sharded
+across worker processes, and records every cell in an **append-only
+JSONL corpus**: one :func:`repro.fuzz.runner.run_record` per line.
+Because each record is a pure function of ``(seed, horizon, simsan)``
+and lines are appended in seed order with an fsync per shard, the
+corpus doubles as the campaign's checkpoint: kill the campaign at any
+point, re-run it, and it repairs a torn final line, skips every seed
+already recorded, and converges on the byte-identical file an
+uninterrupted run would have written.
+
+Worker crashes and per-cell timeouts are absorbed twice over: the
+executor retries the cell once on a fresh worker
+(:func:`repro.parallel.run_sweep` with ``retries=1``), and a cell that
+still fails is recorded with a ``crashed``/``timeout`` verdict rather
+than aborting the campaign.
+
+Every ``violation`` verdict ends as a **repro file**: the campaign
+re-runs the scenario in-process, shrinks it
+(:func:`repro.fuzz.shrink.shrink_scenario`) against the first
+violation, and writes ``fuzz-repro-<seed>.json`` next to the corpus —
+including on resume, so an interruption between recording a failure
+and shrinking it loses nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzz.generate import generate_scenario
+from repro.fuzz.runner import run_record, run_scenario
+from repro.fuzz.shrink import shrink_scenario, write_repro
+from repro.parallel import run_sweep
+
+
+class CampaignError(RuntimeError):
+    """Raised for unusable campaign inputs (e.g. a corrupt corpus)."""
+
+
+# --- the cell ----------------------------------------------------------------
+
+
+def _fuzz_cell(payload: Tuple[int, Optional[int], Optional[bool]]) -> Dict[str, Any]:
+    """One (seed, horizon, simsan) cell — the sweep worker function."""
+    seed, horizon_us, simsan = payload
+    scenario = generate_scenario(seed, horizon_us=horizon_us)
+    return run_record(scenario, simsan=simsan)
+
+
+# --- the corpus --------------------------------------------------------------
+
+
+def repair_corpus(path: str) -> None:
+    """Drop a torn final line left by a campaign killed mid-append.
+
+    Everything after the last newline is an incomplete write; its seed
+    re-runs on resume and reproduces the identical bytes, so truncating
+    is lossless.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if not data or data.endswith(b"\n"):
+        return
+    keep = data.rfind(b"\n") + 1
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+
+
+def load_corpus(path: str) -> List[Dict[str, Any]]:
+    """Read corpus records; tolerates a torn final line, rejects rot.
+
+    A truncated *last* line is the normal signature of a killed
+    campaign and is silently dropped; a malformed line anywhere else
+    means the file was edited or corrupted and raises
+    :class:`CampaignError` naming the line.
+    """
+    if not os.path.exists(path):
+        return []
+    with open(path, "rb") as fh:
+        lines = fh.read().split(b"\n")
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break
+            raise CampaignError(
+                f"corpus {path} line {lineno} is not valid JSON;"
+                " was the file edited by hand?"
+            ) from None
+        if not isinstance(record, dict) or "seed" not in record \
+                or "verdict" not in record:
+            raise CampaignError(
+                f"corpus {path} line {lineno} is not a fuzz record"
+                " (missing seed/verdict)"
+            )
+        records.append(record)
+    return records
+
+
+# --- configuration and report ------------------------------------------------
+
+
+@dataclass
+class CampaignConfig:
+    """Everything one campaign needs; plain data, CLI-shaped."""
+
+    seeds: Sequence[int]
+    corpus_path: str
+    workers: Optional[int] = 1
+    timeout_s: Optional[float] = 120.0
+    #: Cells per sweep shard; also the corpus checkpoint granularity.
+    shard_size: int = 8
+    #: Pin every scenario's horizon (None = per-seed draw).
+    horizon_us: Optional[int] = None
+    #: Force SIMSAN on/off for every cell (None = REPRO_SIMSAN env).
+    simsan: Optional[bool] = None
+    #: Re-run ok worker cells in-process and compare records.
+    differential: bool = False
+    shrink: bool = True
+    #: Simulation-run budget per shrink.
+    shrink_budget: int = 48
+    #: Directory for fuzz-repro-<seed>.json files (None = corpus dir).
+    repro_dir: Optional[str] = None
+    #: Wall-clock budget; the campaign stops cleanly between shards.
+    budget_s: Optional[float] = None
+    #: Stop after this many shards (test hook for interrupt/resume).
+    max_shards: Optional[int] = None
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign run did and found."""
+
+    corpus_path: str
+    #: Cells run this invocation / skipped as already in the corpus.
+    ran: int = 0
+    resumed: int = 0
+    #: Verdict counts over *all* requested seeds, resumed included.
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    #: Executor crash/timeout retries consumed across all shards.
+    retried_cells: int = 0
+    repro_files: List[str] = field(default_factory=list)
+    #: True if budget_s/max_shards stopped the campaign before the end.
+    stopped_early: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """No bad verdicts so far.  A budget stop is not a failure —
+        the campaign is resumable — so ``stopped_early`` is reported
+        but does not poison the exit code."""
+        return set(self.verdicts) <= {"ok"}
+
+    def summary(self) -> List[str]:
+        counts = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.verdicts.items())
+        ) or "nothing run"
+        lines = [
+            f"corpus {self.corpus_path}:"
+            f" {self.ran} cell(s) run, {self.resumed} resumed"
+            f" ({counts}; {self.retried_cells} retried)"
+        ]
+        if self.stopped_early:
+            lines.append("stopped early (budget exhausted); resume to continue")
+        for path in self.repro_files:
+            lines.append(f"repro: {path}")
+        return lines
+
+
+# --- the campaign ------------------------------------------------------------
+
+
+def _failure_record(seed: int, config: CampaignConfig, outcome) -> Dict[str, Any]:
+    """Corpus record for a cell the executor could not complete."""
+    scenario = generate_scenario(seed, horizon_us=config.horizon_us)
+    return {
+        "seed": seed,
+        "fingerprint": scenario.fingerprint(),
+        "verdict": outcome.status,
+        "violations": [],
+        "checkpoints": 0,
+        "events": 0,
+        "digest": "",
+    }
+
+
+def _write_repro_for(seed: int, config: CampaignConfig, path: str) -> bool:
+    """Re-run, shrink, and persist one failing seed's repro file."""
+    scenario = generate_scenario(seed, horizon_us=config.horizon_us)
+    result = run_scenario(scenario, simsan=config.simsan)
+    if result.ok:
+        # A differential verdict with no in-process violation: there is
+        # no failing scenario to shrink, only a worker-vs-parent skew.
+        return False
+    if config.shrink:
+        shrunk = shrink_scenario(
+            scenario,
+            result.violations[0].name,
+            max_runs=config.shrink_budget,
+            simsan=config.simsan,
+        )
+        result = run_scenario(shrunk.scenario, simsan=config.simsan)
+    write_repro(path, result)
+    return True
+
+
+def run_campaign(config: CampaignConfig) -> CampaignReport:
+    """Run (or resume) one fuzz campaign; see the module docstring."""
+    seeds = list(config.seeds)
+    if len(set(seeds)) != len(seeds):
+        raise CampaignError("campaign seeds must be unique")
+    repair_corpus(config.corpus_path)
+    existing = load_corpus(config.corpus_path)
+    wanted = set(seeds)
+    done = {r["seed"] for r in existing}
+    pending = [s for s in seeds if s not in done]
+    relevant = [r for r in existing if r["seed"] in wanted]
+    verdicts = Counter(r["verdict"] for r in relevant)
+    failures = [r["seed"] for r in relevant if r["verdict"] == "violation"]
+
+    report = CampaignReport(
+        corpus_path=config.corpus_path,
+        resumed=len(relevant),
+    )
+    # Host-side campaign control only: the wall clock gates *whether*
+    # more shards run, never what any cell computes.
+    start = time.monotonic()  # simlint: disable=SL101
+    shards = [
+        pending[i:i + config.shard_size]
+        for i in range(0, len(pending), config.shard_size)
+    ]
+    parent = os.path.dirname(config.corpus_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(config.corpus_path, "a") as fh:
+        for shard_no, shard in enumerate(shards):
+            if config.max_shards is not None and shard_no >= config.max_shards:
+                report.stopped_early = True
+                break
+            if config.budget_s is not None \
+                    and time.monotonic() - start >= config.budget_s:  # simlint: disable=SL101
+                report.stopped_early = True
+                break
+            payloads = [(s, config.horizon_us, config.simsan) for s in shard]
+            outcomes = run_sweep(
+                _fuzz_cell, payloads,
+                max_workers=config.workers, timeout_s=config.timeout_s,
+            )
+            for seed, outcome in zip(shard, outcomes):
+                if outcome.ok:
+                    record = outcome.value
+                    if config.differential and outcome.worker >= 0:
+                        serial = _fuzz_cell(
+                            (seed, config.horizon_us, config.simsan)
+                        )
+                        if serial != record:
+                            record = dict(
+                                record,
+                                verdict="differential",
+                                violations=sorted(
+                                    set(record["violations"])
+                                    | {"differential"}
+                                ),
+                            )
+                else:
+                    record = _failure_record(seed, config, outcome)
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                verdicts[record["verdict"]] += 1
+                report.ran += 1
+                report.retried_cells += outcome.retries
+                if record["verdict"] in ("violation", "differential"):
+                    failures.append(seed)
+            # One checkpoint per shard: a kill between shards loses
+            # nothing, a kill mid-shard loses at most a torn tail.
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    report.verdicts = dict(verdicts)
+
+    # Shrink every failing seed that does not already have a repro file
+    # (resumed failures included — an interrupt between recording and
+    # shrinking heals here).
+    repro_dir = config.repro_dir if config.repro_dir is not None \
+        else (parent or ".")
+    os.makedirs(repro_dir, exist_ok=True)
+    for seed in failures:
+        path = os.path.join(repro_dir, f"fuzz-repro-{seed}.json")
+        if os.path.exists(path) or _write_repro_for(seed, config, path):
+            report.repro_files.append(path)
+    report.repro_files.sort()
+    return report

@@ -34,7 +34,7 @@ from repro.lint.finding import Finding, Rule
 SIM_SCOPE: Tuple[str, ...] = (
     "sim", "kernel", "cpu", "mem", "disk", "fs", "net", "core",
     "chaos", "faults", "antagonists", "workloads", "experiments",
-    "metrics", "api", "snapshot",
+    "metrics", "api", "snapshot", "fuzz",
 )
 
 #: Modules PR 3 optimised; the hot-path rules only fire here.

@@ -18,9 +18,14 @@ the *results* exactly what the serial loop would have produced:
 * **Per-run timeouts.**  A cell that exceeds ``timeout_s`` has its
   worker killed and is reported as ``"timeout"``; the sweep continues
   on a replacement worker.
-* **Crash containment.**  A worker that dies mid-cell (segfault,
-  ``os._exit``, OOM-kill) is reported as ``"crashed"`` for that cell
-  only; remaining cells run on a replacement worker.
+* **Crash containment with retry.**  A worker that dies mid-cell
+  (segfault, ``os._exit``, OOM-kill) or blows its deadline charges that
+  cell only; the cell is retried once on a fresh worker after a short
+  backoff (``retries`` controls how many times) before being reported
+  as ``"crashed"``/``"timeout"``, because a worker death is the one
+  failure mode that is usually the *host's* fault (memory pressure,
+  fork storms) rather than the payload's.  Deterministic failures —
+  the callable raising — are never retried.
 * **Graceful fallback.**  ``max_workers=1`` (or a platform where
   process creation fails) runs every cell in-process, in order, with
   no multiprocessing machinery at all.
@@ -79,6 +84,8 @@ class RunOutcome:
     elapsed_s: float = 0.0
     #: Ordinal of the worker process that ran the cell; -1 in-process.
     worker: int = -1
+    #: Crash/timeout retries this cell consumed (0 = first try stood).
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -278,17 +285,24 @@ def run_sweep(
     max_workers: Optional[int] = None,
     timeout_s: Optional[float] = None,
     tasks_per_worker: Optional[int] = None,
+    retries: int = 1,
 ) -> List[RunOutcome]:
     """Run ``fn(payload)`` for every payload; outcomes in payload order.
 
     ``max_workers=None`` auto-sizes (see :func:`resolve_workers`);
     ``1`` runs in-process.  ``timeout_s`` bounds each cell's wall time
     (workers only).  ``tasks_per_worker`` retires a worker after that
-    many cells (``None`` = never).
+    many cells (``None`` = never).  ``retries`` re-runs a crashed or
+    timed-out cell on a fresh worker that many times before charging
+    it; cells whose callable *raises* are never retried (that failure
+    is deterministic).  ``RunOutcome.retries`` reports what each cell
+    consumed.
     """
     payloads = list(payloads)
     if not payloads:
         return []
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     n_workers = min(resolve_workers(max_workers), len(payloads))
     if n_workers <= 1:
         return _run_serial(fn, payloads)
@@ -299,21 +313,33 @@ def run_sweep(
         # degrade to the serial path rather than failing the sweep.
         return _run_serial(fn, payloads)
     try:
-        return _run_pool(pool, payloads, timeout_s)
+        return _run_pool(pool, payloads, timeout_s, retries)
     finally:
         pool.shutdown()
 
 
+#: Backoff before a retried cell is reassigned, seconds per attempt —
+#: long enough for transient host pressure (the usual cause of a worker
+#: death) to clear, short enough to be invisible in a sweep.
+_RETRY_BACKOFF_S = 0.25
+
+
 def _run_pool(
-    pool: _Pool, payloads: Sequence[Any], timeout_s: Optional[float]
+    pool: _Pool, payloads: Sequence[Any], timeout_s: Optional[float],
+    retries: int = 0,
 ) -> List[RunOutcome]:
     outcomes: List[Optional[RunOutcome]] = [None] * len(payloads)
     next_index = 0
     completed = 0
     budget = pool._tasks_per_worker
+    #: Crash/timeout retries consumed so far, per cell.
+    attempts = [0] * len(payloads)
+    #: Cells awaiting a retry slot, as (not_before, index).
+    retry_queue: List[Tuple[float, int]] = []
 
     def feed() -> None:
         nonlocal next_index
+        now = time.monotonic()
         for worker in pool.workers:
             # Never hand a cell to a worker that has hit its recycling
             # budget: it exits right after announcing retirement, and a
@@ -321,9 +347,37 @@ def _run_pool(
             # process's pipe.  Its replacement picks up the slack.
             if budget is not None and worker.tasks_done >= budget:
                 continue
-            if worker.inflight is None and next_index < len(payloads):
+            if worker.inflight is not None:
+                continue
+            # Retries first, so a flaky cell's result stops gating the
+            # sweep's tail; each retry lands on a worker that is fresh
+            # by construction (the failed worker was replaced).
+            ready = next((r for r in retry_queue if r[0] <= now), None)
+            if ready is not None:
+                retry_queue.remove(ready)
+                pool.assign(worker, ready[1], payloads[ready[1]], timeout_s)
+                continue
+            if next_index < len(payloads):
                 pool.assign(worker, next_index, payloads[next_index], timeout_s)
                 next_index += 1
+
+    def fail(worker: _Worker, index: int, status: str, error: str) -> None:
+        """Charge a crashed/timed-out cell, or queue its retry."""
+        nonlocal completed
+        if outcomes[index] is not None:
+            return
+        if attempts[index] < retries:
+            attempts[index] += 1
+            retry_queue.append(
+                (time.monotonic() + _RETRY_BACKOFF_S * attempts[index], index)
+            )
+            return
+        outcomes[index] = RunOutcome(
+            index=index, status=status, error=error,
+            elapsed_s=time.monotonic() - worker.started_at,
+            worker=worker.ordinal, retries=attempts[index],
+        )
+        completed += 1
 
     def record(worker: _Worker, message: tuple) -> None:
         """Fold one worker message into outcomes and bookkeeping."""
@@ -339,6 +393,7 @@ def _run_pool(
             outcomes[index] = RunOutcome(
                 index=index, status=status, value=value, error=error,
                 elapsed_s=time.monotonic() - worker.started_at, worker=ordinal,
+                retries=attempts[index],
             )
             completed += 1
         if worker.inflight == index:
@@ -351,18 +406,16 @@ def _run_pool(
         events = pool.poll()
         for worker, message in events:
             if message is None:
-                # EOF: the worker died.  Charge its in-flight cell (if
-                # any) as crashed and refill the slot.
+                # EOF: the worker died.  Charge (or retry) its
+                # in-flight cell and refill the slot.
                 index = worker.inflight
-                if index is not None and outcomes[index] is None:
-                    outcomes[index] = RunOutcome(
-                        index=index, status="crashed",
-                        error=f"worker {worker.ordinal} died"
-                              f" (exitcode {worker.process.exitcode})",
-                        elapsed_s=time.monotonic() - worker.started_at,
-                        worker=worker.ordinal,
+                if index is not None:
+                    fail(
+                        worker, index, "crashed",
+                        f"worker {worker.ordinal} died"
+                        f" (exitcode {worker.process.exitcode},"
+                        f" attempt {attempts[index] + 1})",
                     )
-                    completed += 1
                 if pool.by_ordinal(worker.ordinal) is not None:
                     pool.replace(worker)
             else:
@@ -378,12 +431,11 @@ def _run_pool(
                 continue
             if worker.deadline is not None and now > worker.deadline:
                 index = worker.inflight
-                outcomes[index] = RunOutcome(
-                    index=index, status="timeout",
-                    error=f"cell exceeded {timeout_s}s",
-                    elapsed_s=now - worker.started_at, worker=worker.ordinal,
+                fail(
+                    worker, index, "timeout",
+                    f"cell exceeded {timeout_s}s"
+                    f" (attempt {attempts[index] + 1})",
                 )
-                completed += 1
                 pool.replace(worker)
         feed()
 

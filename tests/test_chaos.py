@@ -40,6 +40,19 @@ class TestChaosPlan:
         with pytest.raises(ChaosPlanError, match="horizon"):
             ChaosPlan(seed=0, horizon_us=0)
 
+    def test_rejects_non_finite_numbers(self):
+        # NaN slips past ordinary range checks (every comparison is
+        # False), so bursts and the horizon check finiteness explicitly.
+        nan = float("nan")
+        with pytest.raises(ChaosPlanError, match="finite"):
+            ChaosPlan(seed=0, horizon_us=SEC,
+                      bursts=[AntagonistBurst(nan, "fork_bomb")])
+        with pytest.raises(ChaosPlanError, match="finite"):
+            ChaosPlan(seed=0, horizon_us=SEC,
+                      bursts=[AntagonistBurst(0, "fork_bomb", scale=nan)])
+        with pytest.raises(ChaosPlanError, match="finite"):
+            ChaosPlan(seed=0, horizon_us=float("inf"))
+
     def test_json_round_trip(self):
         plan = generate_plan(seed=7)
         clone = ChaosPlan.from_json(plan.to_json())
@@ -142,6 +155,51 @@ class TestReproAndShrink:
         plan = generate_plan(seed=1, horizon_us=1200 * MSEC)
         with pytest.raises(ValueError, match="cannot shrink"):
             shrink_plan(plan, "page-conservation")
+
+    def test_already_minimal_plan_survives_shrinking(self):
+        # A plan whose only event is essential: ddmin probes the empty
+        # set, sees the violation vanish, and keeps the single event.
+        def leak_on_fork(kernel):
+            original = kernel.spawn
+
+            def spawn(*args, **kwargs):
+                if str(kwargs.get("name", "")).startswith("fork_bomb"):
+                    kernel.memory.total_pages += 1
+                return original(*args, **kwargs)
+
+            kernel.spawn = spawn
+
+        base = generate_plan(seed=2, horizon_us=1200 * MSEC)
+        plan = base.replace_events(
+            [AntagonistBurst(at_us=100 * MSEC, kind="fork_bomb")], []
+        )
+        result = run_chaos(plan, sabotage=leak_on_fork)
+        assert not result.ok
+        shrunk = shrink_plan(
+            plan, result.violations[0].name, sabotage=leak_on_fork
+        )
+        assert len(shrunk.plan) == 1
+        assert shrunk.plan.bursts[0].kind == "fork_bomb"
+
+    def test_failure_that_stops_reproducing_keeps_the_full_plan(self):
+        # A heisenbug: the sabotage fires on the first run (the
+        # shrinker's own initial check) and never again.  Every ddmin
+        # probe then passes, so the shrink terminates with the full
+        # plan rather than looping or returning a passing subset.
+        state = {"armed": True}
+
+        def fickle(kernel):
+            if state["armed"]:
+                state["armed"] = False
+                kernel.memory.total_pages += 50
+
+        plan, _ = self.make_failing()
+        shrunk = shrink_plan(
+            plan, "page-conservation", sabotage=fickle, max_runs=16
+        )
+        assert not state["armed"], "sabotage never fired"
+        assert len(shrunk.plan) == len(plan)
+        assert shrunk.runs <= 16
 
 
 class TestCli:

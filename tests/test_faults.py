@@ -386,6 +386,44 @@ class TestFaultPlan:
         with pytest.raises(FaultPlanError):
             FaultPlan(["not-a-fault"])
 
+    def test_nan_and_infinity_are_named_and_rejected(self):
+        # NaN passes every <=/< comparison, so these need dedicated
+        # finiteness checks or a hand-edited plan would poison the
+        # engine's schedule long after loading.
+        nan, inf = float("nan"), float("inf")
+        with pytest.raises(FaultPlanError, match="finite"):
+            FaultPlan([CpuRemove(at_us=nan)])
+        with pytest.raises(FaultPlanError, match="finite"):
+            FaultPlan([DiskTransient(at_us=0, disk=0, duration_us=nan)])
+        with pytest.raises(FaultPlanError, match="finite"):
+            FaultPlan([DiskTransient(at_us=0, disk=0, duration_us=inf)])
+        with pytest.raises(FaultPlanError, match="finite"):
+            FaultPlan([DiskTransient(at_us=0, disk=0, duration_us=5,
+                                     error_rate=nan)])
+        with pytest.raises(FaultPlanError, match="finite"):
+            FaultPlan([MemoryLoss(at_us=0, pages=nan)])
+
+    def test_negative_disk_index_is_rejected(self):
+        with pytest.raises(FaultPlanError, match="disk index"):
+            FaultPlan([DiskFailure(at_us=0, disk=-1)])
+        with pytest.raises(FaultPlanError, match="disk index"):
+            FaultPlan([DiskTransient(at_us=0, disk=-2, duration_us=5)])
+
+    def test_a_disk_dies_at_most_once(self):
+        with pytest.raises(FaultPlanError, match="dies twice"):
+            FaultPlan([
+                DiskFailure(at_us=10, disk=1),
+                DiskFailure(at_us=99, disk=1),
+            ])
+        # The same overlap via add() is caught before mutating the plan.
+        plan = FaultPlan([DiskFailure(at_us=10, disk=1)])
+        with pytest.raises(FaultPlanError, match="dies twice"):
+            plan.add(DiskFailure(at_us=20, disk=1))
+        assert len(plan) == 1
+        # Different disks may still each die once.
+        plan.add(DiskFailure(at_us=20, disk=2))
+        assert len(plan) == 2
+
 
 class TestFaultPlanJson:
     def sample(self):

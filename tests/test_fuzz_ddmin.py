@@ -1,0 +1,86 @@
+"""The universal ddmin core: minimisation, budgets, pathological oracles."""
+
+import pytest
+
+from repro.fuzz.ddmin import ddmin
+
+
+def test_single_culprit_is_isolated():
+    items = list(range(16))
+    minimal, runs = ddmin(items, lambda s: 11 in s)
+    assert minimal == [11]
+    assert runs >= 1
+
+
+def test_interleaved_pair_survives_together():
+    # The failure needs two items far apart in the list; ddmin must
+    # keep both while discarding everything between and around them.
+    items = list(range(10))
+    minimal, _ = ddmin(items, lambda s: 2 in s and 7 in s)
+    assert minimal == [2, 7]
+
+
+def test_item_order_is_preserved():
+    items = ["a", "b", "c", "d", "e", "f"]
+    minimal, _ = ddmin(items, lambda s: "e" in s and "b" in s)
+    assert minimal == ["b", "e"]
+
+
+def test_already_minimal_input_is_returned_unchanged():
+    minimal, _ = ddmin([42], lambda s: 42 in s)
+    assert minimal == [42]
+
+
+def test_failure_needing_no_items_shrinks_to_empty():
+    # A bug that fires regardless of the schedule (sabotaged kernel,
+    # planted leak): the explicit empty-set probe must find it.
+    minimal, _ = ddmin(list(range(6)), lambda s: True)
+    assert minimal == []
+
+
+def test_budget_bounds_probe_count():
+    calls = []
+
+    def fails(subset):
+        calls.append(len(subset))
+        return 3 in subset
+
+    minimal, runs = ddmin(list(range(64)), fails, max_runs=5)
+    assert runs == len(calls) == 5
+    # Whatever the budget, the result still fails.
+    assert 3 in minimal
+
+
+def test_budget_is_never_exceeded_on_complement_probes():
+    # Regression: the complement probe runs right after a subset probe,
+    # so an unguarded one could overshoot the budget by a single run
+    # whenever the subset probe consumed the last slot.
+    for budget in range(1, 12):
+        calls = []
+
+        def fails(subset):
+            calls.append(len(subset))
+            return False
+
+        _, runs = ddmin(list(range(9)), fails, max_runs=budget)
+        assert runs == len(calls) <= budget
+
+
+def test_budget_below_one_is_rejected():
+    with pytest.raises(ValueError, match="max_runs"):
+        ddmin([1, 2], lambda s: True, max_runs=0)
+
+
+def test_failure_that_stops_reproducing_terminates_with_full_set():
+    # A flaky oracle that never fails again after the caller's initial
+    # check: every probe misses, so ddmin terminates without reducing.
+    minimal, runs = ddmin(list(range(8)), lambda s: False)
+    assert minimal == list(range(8))
+    assert runs >= 1
+
+
+def test_conjunction_of_three_scattered_items():
+    items = list(range(20))
+    need = {1, 9, 17}
+    minimal, _ = ddmin(items, lambda s: need <= set(s))
+    assert minimal == sorted(need)

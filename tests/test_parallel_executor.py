@@ -39,6 +39,19 @@ def _sleep_on_one(x):
     return x
 
 
+def _crash_until_marker(payload):
+    """Dies unless its marker file exists; the first attempt creates it.
+
+    Models the transient failure retry exists for: host pressure killed
+    the worker once, and a fresh process succeeds.
+    """
+    marker, value = payload
+    if marker is not None and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(17)
+    return value * 10
+
+
 def test_empty_sweep():
     assert run_sweep(_square, []) == []
 
@@ -82,16 +95,71 @@ def test_worker_crash_is_contained_to_its_cell():
     outcomes = run_sweep(_crash_on_two, range(5), max_workers=2)
     assert outcomes[2].status == "crashed"
     assert "died" in outcomes[2].error
+    # The default single retry was spent before giving up (the cell
+    # crashes deterministically, so the retry crashed too).
+    assert outcomes[2].retries == 1
     others = [o for o in outcomes if o.index != 2]
     assert all(o.ok for o in others)
+    assert all(o.retries == 0 for o in others)
     assert [o.value for o in others] == [0, 1, 3, 4]
+
+
+def test_transient_crash_is_healed_by_retry(tmp_path):
+    payloads = [
+        (None, 0),
+        (str(tmp_path / "m1"), 1),
+        (None, 2),
+        (str(tmp_path / "m3"), 3),
+    ]
+    outcomes = run_sweep(_crash_until_marker, payloads, max_workers=2)
+    assert all(o.ok for o in outcomes)
+    assert [o.value for o in outcomes] == [0, 10, 20, 30]
+    assert [o.retries for o in outcomes] == [0, 1, 0, 1]
+
+
+def _slow_until_marker(payload):
+    marker, value = payload
+    if marker is not None and not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(30)
+    return value
+
+
+def test_transient_timeout_is_healed_by_retry(tmp_path):
+    payloads = [(None, 0), (str(tmp_path / "slow"), 1), (None, 2)]
+    outcomes = run_sweep(
+        _slow_until_marker, payloads, max_workers=2, timeout_s=1.0
+    )
+    assert all(o.ok for o in outcomes)
+    assert [o.value for o in outcomes] == [0, 1, 2]
+    assert outcomes[1].retries == 1
+
+
+def test_retries_zero_restores_fail_fast():
+    outcomes = run_sweep(_crash_on_two, range(5), max_workers=2, retries=0)
+    assert outcomes[2].status == "crashed"
+    assert outcomes[2].retries == 0
+
+
+def test_negative_retries_is_rejected():
+    with pytest.raises(ValueError, match="retries"):
+        run_sweep(_square, range(2), max_workers=2, retries=-1)
+
+
+def test_deterministic_errors_are_never_retried(tmp_path):
+    # A raising callable must not burn retries: the failure would just
+    # repeat, and the traceback is the diagnostic the caller wants.
+    outcomes = run_sweep(_fail_on_three, range(5), max_workers=2, retries=3)
+    assert outcomes[3].status == "error"
+    assert outcomes[3].retries == 0
 
 
 def test_per_run_timeout_kills_only_the_slow_cell():
     outcomes = run_sweep(
-        _sleep_on_one, range(4), max_workers=2, timeout_s=1.0
+        _sleep_on_one, range(4), max_workers=2, timeout_s=1.0, retries=0
     )
     assert outcomes[1].status == "timeout"
+    assert outcomes[1].retries == 0
     others = [o for o in outcomes if o.index != 1]
     assert all(o.ok for o in others)
     assert [o.value for o in others] == [0, 2, 3]
