@@ -11,6 +11,10 @@ Subcommands:
   --count 50 --workers 4``; ``--repro FILE`` replays a repro);
 * ``bench`` — the performance harness that writes
   ``BENCH_parallel.json`` (``python -m repro bench --quick``);
+* ``fleet`` — the fleet failover smoke gate: a seeded multi-machine
+  run with one whole-machine crash, checked for conservation
+  violations and serial-vs-parallel byte-identity
+  (``python -m repro fleet --scheme piso --seed 0``);
 * ``lint`` — simlint, the simulator's own static analysis
   (``python -m repro lint --baseline lint-baseline.json``).
 
@@ -49,6 +53,10 @@ def main(argv: List[str]) -> int:
         from repro.bench.__main__ import main as bench_main
 
         return bench_main(rest)
+    if command == "fleet":
+        from repro.fleet.__main__ import main as fleet_main
+
+        return fleet_main(rest)
     if command == "lint":
         from repro.lint.cli import main as lint_main
 

@@ -15,18 +15,46 @@ from repro.api.registry import (
 from repro.api.registry import run as run_experiment
 from repro.api.spec import Simulation, SimulationSpec, SpuSpec, build, run
 
+# The fleet layer builds *on* this facade (its runner lowers machines
+# onto SimulationSpec), so its re-exports must load lazily — an eager
+# import here would be circular.
+_FLEET_EXPORTS = {
+    "FleetMachineSpec": "repro.fleet.spec",
+    "FleetResult": "repro.fleet.runner",
+    "FleetSpec": "repro.fleet.spec",
+    "FleetSpuSpec": "repro.fleet.spec",
+    "build_fleet": "repro.fleet.runner",
+    "run_fleet": "repro.fleet.runner",
+}
+
+
+def __getattr__(name: str):
+    module = _FLEET_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
 __all__ = [
     "Experiment",
     "ExperimentResult",
     "ExperimentSpec",
+    "FleetMachineSpec",
+    "FleetResult",
+    "FleetSpec",
+    "FleetSpuSpec",
     "Simulation",
     "SimulationSpec",
     "SpuSpec",
     "build",
+    "build_fleet",
     "experiment",
     "get",
     "load_all",
     "names",
     "run",
     "run_experiment",
+    "run_fleet",
 ]

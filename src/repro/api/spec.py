@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.core.contracts import SharingContract
 from repro.core.schemes import SchemeConfig
 from repro.core.spu import SPU
 from repro.disk.model import fast_disk
@@ -65,6 +66,11 @@ class SimulationSpec:
     nics: Sequence[NicSpec] = ()
     seed: int = 0
     load: Optional[Callable[["Simulation"], None]] = None
+    #: Sharing contract dividing the machine among its SPUs; None keeps
+    #: the :class:`MachineConfig` default (equal shares).  The fleet
+    #: layer passes weighted/scaled contracts here so evacuated SPUs
+    #: land with their (possibly degraded) contractual weight.
+    contract: Optional[SharingContract] = None
 
     def spu_specs(self) -> List[SpuSpec]:
         return [
@@ -78,6 +84,9 @@ class SimulationSpec:
         return list(self.disks)
 
     def machine_config(self) -> MachineConfig:
+        kwargs = {}
+        if self.contract is not None:
+            kwargs["contract"] = self.contract
         return MachineConfig(
             ncpus=self.ncpus,
             memory_mb=self.memory_mb,
@@ -85,6 +94,7 @@ class SimulationSpec:
             nics=list(self.nics),
             scheme=self.scheme,
             seed=self.seed,
+            **kwargs,
         )
 
 

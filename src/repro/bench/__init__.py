@@ -14,6 +14,9 @@ Three measurements, one JSON artifact (``BENCH_parallel.json``):
   byte-identity check (canonical JSON of every experiment's records)
   between the serial and parallel results.  Any divergence is a
   determinism bug and fails the bench.
+* **fleet failover cells** — the smoke fleet (one whole-machine crash,
+  SLO failover) per scheme, run in-process and through the sweep
+  executor, with the same byte-identity requirement on the records.
 
 Wall-clock numbers are hardware-dependent by nature; the JSON records
 the host's CPU count alongside them so trajectories are only compared
@@ -138,6 +141,39 @@ def bench_sweep_scaling(
     return out
 
 
+def bench_fleet(seed: int = 0, workers: int = 2) -> Dict[str, Any]:
+    """Fleet failover cells through the sweep executor, serial vs parallel.
+
+    Runs the smoke fleet (one whole-machine crash) per scheme twice —
+    in-process and fanned across workers — and compares the records
+    byte-for-byte.  ``divergence`` names any scheme whose parallel
+    record differs from the serial one; any entry is a determinism bug.
+    """
+    from repro.fleet.__main__ import smoke_spec
+    from repro.fleet.runner import run_fleet_record
+
+    schemes = ("smp", "piso")
+    payloads = [smoke_spec(scheme=s, seed=seed).to_dict() for s in schemes]
+    start = time.perf_counter()
+    serial = [run_fleet_record(p) for p in payloads]
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    outcomes = run_sweep(run_fleet_record, payloads, max_workers=workers)
+    parallel_s = time.perf_counter() - start
+    parallel = values(outcomes)
+    divergence = [
+        scheme for scheme, a, b in zip(schemes, serial, parallel) if a != b
+    ]
+    return {
+        "schemes": list(schemes),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "digests": {r["scheme"]: r["digest"] for r in serial},
+        "violations": sorted({v for r in serial for v in r["violations"]}),
+        "divergence": divergence,
+    }
+
+
 def run_bench(
     quick: bool = False,
     seed: int = 0,
@@ -153,6 +189,7 @@ def run_bench(
     scaling = bench_sweep_scaling(
         sections, serial["canonical"], seed=seed, workers=workers
     )
+    fleet = bench_fleet(seed=seed)
 
     serial_s = serial["serial_seconds"]
     for stats in scaling["workers"].values():
@@ -172,6 +209,7 @@ def run_bench(
             "workers": scaling["workers"],
             "divergence": scaling["divergence"],
         },
+        "fleet": fleet,
         "host": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
@@ -203,4 +241,16 @@ def format_report(payload: Dict[str, Any]) -> str:
         "serial-vs-parallel results: "
         + ("BYTE-IDENTICAL" if not divergence else f"DIVERGED: {divergence}")
     )
+    fleet = payload.get("fleet")
+    if fleet is not None:
+        fleet_diverged = fleet["divergence"]
+        lines.append(
+            f"fleet failover cells ({'/'.join(fleet['schemes'])}):"
+            f" serial {fleet['serial_seconds']}s,"
+            f" parallel {fleet['parallel_seconds']}s; "
+            + ("BYTE-IDENTICAL" if not fleet_diverged
+               else f"DIVERGED: {fleet_diverged}")
+            + (f"; violations: {fleet['violations']}"
+               if fleet["violations"] else "")
+        )
     return "\n".join(lines)

@@ -49,7 +49,11 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
 
     print(format_report(payload))
     print(f"written to {args.json}")
-    return 1 if payload["sweep"]["divergence"] else 0
+    diverged = (
+        payload["sweep"]["divergence"]
+        or payload.get("fleet", {}).get("divergence")
+    )
+    return 1 if diverged else 0
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from repro.core.accounting import CpuTimeAccount, DecayedCounter, UsageSample, U
 from repro.core.contracts import (
     ContractError,
     EqualShareContract,
+    ScaledContract,
     SharingContract,
     WeightedContract,
     apportion,
@@ -73,6 +74,7 @@ __all__ = [
     "ShareIdleWithSubset",
     "SharingContract",
     "EqualShareContract",
+    "ScaledContract",
     "WeightedContract",
     "ContractError",
     "apportion",

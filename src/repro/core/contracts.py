@@ -16,7 +16,8 @@ faults first.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.resources import Resource
 from repro.core.spu import SPU
@@ -85,6 +86,77 @@ class SharingContract(abc.ABC):
             levels.set_entitled(target)
             levels.set_allowed(max(target, levels.used))
         return new
+
+
+class ScaledContract(SharingContract):
+    """A base contract with per-SPU degradation fractions on top.
+
+    This is the fleet-capacity renegotiation path: when an SPU is
+    evacuated onto a machine that cannot cover its full demand, the
+    admission controller *degrades* it to a fraction of its contract
+    rather than rejecting it outright.  The fraction multiplies the
+    SPU's base weight, so every later renegotiation (another disk
+    death, another evacuation) composes **multiplicatively** — a
+    contract renegotiated twice ends at the product of the
+    surviving-capacity fractions, never at whichever fraction came
+    last.
+
+    Fractions are keyed by SPU name; SPUs without an entry keep their
+    base weight (fraction 1).  :meth:`scale` returns a *new* contract
+    so in-flight entitlement maps never see a half-applied change.
+    """
+
+    def __init__(
+        self,
+        base: SharingContract,
+        fractions: Optional[Dict[str, Fraction]] = None,
+    ):
+        if not isinstance(base, SharingContract):
+            raise ContractError(f"base must be a SharingContract, got {base!r}")
+        self.base = base
+        self.fractions: Dict[str, Fraction] = {}
+        for name, fraction in (fractions or {}).items():
+            self.fractions[name] = self._as_fraction(name, fraction)
+
+    @staticmethod
+    def _as_fraction(name: str, value) -> Fraction:
+        try:
+            fraction = Fraction(value)
+        except (TypeError, ValueError):
+            raise ContractError(
+                f"fraction for SPU {name!r} must be numeric, got {value!r}"
+            ) from None
+        if not 0 <= fraction <= 1:
+            raise ContractError(
+                f"fraction for SPU {name!r} must be in [0, 1], got {value!r}"
+            )
+        return fraction
+
+    def fraction_of(self, name: str) -> Fraction:
+        """The accumulated degradation fraction for one SPU name."""
+        return self.fractions.get(name, Fraction(1))
+
+    def scale(self, name: str, fraction) -> "ScaledContract":
+        """A new contract with ``name`` degraded by a further ``fraction``.
+
+        Composes with any existing degradation: scaling an SPU already
+        at 1/2 by 3/4 leaves it at 3/8 of its base weight.
+        """
+        step = self._as_fraction(name, fraction)
+        fractions = dict(self.fractions)
+        fractions[name] = self.fraction_of(name) * step
+        return ScaledContract(self.base, fractions)
+
+    def restore(self, name: str) -> "ScaledContract":
+        """A new contract with ``name`` back at its full base weight."""
+        fractions = {n: f for n, f in self.fractions.items() if n != name}
+        return ScaledContract(self.base, fractions)
+
+    def weights(self, spus: Sequence[SPU]) -> List[float]:
+        base = self.base.weights(spus)
+        return [
+            w * self.fraction_of(spu.name) for spu, w in zip(spus, base)
+        ]
 
 
 class EqualShareContract(SharingContract):

@@ -60,6 +60,14 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         help=f"sections to run (default: all); choose from {sorted(known)}",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="SECTION",
+        help="run only this section (repeatable); equivalent to naming"
+        " it positionally",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=0,
@@ -79,7 +87,8 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         help="also write every experiment's flat records as JSON",
     )
     args = parser.parse_args(argv)
-    chosen = args.sections if args.sections else list(known)
+    named = list(args.sections) + list(args.only or [])
+    chosen = named if named else list(known)
     for name in chosen:
         if name not in known:
             print(f"unknown section {name!r}; choose from {sorted(known)}")

@@ -12,8 +12,21 @@ laws every clock tick while the machine degrades.
 
 Everything is driven by the seeded engine: the same seed and the same
 plan give byte-identical runs.
+
+:mod:`repro.faults.fleet` lifts the same idea one level up: a
+:class:`~repro.faults.fleet.FleetFaultPlan` schedules whole-machine
+crashes, recoveries and network partitions for the fleet layer
+(:mod:`repro.fleet`), which answers them with checkpoint/migration
+failover instead of in-kernel degradation.
 """
 
+from repro.faults.fleet import (
+    FleetFaultEvent,
+    FleetFaultPlan,
+    MachineCrash,
+    MachineRecover,
+    NetworkPartition,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import (
     Escalation,
@@ -43,9 +56,14 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "FleetFaultEvent",
+    "FleetFaultPlan",
     "InvariantViolation",
     "InvariantWatchdog",
+    "MachineCrash",
+    "MachineRecover",
     "MemoryLoss",
+    "NetworkPartition",
     "OverloadGuard",
     "Violation",
 ]

@@ -1,0 +1,280 @@
+"""Fleet-level fault schedules: whole machines, not components.
+
+:mod:`repro.faults.plan` declares faults *inside* one machine (a disk
+dies, a CPU is hot-removed).  A :class:`FleetFaultPlan` declares faults
+*of* machines: a whole machine crashing (taking every SPU it hosts with
+it), a crashed machine recovering as empty spare capacity, and network
+partitions that make a set of machines unreachable as migration targets
+for a window.  Like the single-machine plan it is data, not behaviour —
+a validated, time-ordered event list with a JSON round-trip — and the
+same plan can be armed against fleets running different allocation
+schemes, which is how the fleet-isolation experiment compares SMP and
+PIso degradation under identical machine loss.
+
+Validation is two-phase, mirroring the single-machine plan: structural
+checks at construction (finite times, sane machine indices, a machine
+does not crash twice without recovering in between), and
+:meth:`FleetFaultPlan.validate_against` re-checks every event against a
+concrete fleet size so a plan naming machine 7 in a four-machine fleet
+fails fast, naming the field and the event, instead of mid-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple, Union
+
+from repro.faults.plan import FaultPlanError
+
+
+def _finite(name: str, value: Any, event: Any) -> None:
+    """Reject NaN/inf/non-numbers before they corrupt the epoch walk."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FaultPlanError(
+            f"{name} must be a finite number, got {value!r} in {event!r}"
+        )
+    if not math.isfinite(value):
+        raise FaultPlanError(
+            f"{name} must be finite, got {value!r} in {event!r}"
+        )
+
+
+def _check_machine(machine: Any, event: Any) -> None:
+    if isinstance(machine, bool) or not isinstance(machine, int):
+        raise FaultPlanError(
+            f"machine index must be an integer, got {machine!r} in {event!r}"
+        )
+    if machine < 0:
+        raise FaultPlanError(
+            f"machine index must be >= 0, got {machine} in {event!r}"
+        )
+
+
+@dataclass(frozen=True)
+class MachineCrash:
+    """A whole machine dies: every SPU it hosts must be evacuated.
+
+    The crash is fail-stop — the machine's kernel executes nothing past
+    ``at_us`` — but checkpoint state (contract, ledgers, per-job
+    progress) survives, modelling SPU state replicated off-machine.
+    """
+
+    at_us: int
+    machine: int
+
+    def _validate(self) -> None:
+        _check_machine(self.machine, self)
+
+
+@dataclass(frozen=True)
+class MachineRecover:
+    """A crashed machine rejoins as *empty* spare capacity.
+
+    Recovery does not pull migrated SPUs back home; it only makes the
+    machine a legal target for future evacuations.
+    """
+
+    at_us: int
+    machine: int
+
+    def _validate(self) -> None:
+        _check_machine(self.machine, self)
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A set of machines is unreachable for ``duration_us``.
+
+    Partitioned machines keep running their local work (the paper's
+    isolation is per-machine), but the failover controller cannot
+    migrate SPUs *onto* them while the window is open — a crash during
+    a partition can therefore force degradation or shedding that spare
+    capacity would otherwise have absorbed.
+    """
+
+    at_us: int
+    machines: Tuple[int, ...]
+    duration_us: int
+
+    def __post_init__(self) -> None:
+        # JSON round-trips lists; canonicalise so equality and hashing
+        # hold across the trip.
+        object.__setattr__(self, "machines", tuple(self.machines))
+
+    def _validate(self) -> None:
+        if not self.machines:
+            raise FaultPlanError(
+                f"partition must name at least one machine: {self!r}"
+            )
+        for machine in self.machines:
+            _check_machine(machine, self)
+        if len(set(self.machines)) != len(self.machines):
+            raise FaultPlanError(
+                f"partition names a machine twice: {self!r}"
+            )
+        _finite("partition duration_us", self.duration_us, self)
+        if self.duration_us <= 0:
+            raise FaultPlanError(
+                f"partition must last >= 1us, got {self.duration_us}"
+            )
+
+
+FleetFaultEvent = Union[MachineCrash, MachineRecover, NetworkPartition]
+
+_FLEET_EVENT_TYPES = (MachineCrash, MachineRecover, NetworkPartition)
+
+
+@dataclass
+class FleetFaultPlan:
+    """A validated, time-ordered schedule of fleet-level faults."""
+
+    events: List[FleetFaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            self._check(event)
+        self.events = sorted(
+            self.events, key=lambda e: (e.at_us, type(e).__name__)
+        )
+        self._check_lifecycle(self.events)
+
+    @staticmethod
+    def _check(event: FleetFaultEvent) -> None:
+        if not isinstance(event, _FLEET_EVENT_TYPES):
+            raise FaultPlanError(f"not a fleet fault event: {event!r}")
+        _finite("fleet fault at_us", event.at_us, event)
+        if event.at_us < 0:
+            raise FaultPlanError(f"fleet fault scheduled before boot: {event!r}")
+        event._validate()
+
+    @staticmethod
+    def _check_lifecycle(events: List[FleetFaultEvent]) -> None:
+        """Crash/recover must alternate per machine: a second crash
+        without a recovery in between (or a recovery of a machine that
+        is up) means two plans were merged, and the fleet runner would
+        half-apply it."""
+        down: Dict[int, int] = {}
+        for event in events:
+            if isinstance(event, MachineCrash):
+                if event.machine in down:
+                    raise FaultPlanError(
+                        f"machine {event.machine} crashes twice"
+                        f" (at {down[event.machine]}us and {event.at_us}us)"
+                        " without a MachineRecover in between"
+                    )
+                down[event.machine] = event.at_us
+            elif isinstance(event, MachineRecover):
+                if event.machine not in down:
+                    raise FaultPlanError(
+                        f"machine {event.machine} recovers at {event.at_us}us"
+                        " but never crashed"
+                    )
+                del down[event.machine]
+
+    def add(self, event: FleetFaultEvent) -> "FleetFaultPlan":
+        """Append an event, keeping the plan ordered.  Returns self."""
+        self._check(event)
+        events = sorted(
+            self.events + [event], key=lambda e: (e.at_us, type(e).__name__)
+        )
+        self._check_lifecycle(events)
+        self.events = events
+        return self
+
+    def validate_against(self, n_machines: int) -> None:
+        """Reject events naming machines the fleet does not have.
+
+        Every fleet-facing entry point (spec construction, arming)
+        funnels through here so the error names the field and the
+        event, never a mid-run ``IndexError``.
+        """
+        for event in self.events:
+            if isinstance(event, (MachineCrash, MachineRecover)):
+                if not 0 <= event.machine < n_machines:
+                    raise FaultPlanError(
+                        f"field 'machine' of {event!r} names machine"
+                        f" {event.machine}; fleet has {n_machines}"
+                    )
+            else:
+                for machine in event.machines:
+                    if not 0 <= machine < n_machines:
+                        raise FaultPlanError(
+                            f"field 'machines' of {event!r} names machine"
+                            f" {machine}; fleet has {n_machines}"
+                        )
+
+    def __iter__(self) -> Iterator[FleetFaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # --- JSON round-trip ---------------------------------------------------
+    #
+    # Fleet fuzz records and repro files embed the plan; the round trip
+    # re-runs the same validation as the constructors.
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """The plan as plain dicts (``kind`` + the event's fields)."""
+        out = []
+        for event in self.events:
+            record: Dict[str, Any] = {"kind": _KIND_OF[type(event)]}
+            for key, value in dataclasses.asdict(event).items():
+                record[key] = list(value) if isinstance(value, tuple) else value
+            out.append(record)
+        return out
+
+    def to_json(self, indent: Any = None) -> str:
+        return json.dumps(self.to_dicts(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dicts(cls, records: List[Dict[str, Any]]) -> "FleetFaultPlan":
+        """Rebuild a plan from :meth:`to_dicts` output (re-validating)."""
+        events: List[FleetFaultEvent] = []
+        for record in records:
+            if not isinstance(record, dict) or "kind" not in record:
+                raise FaultPlanError(
+                    f"fleet fault record needs a 'kind': {record!r}"
+                )
+            fields_ = dict(record)
+            kind = fields_.pop("kind")
+            try:
+                event_cls = _CLASS_OF[kind]
+            except KeyError:
+                raise FaultPlanError(
+                    f"unknown fleet fault kind {kind!r};"
+                    f" expected one of {sorted(_CLASS_OF)}"
+                ) from None
+            if event_cls is NetworkPartition and isinstance(
+                fields_.get("machines"), list
+            ):
+                fields_["machines"] = tuple(fields_["machines"])
+            try:
+                events.append(event_cls(**fields_))
+            except TypeError as exc:
+                raise FaultPlanError(f"bad fields for {kind!r}: {exc}") from None
+        return cls(events)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetFaultPlan":
+        try:
+            records = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(
+                f"fleet fault plan is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(records, list):
+            raise FaultPlanError("fleet fault plan JSON must be an array")
+        return cls.from_dicts(records)
+
+
+#: Stable wire names for each fleet fault event class.
+_KIND_OF = {
+    MachineCrash: "machine_crash",
+    MachineRecover: "machine_recover",
+    NetworkPartition: "network_partition",
+}
+_CLASS_OF = {name: cls for cls, name in _KIND_OF.items()}

@@ -1,0 +1,72 @@
+"""Multi-machine fleets: crash injection, failover, graceful degradation.
+
+The paper's machine is one shared-memory multiprocessor divided among
+SPUs; this package composes many of them into a *fleet* and extends
+the isolation story across whole-machine failure.  A
+:class:`~repro.fleet.spec.FleetSpec` declares the machines, the SPUs
+(with explicit SLO contracts: a CPU demand and a minimum acceptable
+fraction of it), their home placement and a
+:class:`~repro.faults.fleet.FleetFaultPlan`;
+:func:`~repro.fleet.runner.run_fleet` advances the machines in
+lock-step epochs, and when a machine crashes its SPUs are
+checkpointed (:mod:`repro.fleet.checkpoint`), re-placed by the SLO
+admission controller (:mod:`repro.fleet.controller`) — admit at full
+contract, degrade via :class:`~repro.core.contracts.ScaledContract`
+renegotiation, or shed with the refusal recorded — while the
+:class:`~repro.fleet.watchdog.FleetWatchdog` audits that no SPU and no
+unit of progress or capacity is ever lost, duplicated, or invented.
+
+Everything is a pure function of the spec, so fleet runs fan out
+through :mod:`repro.parallel` with byte-identical journals.
+"""
+
+from repro.fleet.checkpoint import JobCheckpoint, SpuCheckpoint, capture
+from repro.fleet.controller import (
+    ADMIT,
+    DEGRADE,
+    SHED,
+    AdmissionController,
+    Decision,
+    MachineCapacity,
+)
+from repro.fleet.runner import (
+    FleetResult,
+    FleetSimulation,
+    build_fleet,
+    fleet_job,
+    run_fleet,
+    run_fleet_record,
+)
+from repro.fleet.spec import (
+    FLEET_SCHEMES,
+    FleetMachineSpec,
+    FleetSpec,
+    FleetSpecError,
+    FleetSpuSpec,
+)
+from repro.fleet.watchdog import FleetWatchdog, expected_capacity_integral
+
+__all__ = [
+    "ADMIT",
+    "DEGRADE",
+    "SHED",
+    "AdmissionController",
+    "Decision",
+    "FLEET_SCHEMES",
+    "FleetMachineSpec",
+    "FleetResult",
+    "FleetSimulation",
+    "FleetSpec",
+    "FleetSpecError",
+    "FleetSpuSpec",
+    "FleetWatchdog",
+    "JobCheckpoint",
+    "MachineCapacity",
+    "SpuCheckpoint",
+    "build_fleet",
+    "capture",
+    "expected_capacity_integral",
+    "fleet_job",
+    "run_fleet",
+    "run_fleet_record",
+]

@@ -1,0 +1,136 @@
+"""SPU checkpoints: the state that survives a machine crash.
+
+When a machine crashes, everything its kernel was *doing* is gone —
+run queues, in-flight compute, resident pages.  What survives is the
+SPU's replicated control state: its contract (demand, SLO floor, and
+the degradation fraction accumulated so far), a ledger summary of CPU
+time consumed, and per-job progress measured in completed checkpoint
+rounds.  A :class:`SpuCheckpoint` is exactly that state, as a frozen
+value object the failover controller can order deterministically and
+the fleet watchdog can audit for conservation (rounds never decrease
+across a migration; a partially-finished round is lost, never
+invented).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.fleet.spec import FleetSpuSpec
+from repro.kernel.process import Process
+
+
+@dataclass(frozen=True)
+class JobCheckpoint:
+    """One job's durable progress: completed rounds out of a total.
+
+    ``rounds_done`` accumulates across hostings — after a migration the
+    job is respawned with only its *remaining* rounds, and a later
+    checkpoint folds the new hosting's rounds on top of the old base.
+    """
+
+    name: str
+    rounds_total: int
+    rounds_done: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rounds_done <= self.rounds_total:
+            raise ValueError(
+                f"job {self.name!r} has {self.rounds_done} rounds done"
+                f" of {self.rounds_total}"
+            )
+
+    @property
+    def remaining(self) -> int:
+        return self.rounds_total - self.rounds_done
+
+
+@dataclass(frozen=True)
+class SpuCheckpoint:
+    """An SPU's replicated state at the instant its machine died."""
+
+    spec: FleetSpuSpec
+    #: Accumulated contract fraction *before* this evacuation; further
+    #: degradation composes multiplicatively on top.
+    fraction: Fraction
+    #: CPU microseconds consumed across all hostings (ledger summary,
+    #: carried for fleet accounting).
+    cpu_time_us: int
+    jobs: Tuple[JobCheckpoint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if not 0 <= self.fraction <= 1:
+            raise ValueError(
+                f"SPU {self.spec.name!r} checkpoint fraction {self.fraction}"
+                " outside [0, 1]"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def rounds_done(self) -> int:
+        """Total durable rounds across every hosting so far."""
+        return sum(j.rounds_done for j in self.jobs)
+
+    @property
+    def rounds_remaining(self) -> int:
+        return sum(j.remaining for j in self.jobs)
+
+
+def capture(
+    spec: FleetSpuSpec,
+    fraction: Fraction,
+    cpu_time_before: int,
+    bases: Sequence[JobCheckpoint],
+    procs: Sequence[Process],
+) -> SpuCheckpoint:
+    """Checkpoint a hosted SPU from its live processes.
+
+    ``bases`` are the job checkpoints the SPU *arrived* with (all-zero
+    on its home machine); ``procs`` are the fleet jobs spawned from
+    them, in the same order (``None`` for a job that arrived already
+    complete).  Each live job has run ``len(checkpoints)`` durable
+    rounds on this hosting, clamped to what it had left — completed
+    rounds are durable, the round in flight when the machine died is
+    not.
+    """
+    if len(bases) != len(procs):
+        raise ValueError(
+            f"SPU {spec.name!r}: {len(bases)} job bases for"
+            f" {len(procs)} processes"
+        )
+    jobs: List[JobCheckpoint] = []
+    cpu_time = cpu_time_before
+    for base, proc in zip(bases, procs):
+        done_here = 0
+        if proc is not None:
+            done_here = min(len(proc.checkpoints), base.remaining)
+            cpu_time += proc.cpu_time_us
+        jobs.append(
+            JobCheckpoint(
+                name=base.name,
+                rounds_total=base.rounds_total,
+                rounds_done=base.rounds_done + done_here,
+            )
+        )
+    return SpuCheckpoint(
+        spec=spec,
+        fraction=fraction,
+        cpu_time_us=cpu_time,
+        jobs=tuple(jobs),
+    )
+
+
+def fresh_jobs(spec: FleetSpuSpec) -> Tuple[JobCheckpoint, ...]:
+    """The all-zero job checkpoints an SPU starts with at its home."""
+    return tuple(
+        JobCheckpoint(
+            name=f"{spec.name}/j{i}", rounds_total=spec.rounds, rounds_done=0
+        )
+        for i in range(spec.jobs)
+    )

@@ -1,0 +1,172 @@
+"""SLO-driven failover: admit, degrade, or shed evacuated SPUs.
+
+When a machine crashes, its SPUs arrive here as checkpoints and must
+be re-placed on the survivors.  The controller is an *admission
+controller*: surviving machines' own tenants keep their contracts in
+full (performance isolation — someone else's crash must not degrade
+you below your contract), so an evacuee only gets each machine's
+*uncommitted* capacity.  Per SPU the controller finds the machine
+offering the best contract fraction and decides:
+
+* **admit** — the best machine covers the SPU's full incoming
+  contract;
+* **degrade** — the best fraction is partial but at or above the SPU's
+  ``slo_min_fraction``; the SPU lands with its contract renegotiated
+  down (composing multiplicatively with any earlier degradation, via
+  :class:`~repro.core.contracts.ScaledContract`);
+* **shed** — no reachable machine can hold the SLO floor; the SPU is
+  parked, its progress preserved, with the refusal recorded.
+
+Every computation is exact — integer milli-CPUs and
+:class:`~fractions.Fraction` — and every ordering rule is total
+(demand descending, then name; target by best fraction, then lowest
+machine index), so the same crash always produces the same placements,
+which is what makes the fleet journal byte-identical across serial and
+parallel replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.checkpoint import SpuCheckpoint
+
+#: Decision verdicts, in the order of preference.
+ADMIT = "admit"
+DEGRADE = "degrade"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded placement decision for one evacuated SPU."""
+
+    time_us: int
+    spu: str
+    action: str
+    #: Target machine for admit/degrade; None when shed.
+    machine: Optional[int]
+    #: Contract fraction after this decision (0 when shed).
+    fraction: Fraction
+    reason: str
+
+    def render(self) -> str:
+        where = f"machine {self.machine}" if self.machine is not None else "-"
+        return (
+            f"{self.spu}: {self.action} -> {where}"
+            f" at {self.fraction} ({self.reason})"
+        )
+
+
+@dataclass
+class MachineCapacity:
+    """One candidate machine's CPU book-keeping, in milli-CPUs.
+
+    ``committed_mcpu`` is the sum of ``demand * fraction`` over the
+    SPUs already hosted — the capacity promised to tenants.  Placement
+    commits against it immediately so a batch of evacuees cannot all be
+    admitted into the same free slice.
+    """
+
+    index: int
+    capacity_mcpu: int
+    committed_mcpu: Fraction
+    reachable: bool = True
+
+    @property
+    def free_mcpu(self) -> Fraction:
+        return Fraction(self.capacity_mcpu) - self.committed_mcpu
+
+    def commit(self, demand_mcpu: int, fraction: Fraction) -> None:
+        self.committed_mcpu += Fraction(demand_mcpu) * fraction
+
+
+class AdmissionController:
+    """Deterministic SLO-driven placement of evacuated SPUs."""
+
+    def place(
+        self,
+        now_us: int,
+        evacuees: Sequence[SpuCheckpoint],
+        machines: Sequence[MachineCapacity],
+    ) -> List[Tuple[SpuCheckpoint, Decision]]:
+        """Decide a placement for every evacuee; returns (ckpt, decision).
+
+        Largest demand places first (the hardest SPU to fit gets first
+        pick of the spare capacity); ties break by name so the order is
+        total.  ``machines`` is mutated: committed capacity grows as
+        decisions land.
+        """
+        order = sorted(
+            evacuees, key=lambda c: (-c.spec.demand_mcpu, c.name)
+        )
+        by_index: Dict[int, MachineCapacity] = {m.index: m for m in machines}
+        out: List[Tuple[SpuCheckpoint, Decision]] = []
+        for ckpt in order:
+            decision = self._decide(now_us, ckpt, by_index)
+            if decision.machine is not None:
+                by_index[decision.machine].commit(
+                    ckpt.spec.demand_mcpu, decision.fraction
+                )
+            out.append((ckpt, decision))
+        return out
+
+    def _decide(
+        self,
+        now_us: int,
+        ckpt: SpuCheckpoint,
+        machines: Dict[int, MachineCapacity],
+    ) -> Decision:
+        spec = ckpt.spec
+        incoming = ckpt.fraction
+        best: Optional[Tuple[Fraction, int]] = None
+        candidates = [m for _, m in sorted(machines.items()) if m.reachable]
+        if not candidates:
+            return Decision(
+                time_us=now_us, spu=spec.name, action=SHED, machine=None,
+                fraction=Fraction(0),
+                reason="no reachable machine (crashes/partitions)",
+            )
+        for machine in candidates:
+            free = machine.free_mcpu
+            if free <= 0:
+                continue
+            offered = min(incoming, free / spec.demand_mcpu)
+            if offered <= 0:
+                continue
+            # Best fraction wins; lowest index breaks ties (total order
+            # -> deterministic placement).
+            if best is None or offered > best[0]:
+                best = (offered, machine.index)
+        if best is None:
+            return Decision(
+                time_us=now_us, spu=spec.name, action=SHED, machine=None,
+                fraction=Fraction(0),
+                reason="no machine has uncommitted capacity",
+            )
+        offered, index = best
+        if offered < spec.slo_min_fraction:
+            return Decision(
+                time_us=now_us, spu=spec.name, action=SHED, machine=None,
+                fraction=Fraction(0),
+                reason=(
+                    f"best offer {offered} on machine {index} is below"
+                    f" SLO floor {spec.slo_min_fraction}"
+                ),
+            )
+        if offered == incoming:
+            return Decision(
+                time_us=now_us, spu=spec.name, action=ADMIT, machine=index,
+                fraction=offered,
+                reason=f"full contract fits on machine {index}",
+            )
+        return Decision(
+            time_us=now_us, spu=spec.name, action=DEGRADE, machine=index,
+            fraction=offered,
+            reason=(
+                f"machine {index} covers {offered} of contract"
+                f" (floor {spec.slo_min_fraction})"
+            ),
+        )

@@ -1,0 +1,517 @@
+"""The fleet runner: epochs, crashes, failover, and the fleet journal.
+
+A fleet is a set of independent machines — one
+:class:`~repro.api.Simulation` (kernel + engine) each — advanced in
+lock-step *epochs*.  Epoch boundaries are the fleet fault plan's event
+times plus the horizon; between boundaries every online machine runs
+its own discrete-event simulation undisturbed (machines share nothing,
+so no cross-machine event interleaving exists to get wrong).  At each
+boundary the fleet watchdog audits the conservation laws, then the
+boundary's fleet events apply: recoveries first (new spare capacity),
+then partitions (reachability shrinks), then crashes (evacuation under
+the freshest view of the fleet).
+
+Failover is checkpoint/replay: a crash captures each hosted SPU's
+durable state (:mod:`repro.fleet.checkpoint`), the admission
+controller (:mod:`repro.fleet.controller`) decides admit / degrade /
+shed per SPU against the survivors' uncommitted capacity, and admitted
+SPUs are re-created on their target machine —
+:meth:`~repro.kernel.kernel.Kernel.set_contract` installs a
+:class:`~repro.core.contracts.ScaledContract` carrying the SPU's
+(possibly degraded) weight, ``add_spu`` renegotiates the machine, and
+the SPU's unfinished jobs respawn with exactly their remaining rounds.
+
+Machines are built lazily: a spare holds no kernel until the first SPU
+lands on it, at which point its engine starts at local time zero with
+a fixed offset from fleet time (local = fleet − built_at).  Everything
+is a pure function of the :class:`~repro.fleet.spec.FleetSpec`, so the
+journal — and its digest — is byte-identical however the fleet cells
+are distributed across sweep workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.api.spec import Simulation, SimulationSpec, build
+from repro.core.contracts import ScaledContract, WeightedContract
+from repro.core.schemes import scheme_by_name
+from repro.faults.fleet import (
+    MachineCrash,
+    MachineRecover,
+    NetworkPartition,
+)
+from repro.faults.invariants import InvariantWatchdog, Violation
+from repro.fleet.checkpoint import (
+    JobCheckpoint,
+    SpuCheckpoint,
+    capture,
+    fresh_jobs,
+)
+from repro.fleet.controller import (
+    SHED,
+    AdmissionController,
+    Decision,
+    MachineCapacity,
+)
+from repro.fleet.spec import FleetMachineSpec, FleetSpec, FleetSpuSpec
+from repro.fleet.watchdog import FleetWatchdog
+from repro.kernel.process import Process
+from repro.kernel.syscalls import Behavior, Checkpoint, Compute
+from repro.sanitizer import SanitizerError
+
+
+def fleet_job(rounds: int, compute_us: int) -> Behavior:
+    """The canonical fleet workload: compute, checkpoint, repeat.
+
+    Each completed round is durable progress; migration respawns the
+    job with only its remaining rounds.
+    """
+    for _ in range(rounds):
+        yield Compute(compute_us)
+        yield Checkpoint("round")
+
+
+@dataclass
+class HostedSpu:
+    """One SPU as currently hosted on one machine."""
+
+    spec: FleetSpuSpec
+    #: Accumulated contract fraction (product of every degradation).
+    fraction: Fraction
+    #: CPU time consumed on *previous* hostings.
+    cpu_time_before: int
+    #: Job checkpoints the SPU arrived with.
+    bases: Tuple[JobCheckpoint, ...]
+    #: Live processes, parallel to ``bases`` (None = arrived complete).
+    procs: List[Optional[Process]]
+
+    def rounds_done(self) -> int:
+        total = 0
+        for base, proc in zip(self.bases, self.procs):
+            total += base.rounds_done
+            if proc is not None:
+                total += min(len(proc.checkpoints), base.remaining)
+        return total
+
+
+@dataclass
+class MachineState:
+    """One machine's slot in the fleet: shape, liveness, and tenants."""
+
+    index: int
+    mspec: FleetMachineSpec
+    online: bool = True
+    sim: Optional[Simulation] = None
+    built_at_us: int = 0
+    hosted: Dict[str, HostedSpu] = field(default_factory=dict)
+    watchdog: Optional[InvariantWatchdog] = None
+    #: Machine-watchdog violations already surfaced into the fleet log.
+    violations_seen: int = 0
+    #: Engine events executed across the machine's whole life.
+    events: int = 0
+    #: Contract inputs: base weight (demand) and degradation fraction
+    #: per hosted SPU name.
+    base_weights: Dict[str, float] = field(default_factory=dict)
+    fractions: Dict[str, Fraction] = field(default_factory=dict)
+
+    @property
+    def capacity_mcpu(self) -> int:
+        return self.mspec.capacity_mcpu
+
+    def committed_mcpu(self) -> Fraction:
+        return sum(
+            (Fraction(h.spec.demand_mcpu) * h.fraction
+             for h in self.hosted.values()),
+            Fraction(0),
+        )
+
+    def contract(self) -> ScaledContract:
+        """The machine's current contract from its tenancy book."""
+        return ScaledContract(
+            WeightedContract(dict(self.base_weights), default_weight=0.0),
+            dict(self.fractions),
+        )
+
+
+class FleetSimulation:
+    """A built fleet: per-machine sims plus the failover machinery."""
+
+    def __init__(self, spec: FleetSpec):
+        self.spec = spec
+        self.machines = [
+            MachineState(index=i, mspec=m) for i, m in enumerate(spec.machines)
+        ]
+        self.controller = AdmissionController()
+        #: Shed SPUs: name -> the refusing Decision.
+        self.shed: Dict[str, Decision] = {}
+        #: Parked checkpoints of shed SPUs (progress preserved).
+        self.parked: Dict[str, SpuCheckpoint] = {}
+        self.decisions: List[Decision] = []
+        #: Fleet time each machine is partitioned until (exclusive).
+        self.partitioned_until: Dict[int, int] = {}
+        #: Incrementally accumulated ∫ online-capacity dt, in mCPU-µs.
+        self.capacity_integral = 0
+        self.now_us = 0
+        self.aborted = False
+        self._entries: List[Tuple[int, int, str]] = []
+        self._seq = 0
+        #: Per-boundary progress snapshots (time, {spu: rounds}).
+        self.snapshots: List[Tuple[int, Dict[str, int]]] = []
+        self.watchdog = FleetWatchdog(self)
+
+        for index in range(len(spec.machines)):
+            arrivals = [
+                (SpuCheckpoint(
+                    spec=s, fraction=Fraction(1), cpu_time_us=0,
+                    jobs=fresh_jobs(s),
+                ), Fraction(1))
+                for s in spec.hosted_on(index)
+            ]
+            if arrivals:
+                self._build_machine(index, 0, arrivals)
+                self._log(0, (
+                    f"boot | machine {index}:"
+                    f" {spec.machines[index].ncpus}cpu"
+                    f"/{spec.machines[index].memory_mb}MB"
+                    f" spus=[{', '.join(c.name for c, _ in arrivals)}]"
+                ))
+
+    # --- progress & reachability ------------------------------------------
+
+    def progress(self, name: str) -> int:
+        """Durable rounds for one SPU, wherever it currently lives."""
+        for machine in self.machines:
+            hosted = machine.hosted.get(name)
+            if hosted is not None:
+                return hosted.rounds_done()
+        if name in self.parked:
+            return self.parked[name].rounds_done
+        return 0
+
+    def progress_all(self) -> Dict[str, int]:
+        return {s.name: self.progress(s.name) for s in self.spec.spus}
+
+    def reachable(self, index: int, now_us: int) -> bool:
+        machine = self.machines[index]
+        return machine.online and self.partitioned_until.get(index, 0) <= now_us
+
+    # --- construction / placement -----------------------------------------
+
+    def _machine_seed(self, index: int) -> int:
+        # Distinct per machine, pure function of the fleet spec.
+        return self.spec.seed * 8191 + index
+
+    def _build_machine(
+        self,
+        index: int,
+        now_us: int,
+        arrivals: List[Tuple[SpuCheckpoint, Fraction]],
+    ) -> None:
+        machine = self.machines[index]
+        for ckpt, fraction in arrivals:
+            machine.base_weights[ckpt.name] = ckpt.spec.demand_cpus
+            machine.fractions[ckpt.name] = fraction
+        sim_spec = SimulationSpec(
+            ncpus=machine.mspec.ncpus,
+            memory_mb=machine.mspec.memory_mb,
+            scheme=scheme_by_name(self.spec.scheme),
+            spus=[ckpt.name for ckpt, _ in arrivals],
+            disks=machine.mspec.ndisks,
+            seed=self._machine_seed(index),
+            contract=machine.contract(),
+        )
+        machine.sim = build(sim_spec)
+        machine.built_at_us = now_us
+        machine.watchdog = InvariantWatchdog(machine.sim.kernel)
+        machine.watchdog.start()
+        machine.violations_seen = 0
+        for ckpt, fraction in arrivals:
+            self._spawn_jobs(machine, ckpt, fraction)
+
+    def _spawn_jobs(
+        self, machine: MachineState, ckpt: SpuCheckpoint, fraction: Fraction
+    ) -> None:
+        procs: List[Optional[Process]] = []
+        for base in ckpt.jobs:
+            if base.remaining <= 0:
+                procs.append(None)
+                continue
+            procs.append(machine.sim.spawn(
+                fleet_job(base.remaining, ckpt.spec.compute_us),
+                ckpt.name,
+                name=base.name,
+            ))
+        machine.hosted[ckpt.name] = HostedSpu(
+            spec=ckpt.spec,
+            fraction=fraction,
+            cpu_time_before=ckpt.cpu_time_us,
+            bases=ckpt.jobs,
+            procs=procs,
+        )
+
+    def _place(
+        self, index: int, ckpt: SpuCheckpoint, fraction: Fraction,
+        now_us: int,
+    ) -> None:
+        machine = self.machines[index]
+        if machine.sim is None:
+            self._build_machine(index, now_us, [(ckpt, fraction)])
+            return
+        machine.base_weights[ckpt.name] = ckpt.spec.demand_cpus
+        machine.fractions[ckpt.name] = fraction
+        # Install the newcomer's weight first so the add_spu rebalance
+        # renegotiates every tenant over the updated contract at once.
+        machine.sim.kernel.set_contract(machine.contract(), rebalance=False)
+        spu = machine.sim.kernel.add_spu(ckpt.name)
+        machine.sim.spus.append(spu)
+        machine.sim._by_name[ckpt.name] = spu
+        self._spawn_jobs(machine, ckpt, fraction)
+
+    # --- fleet fault events -------------------------------------------------
+
+    def _apply_recover(self, event: MachineRecover) -> None:
+        machine = self.machines[event.machine]
+        machine.online = True
+        # The machine rejoins empty: its old kernel died with the
+        # crash, so it is spare capacity, not a restored tenant host.
+        machine.sim = None
+        machine.watchdog = None
+        machine.violations_seen = 0
+        machine.hosted = {}
+        machine.base_weights = {}
+        machine.fractions = {}
+        self._log(event.at_us, f"recover | machine {event.machine} online (spare)")
+
+    def _apply_partition(self, event: NetworkPartition) -> None:
+        until = event.at_us + event.duration_us
+        for index in event.machines:
+            self.partitioned_until[index] = max(
+                self.partitioned_until.get(index, 0), until
+            )
+        names = ",".join(str(m) for m in event.machines)
+        self._log(event.at_us, (
+            f"partition | machines [{names}] unreachable"
+            f" for {event.duration_us}us"
+        ))
+
+    def _apply_crash(self, event: MachineCrash) -> None:
+        machine = self.machines[event.machine]
+        machine.online = False
+        evacuees: List[SpuCheckpoint] = []
+        # Spec order keeps the evacuation set deterministic before the
+        # controller imposes its own total order.
+        for spu_spec in self.spec.spus:
+            hosted = machine.hosted.get(spu_spec.name)
+            if hosted is None:
+                continue
+            evacuees.append(capture(
+                hosted.spec, hosted.fraction, hosted.cpu_time_before,
+                hosted.bases, hosted.procs,
+            ))
+        # The kernel is gone; the (stopped) watchdog object keeps its
+        # recorded violations for the final surfacing pass.
+        machine.sim = None
+        machine.hosted = {}
+        machine.base_weights = {}
+        machine.fractions = {}
+        self._log(event.at_us, (
+            f"crash | machine {event.machine} down;"
+            f" evacuating [{', '.join(c.name for c in evacuees)}]"
+        ))
+        if not evacuees:
+            return
+        capacities = [
+            MachineCapacity(
+                index=m.index,
+                capacity_mcpu=m.capacity_mcpu,
+                committed_mcpu=m.committed_mcpu(),
+                reachable=self.reachable(m.index, event.at_us),
+            )
+            for m in self.machines if m.online
+        ]
+        for ckpt, decision in self.controller.place(
+            event.at_us, evacuees, capacities
+        ):
+            self.decisions.append(decision)
+            self._log(event.at_us, f"decision | {decision.render()}")
+            if decision.action == SHED:
+                self.shed[ckpt.name] = decision
+                self.parked[ckpt.name] = ckpt
+            else:
+                self._place(
+                    decision.machine, ckpt, decision.fraction, event.at_us
+                )
+
+    # --- the epoch loop -----------------------------------------------------
+
+    def run(self) -> None:
+        """Advance the whole fleet to the horizon, applying the plan."""
+        spec = self.spec
+        boundaries = sorted({
+            e.at_us for e in spec.faults if e.at_us < spec.horizon_us
+        })
+        boundaries.append(spec.horizon_us)
+        for t in boundaries:
+            self._advance(t)
+            if self.aborted:
+                return
+            self.watchdog.check(t)
+            events_here = [e for e in spec.faults if e.at_us == t]
+            if events_here:
+                # Recoveries first (capacity appears), then partitions
+                # (reachability shrinks), then crashes — so a crash
+                # sees the freshest view of the fleet.
+                for event in events_here:
+                    if isinstance(event, MachineRecover):
+                        self._apply_recover(event)
+                for event in events_here:
+                    if isinstance(event, NetworkPartition):
+                        self._apply_partition(event)
+                for event in events_here:
+                    if isinstance(event, MachineCrash):
+                        self._apply_crash(event)
+                self.watchdog.check(t)
+            self.snapshots.append((t, self.progress_all()))
+
+    def _advance(self, t: int) -> None:
+        dt = t - self.now_us
+        advanced: List[str] = []
+        for machine in self.machines:
+            if not machine.online or machine.sim is None:
+                continue
+            local = t - machine.built_at_us
+            try:
+                ran = machine.sim.run(until=local)
+            except SanitizerError as exc:
+                self.watchdog.violations.append(Violation(
+                    t, f"m{machine.index}:simsan", str(exc)
+                ))
+                self.aborted = True
+                self._log(t, f"abort | m{machine.index} sanitizer: {exc}")
+                return
+            machine.events += ran
+            advanced.append(f"m{machine.index}=+{ran}ev")
+        self.capacity_integral += sum(
+            m.capacity_mcpu for m in self.machines if m.online
+        ) * dt
+        self.now_us = t
+        rounds = ",".join(
+            f"{name}:{done}"
+            for name, done in sorted(self.progress_all().items())
+        )
+        self._log(t, f"epoch | {' '.join(advanced) or '-'} rounds={rounds}")
+
+    # --- journal ------------------------------------------------------------
+
+    def _log(self, t: int, text: str) -> None:
+        self._entries.append((t, self._seq, text))
+        self._seq += 1
+
+    def journal(self) -> List[str]:
+        spec = self.spec
+        head = (
+            f"fleet | scheme={spec.scheme} seed={spec.seed}"
+            f" machines={len(spec.machines)} spus={len(spec.spus)}"
+            f" horizon={spec.horizon_us}us faults={len(spec.faults)}"
+        )
+        lines = [head]
+        lines += [
+            f"t={t:>10} | {text}"
+            for t, _, text in sorted(self._entries)
+        ]
+        for violation in self.watchdog.violations:
+            lines.append(
+                f"t={violation.time_us:>10} | VIOLATION |"
+                f" {violation.name}: {violation.detail}"
+            )
+        lines.append(
+            f"end | events={sum(m.events for m in self.machines)}"
+            f" decisions={len(self.decisions)} shed={len(self.shed)}"
+            f" violations={len(self.watchdog.violations)}"
+            f" rounds={sum(self.progress_all().values())}"
+        )
+        return lines
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced."""
+
+    spec: FleetSpec
+    journal: List[str]
+    violations: List[Violation]
+    decisions: List[Decision]
+    shed: Dict[str, Decision]
+    progress: Dict[str, int]
+    snapshots: List[Tuple[int, Dict[str, int]]]
+    #: Final placement: name -> (machine index, fraction); absent when
+    #: shed.
+    placements: Dict[str, Tuple[int, Fraction]]
+    events: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def verdict(self) -> str:
+        return "ok" if self.ok else "violation"
+
+    def digest(self) -> str:
+        """Stable hash of the journal — the byte-identity handle."""
+        return hashlib.sha256(
+            "\n".join(self.journal).encode()
+        ).hexdigest()[:16]
+
+
+def build_fleet(spec: FleetSpec) -> FleetSimulation:
+    """Spec -> built fleet (machines booted, failover armed)."""
+    return FleetSimulation(spec)
+
+
+def run_fleet(spec: FleetSpec) -> FleetResult:
+    """Run one fleet to its horizon; a pure function of the spec."""
+    fleet = build_fleet(spec)
+    fleet.run()
+    placements = {}
+    for machine in fleet.machines:
+        for name, hosted in machine.hosted.items():
+            placements[name] = (machine.index, hosted.fraction)
+    return FleetResult(
+        spec=spec,
+        journal=fleet.journal(),
+        violations=list(fleet.watchdog.violations),
+        decisions=list(fleet.decisions),
+        shed=dict(fleet.shed),
+        progress=fleet.progress_all(),
+        snapshots=list(fleet.snapshots),
+        placements=placements,
+        events=sum(m.events for m in fleet.machines),
+    )
+
+
+def run_fleet_record(payload: Union[FleetSpec, Dict[str, Any]]) -> Dict[str, Any]:
+    """One fleet run as a plain record: the sweep/fuzz cell worker.
+
+    Accepts a :class:`FleetSpec` or its :meth:`~FleetSpec.to_dict`
+    form (what crosses process boundaries), and returns only
+    host-independent values — re-running the same payload anywhere
+    must produce identical bytes.
+    """
+    spec = payload if isinstance(payload, FleetSpec) else FleetSpec.from_dict(payload)
+    result = run_fleet(spec)
+    return {
+        "scheme": spec.scheme,
+        "seed": spec.seed,
+        "verdict": result.verdict,
+        "violations": sorted({v.name for v in result.violations}),
+        "decisions": [d.render() for d in result.decisions],
+        "shed": sorted(result.shed),
+        "progress": dict(sorted(result.progress.items())),
+        "events": result.events,
+        "digest": result.digest(),
+    }

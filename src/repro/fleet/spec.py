@@ -1,0 +1,275 @@
+"""Declarative fleet descriptions: machines, SPUs, SLOs, faults.
+
+A :class:`FleetSpec` is to the fleet what
+:class:`repro.api.SimulationSpec` is to one machine: a complete,
+picklable, pure description.  It composes per-machine shapes
+(:class:`FleetMachineSpec`, lowered onto ``SimulationSpec`` by the
+runner), a population of SPUs with explicit SLO contracts
+(:class:`FleetSpuSpec`: CPU demand, a minimum acceptable contract
+fraction, and a deterministic compute/checkpoint workload), a home
+placement, and a :class:`~repro.faults.fleet.FleetFaultPlan` of
+machine crashes, recoveries, and network partitions.
+
+Validation is load-time, mirroring the fuzz scenario spec: unknown
+schemes, duplicate SPU names, placements off the end of the machine
+list, initially-overcommitted machines, and fleet fault events naming
+machines the fleet does not have are all rejected with a message
+naming the field — never a mid-run ``IndexError``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.resources import MILLI_CPU
+from repro.faults.fleet import FleetFaultPlan
+from repro.faults.plan import FaultPlanError
+
+#: Fleet spec format tag for fuzz records and repro files.
+FLEET_FORMAT = "repro.fleet/1"
+
+#: Schemes the fleet accepts (the per-machine scheme registry's names).
+FLEET_SCHEMES = ("smp", "quo", "piso", "stride")
+
+
+class FleetSpecError(ValueError):
+    """Raised for ill-formed fleet specs, with the offending field named."""
+
+
+def _check_pos_int(name: str, value: Any, lo: int = 1) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise FleetSpecError(f"{name} must be an integer, got {value!r}")
+    if value < lo:
+        raise FleetSpecError(f"{name} must be >= {lo}, got {value}")
+    return value
+
+
+def _check_fraction(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FleetSpecError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value) or not 0.0 < value <= 1.0:
+        raise FleetSpecError(f"{name} must be in (0, 1], got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class FleetMachineSpec:
+    """One machine's hardware shape (the scheme is fleet-wide)."""
+
+    ncpus: int = 4
+    memory_mb: int = 16
+    ndisks: int = 1
+
+    def __post_init__(self) -> None:
+        _check_pos_int("machine ncpus", self.ncpus)
+        _check_pos_int("machine memory_mb", self.memory_mb)
+        _check_pos_int("machine ndisks", self.ndisks)
+
+    @property
+    def capacity_mcpu(self) -> int:
+        """The machine's CPU capacity in milli-CPUs."""
+        return self.ncpus * MILLI_CPU
+
+
+@dataclass(frozen=True)
+class FleetSpuSpec:
+    """One SPU: its SLO contract and its deterministic workload.
+
+    ``demand_cpus`` is the CPU share the SPU's contract asks for;
+    ``slo_min_fraction`` is the smallest fraction of that demand the
+    tenant will accept — the admission controller degrades an evacuated
+    SPU down to (but never below) it, and sheds instead of admitting
+    under it.  The workload is ``jobs`` independent single-threaded
+    processes, each running ``rounds`` rounds of ``compute_us`` of CPU
+    followed by a checkpoint; checkpoint counts are the unit of both
+    migration (completed rounds survive a crash, in-flight rounds are
+    lost) and progress accounting.
+    """
+
+    name: str
+    demand_cpus: float = 1.0
+    slo_min_fraction: float = 0.5
+    jobs: int = 1
+    rounds: int = 100
+    compute_us: int = 5000
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise FleetSpecError(f"SPU needs a non-empty name: {self!r}")
+        if isinstance(self.demand_cpus, bool) or not isinstance(
+            self.demand_cpus, (int, float)
+        ):
+            raise FleetSpecError(
+                f"SPU {self.name!r} demand_cpus must be a number,"
+                f" got {self.demand_cpus!r}"
+            )
+        if not math.isfinite(self.demand_cpus) or self.demand_cpus <= 0:
+            raise FleetSpecError(
+                f"SPU {self.name!r} demand_cpus must be > 0,"
+                f" got {self.demand_cpus!r}"
+            )
+        _check_fraction(f"SPU {self.name!r} slo_min_fraction",
+                        self.slo_min_fraction)
+        _check_pos_int(f"SPU {self.name!r} jobs", self.jobs)
+        _check_pos_int(f"SPU {self.name!r} rounds", self.rounds)
+        _check_pos_int(f"SPU {self.name!r} compute_us", self.compute_us)
+
+    @property
+    def demand_mcpu(self) -> int:
+        """Contractual CPU demand in integer milli-CPUs (determinism:
+        every admission computation is exact integer/rational math)."""
+        return max(1, round(self.demand_cpus * MILLI_CPU))
+
+    @property
+    def total_rounds(self) -> int:
+        return self.jobs * self.rounds
+
+
+@dataclass
+class FleetSpec:
+    """A complete, picklable description of one fleet run."""
+
+    machines: List[FleetMachineSpec]
+    spus: List[FleetSpuSpec]
+    #: Home machine index per SPU name.
+    placement: Dict[str, int]
+    scheme: str = "piso"
+    seed: int = 0
+    horizon_us: int = 1_000_000
+    faults: FleetFaultPlan = field(default_factory=FleetFaultPlan)
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise FleetSpecError("fleet needs at least one machine")
+        if not self.spus:
+            raise FleetSpecError("fleet needs at least one SPU")
+        names = [s.name for s in self.spus]
+        if len(set(names)) != len(names):
+            raise FleetSpecError(f"duplicate SPU names in {sorted(names)}")
+        if self.scheme not in FLEET_SCHEMES:
+            raise FleetSpecError(
+                f"unknown scheme {self.scheme!r};"
+                f" expected one of {FLEET_SCHEMES}"
+            )
+        _check_pos_int("seed", self.seed, lo=0)
+        _check_pos_int("horizon_us", self.horizon_us)
+        missing = set(names) - set(self.placement)
+        if missing:
+            raise FleetSpecError(
+                f"placement missing SPUs: {sorted(missing)}"
+            )
+        unknown = set(self.placement) - set(names)
+        if unknown:
+            raise FleetSpecError(
+                f"placement names unknown SPUs: {sorted(unknown)}"
+            )
+        for name, machine in self.placement.items():
+            if isinstance(machine, bool) or not isinstance(machine, int) \
+                    or not 0 <= machine < len(self.machines):
+                raise FleetSpecError(
+                    f"field 'placement' puts SPU {name!r} on machine"
+                    f" {machine!r}; fleet has {len(self.machines)}"
+                )
+        try:
+            self.faults.validate_against(len(self.machines))
+        except FaultPlanError as exc:
+            raise FleetSpecError(str(exc)) from None
+        # Initial placement must not overcommit any machine: admission
+        # control governs *migrations*; the spec itself has to start
+        # legal.
+        for index, machine in enumerate(self.machines):
+            demand = sum(
+                s.demand_mcpu for s in self.spus
+                if self.placement[s.name] == index
+            )
+            if demand > machine.capacity_mcpu:
+                raise FleetSpecError(
+                    f"machine {index} overcommitted at boot:"
+                    f" {demand} mCPU demanded, {machine.capacity_mcpu} available"
+                )
+
+    def spu(self, name: str) -> FleetSpuSpec:
+        for spec in self.spus:
+            if spec.name == name:
+                return spec
+        raise FleetSpecError(f"no SPU named {name!r}")
+
+    def hosted_on(self, machine: int) -> List[FleetSpuSpec]:
+        """The SPUs whose *home* is ``machine``, in spec order."""
+        return [s for s in self.spus if self.placement[s.name] == machine]
+
+    # --- JSON round-trip ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": FLEET_FORMAT,
+            "machines": [
+                {"ncpus": m.ncpus, "memory_mb": m.memory_mb,
+                 "ndisks": m.ndisks}
+                for m in self.machines
+            ],
+            "spus": [
+                {
+                    "name": s.name,
+                    "demand_cpus": s.demand_cpus,
+                    "slo_min_fraction": s.slo_min_fraction,
+                    "jobs": s.jobs,
+                    "rounds": s.rounds,
+                    "compute_us": s.compute_us,
+                }
+                for s in self.spus
+            ],
+            "placement": dict(sorted(self.placement.items())),
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "horizon_us": self.horizon_us,
+            "faults": self.faults.to_dicts(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "FleetSpec":
+        if not isinstance(record, dict):
+            raise FleetSpecError(f"fleet spec must be an object: {record!r}")
+        fmt = record.get("format", FLEET_FORMAT)
+        if fmt != FLEET_FORMAT:
+            raise FleetSpecError(
+                f"not a fleet spec (format={fmt!r}, expected {FLEET_FORMAT!r})"
+            )
+        missing = {
+            "machines", "spus", "placement", "scheme", "seed", "horizon_us",
+            "faults",
+        } - set(record)
+        if missing:
+            raise FleetSpecError(f"fleet spec missing fields: {sorted(missing)}")
+        try:
+            machines = [FleetMachineSpec(**m) for m in record["machines"]]
+            spus = [FleetSpuSpec(**s) for s in record["spus"]]
+        except TypeError as exc:
+            raise FleetSpecError(f"bad machine/SPU fields: {exc}") from None
+        try:
+            faults = FleetFaultPlan.from_dicts(record["faults"])
+        except FaultPlanError as exc:
+            raise FleetSpecError(f"bad fleet fault plan: {exc}") from None
+        return cls(
+            machines=machines,
+            spus=spus,
+            placement=dict(record["placement"]),
+            scheme=record["scheme"],
+            seed=record["seed"],
+            horizon_us=record["horizon_us"],
+            faults=faults,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetSpec":
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FleetSpecError(f"fleet spec is not valid JSON: {exc}") from None
+        return cls.from_dict(record)

@@ -11,6 +11,12 @@ JSONL corpus (:func:`run_campaign`), and shrinks every failure to a
 minimal replayable repro (:func:`shrink_scenario`), with the ddmin
 core (:func:`ddmin`) now generic enough that the chaos shrinker is a
 client of it too.
+
+The fleet dimension (:func:`generate_fleet_scenario`,
+:func:`run_fleet_fuzz_record`; ``--fleet`` on the CLI) draws whole
+multi-machine fleets — crash/recover/partition schedules, SPU
+failover, SLO admission — and judges them with the fleet watchdog,
+flowing through the same resumable corpus and sharding.
 """
 
 from repro.fuzz.campaign import (
@@ -22,6 +28,11 @@ from repro.fuzz.campaign import (
     run_campaign,
 )
 from repro.fuzz.ddmin import ddmin
+from repro.fuzz.fleet import (
+    fleet_fingerprint,
+    generate_fleet_scenario,
+    run_fleet_fuzz_record,
+)
 from repro.fuzz.generate import generate_scenario
 from repro.fuzz.runner import ScenarioResult, run_record, run_scenario
 from repro.fuzz.scenario import (
@@ -51,12 +62,15 @@ __all__ = [
     "WORKLOAD_KINDS",
     "WorkloadSpec",
     "ddmin",
+    "fleet_fingerprint",
+    "generate_fleet_scenario",
     "generate_scenario",
     "load_corpus",
     "load_repro",
     "repair_corpus",
     "replay",
     "run_campaign",
+    "run_fleet_fuzz_record",
     "run_record",
     "run_scenario",
     "shrink_scenario",

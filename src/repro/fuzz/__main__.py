@@ -9,7 +9,13 @@ Two modes:
   requested seed's verdict is not ``ok``; every violation is shrunk to
   a minimal ``fuzz-repro-<seed>.json``.
 * **replay** (``--repro FILE``): re-run one repro file's scenario and
-  exit 1 if the recorded violation still reproduces.
+  exit 1 if the recorded violation still reproduces.  Fleet repro
+  files (``fleet-repro-<seed>.json``, written by ``--fleet``
+  campaigns) replay through :func:`repro.fleet.run_fleet`.
+
+``--fleet`` switches the campaign's cell from single-machine
+scenarios to randomly drawn multi-machine fleets with whole-machine
+crash/recover/partition schedules, judged by the fleet watchdog.
 """
 
 from __future__ import annotations
@@ -72,6 +78,12 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         help="force the SIMSAN runtime sanitizer on for every cell",
     )
     parser.add_argument(
+        "--fleet", action="store_true",
+        help="fuzz multi-machine fleets (whole-machine crashes, SPU"
+        " failover, SLO admission) instead of single-machine scenarios;"
+        " failures are written as full-spec fleet-repro-<seed>.json",
+    )
+    parser.add_argument(
         "--differential", action="store_true",
         help="re-run ok worker cells in-process and flag any"
         " serial-vs-parallel record divergence",
@@ -92,6 +104,21 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
     args = parser.parse_args(argv)
 
     if args.repro is not None:
+        import json
+
+        with open(args.repro) as fh:
+            payload = json.load(fh)
+        if "fleet_spec" in payload:
+            from repro.fleet import FleetSpec, run_fleet
+
+            result = run_fleet(FleetSpec.from_dict(payload["fleet_spec"]))
+            print(f"replayed {args.repro}: {result.verdict}"
+                  f" ({sum(result.progress.values())} durable rounds,"
+                  f" {len(result.violations)} violations)")
+            for violation in result.violations:
+                print(f"  [t={violation.time_us}us]"
+                      f" {violation.name}: {violation.detail}")
+            return 1 if result.violations else 0
         result = replay(args.repro, simsan=True if args.simsan else None)
         print(f"replayed {args.repro}: {result.verdict}"
               f" ({result.checkpoints} checkpoints,"
@@ -114,6 +141,7 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         shrink=not args.no_shrink,
         shrink_budget=args.shrink_budget,
         budget_s=args.budget_s,
+        fleet=args.fleet,
     )
     report = run_campaign(config)
     for line in report.summary():

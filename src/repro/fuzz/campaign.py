@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.fuzz.generate import generate_scenario
 from repro.fuzz.runner import run_record, run_scenario
@@ -51,6 +52,16 @@ def _fuzz_cell(payload: Tuple[int, Optional[int], Optional[bool]]) -> Dict[str, 
     seed, horizon_us, simsan = payload
     scenario = generate_scenario(seed, horizon_us=horizon_us)
     return run_record(scenario, simsan=simsan)
+
+
+def _fleet_fuzz_cell(
+    payload: Tuple[int, Optional[int], Optional[bool]]
+) -> Dict[str, Any]:
+    """The fleet-dimension cell: same payload, fleet generator/runner."""
+    from repro.fuzz.fleet import run_fleet_fuzz_record
+
+    seed, horizon_us, simsan = payload
+    return run_fleet_fuzz_record(seed, horizon_us=horizon_us, simsan=simsan)
 
 
 # --- the corpus --------------------------------------------------------------
@@ -74,13 +85,24 @@ def repair_corpus(path: str) -> None:
         fh.truncate(keep)
 
 
-def load_corpus(path: str) -> List[Dict[str, Any]]:
-    """Read corpus records; tolerates a torn final line, rejects rot.
+def _warn_stderr(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def load_corpus(
+    path: str, warn: Callable[[str], None] = _warn_stderr
+) -> List[Dict[str, Any]]:
+    """Read corpus records; tolerates a torn final line *and* rot.
 
     A truncated *last* line is the normal signature of a killed
-    campaign and is silently dropped; a malformed line anywhere else
-    means the file was edited or corrupted and raises
-    :class:`CampaignError` naming the line.
+    campaign and is silently dropped.  A malformed line anywhere
+    *else* — invalid JSON, or a record missing ``seed``/``verdict`` —
+    means the file was edited or otherwise corrupted; that line is
+    **skipped with a warning** (via ``warn``, naming the line) rather
+    than aborting the whole campaign: every record is a pure function
+    of its seed, so the seed a corrupt line used to hold simply
+    re-runs on resume and the corpus heals to the bytes an
+    uninterrupted run would have written.
     """
     if not os.path.exists(path):
         return []
@@ -95,16 +117,19 @@ def load_corpus(path: str) -> List[Dict[str, Any]]:
         except json.JSONDecodeError:
             if lineno == len(lines):
                 break
-            raise CampaignError(
+            warn(
                 f"corpus {path} line {lineno} is not valid JSON;"
-                " was the file edited by hand?"
-            ) from None
+                " skipping it (its seed will re-run on resume)"
+            )
+            continue
         if not isinstance(record, dict) or "seed" not in record \
                 or "verdict" not in record:
-            raise CampaignError(
+            warn(
                 f"corpus {path} line {lineno} is not a fuzz record"
-                " (missing seed/verdict)"
+                " (missing seed/verdict); skipping it"
+                " (its seed will re-run on resume)"
             )
+            continue
         records.append(record)
     return records
 
@@ -137,6 +162,10 @@ class CampaignConfig:
     budget_s: Optional[float] = None
     #: Stop after this many shards (test hook for interrupt/resume).
     max_shards: Optional[int] = None
+    #: Fuzz multi-machine fleets (crash/failover/SLO admission) instead
+    #: of single-machine scenarios; failures get a ``fleet-repro`` file
+    #: (the full spec — fleet draws have no ddmin shrinker yet).
+    fleet: bool = False
 
 
 @dataclass
@@ -183,20 +212,67 @@ class CampaignReport:
 
 def _failure_record(seed: int, config: CampaignConfig, outcome) -> Dict[str, Any]:
     """Corpus record for a cell the executor could not complete."""
-    scenario = generate_scenario(seed, horizon_us=config.horizon_us)
-    return {
+    if config.fleet:
+        from repro.fuzz.fleet import fleet_fingerprint, generate_fleet_scenario
+
+        fingerprint = fleet_fingerprint(
+            generate_fleet_scenario(seed, horizon_us=config.horizon_us)
+        )
+    else:
+        fingerprint = generate_scenario(
+            seed, horizon_us=config.horizon_us
+        ).fingerprint()
+    record = {
         "seed": seed,
-        "fingerprint": scenario.fingerprint(),
+        "fingerprint": fingerprint,
         "verdict": outcome.status,
         "violations": [],
         "checkpoints": 0,
         "events": 0,
         "digest": "",
     }
+    if config.fleet:
+        record["fleet"] = True
+    return record
+
+
+def _write_fleet_repro_for(seed: int, config: CampaignConfig, path: str) -> bool:
+    """Persist one failing fleet seed as a full-spec repro file.
+
+    Fleet draws have no ddmin shrinker yet, so the repro is the whole
+    :class:`~repro.fleet.spec.FleetSpec` plus the violations the
+    in-process re-run observed — enough to replay with
+    ``run_fleet(FleetSpec.from_json(...))`` byte-for-byte.
+    """
+    from repro.fuzz.fleet import generate_fleet_scenario, run_fleet_fuzz_record
+
+    record = run_fleet_fuzz_record(
+        seed, horizon_us=config.horizon_us, simsan=config.simsan
+    )
+    if record["verdict"] == "ok":
+        # Worker-vs-parent skew only (differential verdict): nothing
+        # reproduces in-process, so there is nothing to replay.
+        return False
+    spec = generate_fleet_scenario(seed, horizon_us=config.horizon_us)
+    payload = {
+        "schema": "repro.fuzz.fleet-repro/1",
+        "seed": seed,
+        "fingerprint": record["fingerprint"],
+        "verdict": record["verdict"],
+        "violations": record["violations"],
+        "digest": record["digest"],
+        "fleet_spec": spec.to_dict(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return True
 
 
 def _write_repro_for(seed: int, config: CampaignConfig, path: str) -> bool:
     """Re-run, shrink, and persist one failing seed's repro file."""
+    if config.fleet:
+        return _write_fleet_repro_for(seed, config, path)
     scenario = generate_scenario(seed, horizon_us=config.horizon_us)
     result = run_scenario(scenario, simsan=config.simsan)
     if result.ok:
@@ -229,6 +305,7 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     verdicts = Counter(r["verdict"] for r in relevant)
     failures = [r["seed"] for r in relevant if r["verdict"] == "violation"]
 
+    cell_fn = _fleet_fuzz_cell if config.fleet else _fuzz_cell
     report = CampaignReport(
         corpus_path=config.corpus_path,
         resumed=len(relevant),
@@ -254,14 +331,14 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
                 break
             payloads = [(s, config.horizon_us, config.simsan) for s in shard]
             outcomes = run_sweep(
-                _fuzz_cell, payloads,
+                cell_fn, payloads,
                 max_workers=config.workers, timeout_s=config.timeout_s,
             )
             for seed, outcome in zip(shard, outcomes):
                 if outcome.ok:
                     record = outcome.value
                     if config.differential and outcome.worker >= 0:
-                        serial = _fuzz_cell(
+                        serial = cell_fn(
                             (seed, config.horizon_us, config.simsan)
                         )
                         if serial != record:
@@ -294,8 +371,9 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     repro_dir = config.repro_dir if config.repro_dir is not None \
         else (parent or ".")
     os.makedirs(repro_dir, exist_ok=True)
+    stem = "fleet-repro" if config.fleet else "fuzz-repro"
     for seed in failures:
-        path = os.path.join(repro_dir, f"fuzz-repro-{seed}.json")
+        path = os.path.join(repro_dir, f"{stem}-{seed}.json")
         if os.path.exists(path) or _write_repro_for(seed, config, path):
             report.repro_files.append(path)
     report.repro_files.sort()

@@ -17,6 +17,7 @@ The lifecycle of an experiment::
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from functools import partial
 from typing import Dict, List, Optional
@@ -289,6 +290,21 @@ class Kernel:
                 levels.set_allowed(max(self.memory.total_pages, levels.used))
         if self.memdaemon is not None:
             self.memdaemon.rebalance()
+
+    def set_contract(self, contract, rebalance: bool = True) -> None:
+        """Replace the machine's sharing contract mid-run.
+
+        The fleet failover path: when an evacuated SPU is admitted onto
+        this machine (possibly at a degraded fraction of its contract),
+        the machine's contract gains the newcomer's weight and every
+        hosted SPU's entitlement is renegotiated over the same
+        capacity.  ``rebalance=False`` defers the renegotiation for
+        callers that are about to add/remove SPUs anyway (those paths
+        rebalance themselves).
+        """
+        self.config = dataclasses.replace(self.config, contract=contract)
+        if rebalance and self._booted:
+            self.rebalance_spus()
 
     def set_swap_mount(self, spu: SPU, mount: int) -> None:
         """Route an SPU's paging I/O to a specific disk."""

@@ -29,6 +29,11 @@ the *results* exactly what the serial loop would have produced:
 * **Graceful fallback.**  ``max_workers=1`` (or a platform where
   process creation fails) runs every cell in-process, in order, with
   no multiprocessing machinery at all.
+* **Interrupt hygiene.**  A ``KeyboardInterrupt`` (or ``SystemExit``)
+  mid-sweep terminates every worker outright, closes every pipe, and
+  re-raises — a Ctrl-C'd sweep leaves no orphan processes behind.
+  Workers receiving the terminal's group-wide SIGINT while idle exit
+  quietly rather than printing tracebacks.
 
 Transport is one duplex :func:`multiprocessing.Pipe` per worker rather
 than shared queues, deliberately: a ``Queue`` flushes through a feeder
@@ -126,6 +131,12 @@ def _worker_main(worker_id: int, conn, tasks_per_worker: Optional[int]) -> None:
             item = conn.recv()
         except (EOFError, OSError):
             return
+        except KeyboardInterrupt:
+            # A terminal Ctrl-C delivers SIGINT to the whole foreground
+            # process group, workers included.  The parent owns the
+            # interrupt (it kills the pool); a worker parked on recv()
+            # just exits quietly instead of spraying tracebacks.
+            return
         if item is None:
             return
         index, fn, payload = item
@@ -180,6 +191,7 @@ class _Pool:
         self._tasks_per_worker = tasks_per_worker
         self._ctx = multiprocessing.get_context()
         self._next_ordinal = 0
+        self._dead = False
         self.workers: List[_Worker] = []
         for _ in range(n_workers):
             self.workers.append(self._spawn())
@@ -245,6 +257,10 @@ class _Pool:
         return None
 
     def shutdown(self) -> None:
+        """Drain gracefully: poison pills, then join, then close pipes."""
+        if self._dead:
+            return
+        self._dead = True
         for worker in self.workers:
             try:
                 worker.conn.send(None)
@@ -256,6 +272,31 @@ class _Pool:
                 worker.process.terminate()
                 worker.process.join(timeout=2)
             worker.conn.close()
+
+    def kill(self) -> None:
+        """Tear the pool down *now*: no poison pills, no graceful drain.
+
+        The interrupt path.  Terminate every worker (no matter what it
+        is running), join briefly, and close every pipe, so a Ctrl-C'd
+        sweep leaves no orphan processes or leaked file descriptors
+        behind.  Idempotent, and makes any later :meth:`shutdown` a
+        no-op.
+        """
+        if self._dead:
+            return
+        self._dead = True
+        for worker in self.workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in self.workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():  # pragma: no cover - stuck in D
+                worker.process.kill()
+                worker.process.join(timeout=2)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
 
 def _run_serial(
@@ -314,6 +355,12 @@ def run_sweep(
         return _run_serial(fn, payloads)
     try:
         return _run_pool(pool, payloads, timeout_s, retries)
+    except (KeyboardInterrupt, SystemExit):
+        # Ctrl-C (or a hard exit request) mid-sweep: kill the workers
+        # outright — they may be mid-cell and will never see a poison
+        # pill — close every pipe, and let the interrupt propagate.
+        pool.kill()
+        raise
     finally:
         pool.shutdown()
 

@@ -12,6 +12,7 @@ from repro.experiments import run_figure_5
 EXPECTED = {
     "pmake8", "fig5", "fig7", "table3", "table4",
     "network", "faults", "antagonists", "ablations",
+    "fleet_isolation",
 }
 
 

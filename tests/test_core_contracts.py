@@ -1,12 +1,16 @@
 """Unit and property tests for contracts and apportionment."""
 
+from fractions import Fraction
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core import (
     ContractError,
     EqualShareContract,
+    Resource,
     SPURegistry,
+    ScaledContract,
     WeightedContract,
     apportion,
 )
@@ -100,3 +104,141 @@ class TestContracts:
     def test_negative_default_rejected(self):
         with pytest.raises(ContractError):
             WeightedContract({}, default_weight=-1)
+
+
+class TestScaledContract:
+    @pytest.fixture
+    def registry(self):
+        return SPURegistry()
+
+    def test_base_must_be_a_contract(self):
+        with pytest.raises(ContractError, match="SharingContract"):
+            ScaledContract("not a contract")
+
+    def test_fraction_must_be_numeric_and_bounded(self):
+        base = EqualShareContract()
+        with pytest.raises(ContractError, match="numeric"):
+            ScaledContract(base, {"a": "half"})
+        with pytest.raises(ContractError, match=r"\[0, 1\]"):
+            ScaledContract(base, {"a": 2})
+        with pytest.raises(ContractError, match=r"\[0, 1\]"):
+            ScaledContract(base).scale("a", -1)
+
+    def test_unlisted_spus_keep_full_weight(self, registry):
+        spus = [registry.create(n) for n in "ab"]
+        contract = ScaledContract(EqualShareContract(), {"b": Fraction(1, 2)})
+        assert contract.fraction_of("a") == 1
+        shares = contract.entitlements(9, spus)
+        assert shares[spus[0].spu_id] == 6
+        assert shares[spus[1].spu_id] == 3
+
+    def test_scale_composes_multiplicatively(self):
+        contract = ScaledContract(EqualShareContract())
+        once = contract.scale("a", Fraction(1, 2))
+        twice = once.scale("a", Fraction(3, 4))
+        # The satellite claim: two renegotiations end at the *product*
+        # of the surviving-capacity fractions, not whichever came last.
+        assert twice.fraction_of("a") == Fraction(3, 8)
+        # ...and each step returned a new contract, leaving the
+        # intermediate states intact.
+        assert contract.fraction_of("a") == 1
+        assert once.fraction_of("a") == Fraction(1, 2)
+
+    def test_restore_returns_to_base_weight(self):
+        contract = ScaledContract(EqualShareContract(), {"a": Fraction(1, 3)})
+        assert contract.restore("a").fraction_of("a") == 1
+        assert contract.fraction_of("a") == Fraction(1, 3)
+
+    def test_weights_multiply_the_base(self, registry):
+        spus = [registry.create(n) for n in "ab"]
+        contract = ScaledContract(
+            WeightedContract({"a": 2.0, "b": 4.0}), {"b": Fraction(1, 2)}
+        )
+        assert contract.weights(spus) == [2.0, 2.0]
+
+
+class TestRepeatedRenegotiation:
+    """A contract renegotiated twice on a live kernel (satellite 4).
+
+    Mirrors the fleet failover path: an SPU admitted at a degraded
+    fraction, then degraded again by a second capacity loss, must end
+    at the product of the fractions — and the invariant watchdog must
+    accept every intermediate state, because the fleet runs its
+    per-machine watchdogs across exactly these renegotiations.
+    """
+
+    def _booted(self):
+        from repro.core import piso_scheme
+        from repro.disk.model import fast_disk
+        from repro.kernel import DiskSpec, Kernel, MachineConfig
+
+        kernel = Kernel(MachineConfig(
+            ncpus=2,
+            memory_mb=16,
+            disks=[DiskSpec(geometry=fast_disk())],
+            scheme=piso_scheme(),
+            contract=ScaledContract(WeightedContract({"a": 1.0, "b": 1.0})),
+            seed=0,
+        ))
+        spus = [kernel.create_spu(n) for n in "ab"]
+        kernel.boot()
+        return kernel, spus
+
+    def _entitled(self, kernel, spu):
+        return spu.levels[Resource.CPU].entitled
+
+    def test_two_renegotiations_compose_and_stay_invariant_clean(self):
+        from repro.faults import InvariantWatchdog
+        from repro.kernel import Compute
+        from repro.sim.units import msecs
+
+        kernel, (a, b) = self._booted()
+        watchdog = InvariantWatchdog(kernel)
+        total = self._entitled(kernel, a) + self._entitled(kernel, b)
+        for spu in (a, b):
+            kernel.spawn(iter([Compute(msecs(40))]), spu)
+
+        watchdog.check()
+        kernel.run(until=msecs(5))
+
+        # First capacity loss: b degraded to 1/2 of its contract.
+        contract = kernel.config.contract.scale("b", Fraction(1, 2))
+        kernel.set_contract(contract)
+        watchdog.check()
+        expected = contract.entitlements(
+            total, kernel.registry.active_user_spus()
+        )
+        assert self._entitled(kernel, b) == expected[b.spu_id]
+        assert self._entitled(kernel, a) + self._entitled(kernel, b) == total
+        kernel.run(until=msecs(10))
+
+        # Second loss: a further 3/4 — the fraction must be 3/8, the
+        # product, and the entitlement must match a contract built
+        # directly at 3/8.
+        contract = kernel.config.contract.scale("b", Fraction(3, 4))
+        kernel.set_contract(contract)
+        watchdog.check()
+        assert contract.fraction_of("b") == Fraction(3, 8)
+        direct = ScaledContract(
+            WeightedContract({"a": 1.0, "b": 1.0}), {"b": Fraction(3, 8)}
+        ).entitlements(total, kernel.registry.active_user_spus())
+        assert self._entitled(kernel, b) == direct[b.spu_id]
+        assert self._entitled(kernel, a) + self._entitled(kernel, b) == total
+        kernel.run(until=msecs(20))
+        watchdog.check()
+
+        assert kernel.renegotiations >= 2
+        assert watchdog.violations == []
+
+    def test_restore_after_degradation_renegotiates_back(self):
+        from repro.faults import InvariantWatchdog
+
+        kernel, (a, b) = self._booted()
+        watchdog = InvariantWatchdog(kernel)
+        before = self._entitled(kernel, b)
+        kernel.set_contract(kernel.config.contract.scale("b", Fraction(1, 2)))
+        assert self._entitled(kernel, b) < before
+        kernel.set_contract(kernel.config.contract.restore("b"))
+        watchdog.check()
+        assert self._entitled(kernel, b) == before
+        assert watchdog.violations == []

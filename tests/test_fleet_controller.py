@@ -1,0 +1,162 @@
+"""The SLO admission controller: admit / degrade / shed, deterministically."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.fleet import (
+    ADMIT,
+    DEGRADE,
+    SHED,
+    AdmissionController,
+    FleetSpuSpec,
+    JobCheckpoint,
+    MachineCapacity,
+    SpuCheckpoint,
+)
+from repro.fleet.checkpoint import fresh_jobs
+
+
+def ckpt(name, demand=1.0, floor=0.5, fraction=Fraction(1)):
+    spec = FleetSpuSpec(
+        name=name, demand_cpus=demand, slo_min_fraction=floor,
+        jobs=1, rounds=10,
+    )
+    return SpuCheckpoint(
+        spec=spec, fraction=fraction, cpu_time_us=0, jobs=fresh_jobs(spec),
+    )
+
+
+def machine(index, capacity_mcpu, committed=0):
+    return MachineCapacity(
+        index=index,
+        capacity_mcpu=capacity_mcpu,
+        committed_mcpu=Fraction(committed),
+    )
+
+
+def place(evacuees, machines, now=100):
+    return AdmissionController().place(now, evacuees, machines)
+
+
+class TestDecisions:
+    def test_full_fit_is_admitted(self):
+        [(_, decision)] = place([ckpt("svc", demand=1.0)],
+                                [machine(0, 4000, committed=2000)])
+        assert decision.action == ADMIT
+        assert decision.machine == 0
+        assert decision.fraction == 1
+
+    def test_partial_fit_above_floor_is_degraded(self):
+        # 1000 mCPU free against 1500 demanded: offered 2/3 >= 0.5.
+        [(_, decision)] = place([ckpt("svc", demand=1.5, floor=0.5)],
+                                [machine(0, 4000, committed=3000)])
+        assert decision.action == DEGRADE
+        assert decision.fraction == Fraction(2, 3)
+
+    def test_below_floor_is_shed(self):
+        [(_, decision)] = place([ckpt("scratch", demand=1.5, floor=0.9)],
+                                [machine(0, 4000, committed=3000)])
+        assert decision.action == SHED
+        assert decision.machine is None
+        assert decision.fraction == 0
+        assert "below" in decision.reason and "SLO floor" in decision.reason
+
+    def test_no_capacity_anywhere_is_shed(self):
+        [(_, decision)] = place([ckpt("svc")],
+                                [machine(0, 2000, committed=2000)])
+        assert decision.action == SHED
+        assert "uncommitted capacity" in decision.reason
+
+    def test_no_reachable_machine_is_shed(self):
+        target = machine(0, 4000)
+        target.reachable = False
+        [(_, decision)] = place([ckpt("svc")], [target])
+        assert decision.action == SHED
+        assert "no reachable machine" in decision.reason
+
+    def test_incoming_degradation_caps_the_offer(self):
+        # An SPU already at 1/2 can be admitted "in full" at 1/2: the
+        # offer is min(incoming, free/demand).
+        [(_, decision)] = place(
+            [ckpt("svc", demand=1.0, fraction=Fraction(1, 2))],
+            [machine(0, 4000, committed=1000)],
+        )
+        assert decision.action == ADMIT
+        assert decision.fraction == Fraction(1, 2)
+
+
+class TestOrdering:
+    def test_largest_demand_places_first(self):
+        # One slot of 2000 free: the 2-CPU SPU takes it in full, the
+        # 1-CPU one gets what's left.
+        results = place(
+            [ckpt("small", demand=1.0, floor=0.25),
+             ckpt("big", demand=2.0, floor=0.25)],
+            [machine(0, 4000, committed=1500)],
+        )
+        by_name = {c.name: d for c, d in results}
+        assert by_name["big"].action == ADMIT
+        assert by_name["small"].action == DEGRADE
+        assert by_name["small"].fraction == Fraction(1, 2)
+        # ...and the output order is the placement order: big first.
+        assert [c.name for c, _ in results] == ["big", "small"]
+
+    def test_demand_ties_break_by_name(self):
+        results = place(
+            [ckpt("zeta"), ckpt("alpha")],
+            [machine(0, 4000)],
+        )
+        assert [c.name for c, _ in results] == ["alpha", "zeta"]
+
+    def test_best_fraction_wins_then_lowest_index(self):
+        # Machine 1 offers the full contract, machine 0 only half.
+        [(_, decision)] = place(
+            [ckpt("svc", demand=2.0)],
+            [machine(0, 4000, committed=3000), machine(1, 4000, committed=0)],
+        )
+        assert decision.machine == 1
+        # Equal offers: lowest index.
+        [(_, tie)] = place(
+            [ckpt("svc", demand=2.0)],
+            [machine(0, 4000), machine(1, 4000)],
+        )
+        assert tie.machine == 0
+
+    def test_commitment_mutates_between_decisions(self):
+        # Two 3-CPU SPUs into one 4-CPU machine: the first admission
+        # consumes the capacity the second wanted.
+        results = place(
+            [ckpt("a", demand=3.0, floor=0.9), ckpt("b", demand=3.0, floor=0.9)],
+            [machine(0, 4000)],
+        )
+        actions = {c.name: d.action for c, d in results}
+        assert actions == {"a": ADMIT, "b": SHED}
+
+    def test_same_inputs_same_decisions(self):
+        def run():
+            return [
+                (c.name, d.action, d.machine, d.fraction)
+                for c, d in place(
+                    [ckpt("a", demand=1.5), ckpt("b", demand=1.5),
+                     ckpt("c", demand=0.5, floor=0.25)],
+                    [machine(0, 2000), machine(1, 2000, committed=1000)],
+                )
+            ]
+        assert run() == run()
+
+
+class TestCheckpointValues:
+    def test_fraction_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError, match="outside"):
+            ckpt("svc", fraction=Fraction(3, 2))
+
+    def test_job_rounds_bounded(self):
+        with pytest.raises(ValueError, match="rounds done"):
+            JobCheckpoint(name="j", rounds_total=5, rounds_done=6)
+
+    def test_decision_render_names_everything(self):
+        [(_, decision)] = place([ckpt("svc", demand=1.5, floor=0.5)],
+                                [machine(0, 4000, committed=3000)])
+        text = decision.render()
+        assert "svc" in text and "degrade" in text and "machine 0" in text

@@ -1,0 +1,82 @@
+"""The fleet_isolation experiment: PIso isolates through a crash, SMP not."""
+
+import pytest
+
+from repro.experiments import (
+    ATTAINMENT_BOUND,
+    fleet_isolation_spec,
+    run_fleet_scheme,
+    window_attainments,
+)
+
+
+@pytest.fixture(scope="module")
+def piso():
+    return run_fleet_scheme("piso", seed=0)
+
+
+@pytest.fixture(scope="module")
+def smp():
+    return run_fleet_scheme("smp", seed=0)
+
+
+class TestSpec:
+    def test_machine_3_is_committed_to_capacity(self):
+        spec = fleet_isolation_spec("piso")
+        demand = sum(s.demand_mcpu for s in spec.hosted_on(3))
+        assert demand == spec.machines[3].capacity_mcpu
+
+    def test_crash_takes_machine_3(self):
+        spec = fleet_isolation_spec("piso")
+        [crash] = list(spec.faults)
+        assert crash.machine == 3
+
+
+class TestFailoverDecisions:
+    def test_deterministic_admit_degrade_shed(self, piso):
+        actions = {d.spu: d.action for d in piso.decisions}
+        assert actions == {
+            "scratch-3": "shed", "svc-3": "degrade", "batch-3": "admit",
+        }
+        assert set(piso.shed) == {"scratch-3"}
+
+    def test_no_watchdog_violations(self, piso, smp):
+        assert piso.ok
+        assert smp.ok
+
+
+class TestIsolationClaim:
+    def test_piso_holds_every_survivor_within_the_bound(self, piso):
+        attainments = window_attainments(piso)
+        assert attainments  # survivors exist
+        assert "scratch-3" not in attainments  # shed SPUs are excluded
+        worst = min(attainments.values())
+        assert worst >= ATTAINMENT_BOUND, attainments
+
+    def test_smp_breaks_the_bound(self, smp):
+        attainments = window_attainments(smp)
+        assert min(attainments.values()) < ATTAINMENT_BOUND, attainments
+
+    def test_the_broken_spu_is_a_service_beside_a_batch(self, smp):
+        # The mechanism: SMP time-shares per *process*, so a 2-job
+        # service beside a 4-job batch SPU gets 1/3 of the machine
+        # instead of its contracted half.
+        attainments = window_attainments(smp)
+        worst = min(attainments, key=attainments.get)
+        assert worst.startswith("svc-")
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self, piso):
+        assert run_fleet_scheme("piso", seed=0).digest() == piso.digest()
+
+    def test_registered_experiment_runs(self):
+        from repro.api import ExperimentSpec, get, run_experiment
+
+        result = run_experiment(ExperimentSpec(name="fleet_isolation", seed=0))
+        rows = result.data
+        assert set(rows) == {"SMP", "Quo", "PIso", "Stride"}
+        assert rows["PIso"].isolated and not rows["SMP"].isolated
+        # The renderer produces the paper-style table.
+        report = get("fleet_isolation").report(result.data)
+        assert "Fleet isolation" in report and "PIso" in report

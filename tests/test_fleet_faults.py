@@ -1,0 +1,165 @@
+"""Fleet-level fault events: validation, lifecycle, JSON round-trips."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlanError,
+    FleetFaultPlan,
+    MachineCrash,
+    MachineRecover,
+    NetworkPartition,
+)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError, match="before boot"):
+            FleetFaultPlan([MachineCrash(at_us=-1, machine=0)])
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(FaultPlanError, match="finite"):
+            FleetFaultPlan([MachineCrash(at_us=float("nan"), machine=0)])
+
+    def test_machine_index_must_be_int(self):
+        with pytest.raises(FaultPlanError, match="integer"):
+            FleetFaultPlan([MachineCrash(at_us=10, machine="zero")])
+        with pytest.raises(FaultPlanError, match="integer"):
+            FleetFaultPlan([MachineCrash(at_us=10, machine=True)])
+
+    def test_negative_machine_rejected(self):
+        with pytest.raises(FaultPlanError, match=">= 0"):
+            FleetFaultPlan([MachineRecover(at_us=10, machine=-1)])
+
+    def test_partition_needs_machines(self):
+        with pytest.raises(FaultPlanError, match="at least one"):
+            FleetFaultPlan([
+                NetworkPartition(at_us=10, machines=(), duration_us=5)
+            ])
+
+    def test_partition_duplicate_machine_rejected(self):
+        with pytest.raises(FaultPlanError, match="twice"):
+            FleetFaultPlan([
+                NetworkPartition(at_us=10, machines=(1, 1), duration_us=5)
+            ])
+
+    def test_partition_needs_positive_duration(self):
+        with pytest.raises(FaultPlanError, match=">= 1us"):
+            FleetFaultPlan([
+                NetworkPartition(at_us=10, machines=(0,), duration_us=0)
+            ])
+
+    def test_non_event_rejected(self):
+        with pytest.raises(FaultPlanError, match="not a fleet fault"):
+            FleetFaultPlan(["crash machine 0 please"])
+
+
+class TestLifecycle:
+    def test_crash_recover_crash_is_legal(self):
+        plan = FleetFaultPlan([
+            MachineCrash(at_us=10, machine=0),
+            MachineRecover(at_us=20, machine=0),
+            MachineCrash(at_us=30, machine=0),
+        ])
+        assert len(plan) == 3
+
+    def test_double_crash_without_recover_rejected(self):
+        with pytest.raises(FaultPlanError, match="crashes twice"):
+            FleetFaultPlan([
+                MachineCrash(at_us=10, machine=0),
+                MachineCrash(at_us=30, machine=0),
+            ])
+
+    def test_recover_of_live_machine_rejected(self):
+        with pytest.raises(FaultPlanError, match="never crashed"):
+            FleetFaultPlan([MachineRecover(at_us=10, machine=2)])
+
+    def test_add_keeps_plan_ordered_and_checked(self):
+        plan = FleetFaultPlan([MachineCrash(at_us=30, machine=1)])
+        plan.add(MachineCrash(at_us=10, machine=0))
+        assert [e.at_us for e in plan] == [10, 30]
+        with pytest.raises(FaultPlanError, match="crashes twice"):
+            plan.add(MachineCrash(at_us=50, machine=0))
+
+    def test_events_sort_by_time(self):
+        plan = FleetFaultPlan([
+            NetworkPartition(at_us=30, machines=(0,), duration_us=5),
+            MachineCrash(at_us=10, machine=1),
+        ])
+        assert [type(e).__name__ for e in plan] == [
+            "MachineCrash", "NetworkPartition",
+        ]
+
+
+class TestValidateAgainst:
+    def test_crash_index_out_of_range_names_field_and_event(self):
+        plan = FleetFaultPlan([MachineCrash(at_us=10, machine=7)])
+        with pytest.raises(FaultPlanError, match="field 'machine'") as exc:
+            plan.validate_against(4)
+        assert "machine 7" in str(exc.value)
+        assert "fleet has 4" in str(exc.value)
+        assert "MachineCrash" in str(exc.value)
+
+    def test_partition_index_out_of_range(self):
+        plan = FleetFaultPlan([
+            NetworkPartition(at_us=10, machines=(0, 5), duration_us=100)
+        ])
+        with pytest.raises(FaultPlanError, match="field 'machines'"):
+            plan.validate_against(2)
+
+    def test_in_range_plan_passes(self):
+        plan = FleetFaultPlan([
+            MachineCrash(at_us=10, machine=1),
+            MachineRecover(at_us=20, machine=1),
+            NetworkPartition(at_us=15, machines=(0, 1), duration_us=10),
+        ])
+        plan.validate_against(2)  # must not raise
+
+
+class TestRoundTrip:
+    PLAN = FleetFaultPlan([
+        MachineCrash(at_us=100, machine=1),
+        MachineRecover(at_us=250, machine=1),
+        NetworkPartition(at_us=50, machines=(0, 2), duration_us=75),
+    ])
+
+    def test_dict_round_trip_is_identity(self):
+        assert FleetFaultPlan.from_dicts(self.PLAN.to_dicts()) == self.PLAN
+
+    def test_json_round_trip_is_identity(self):
+        assert FleetFaultPlan.from_json(self.PLAN.to_json()) == self.PLAN
+
+    def test_kinds_are_stable_wire_names(self):
+        kinds = [r["kind"] for r in self.PLAN.to_dicts()]
+        assert kinds == [
+            "network_partition", "machine_crash", "machine_recover",
+        ]
+
+    def test_partition_machines_survive_as_tuple(self):
+        back = FleetFaultPlan.from_dicts(self.PLAN.to_dicts())
+        partition = next(
+            e for e in back if isinstance(e, NetworkPartition)
+        )
+        assert partition.machines == (0, 2)
+        assert isinstance(partition.machines, tuple)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fleet fault kind"):
+            FleetFaultPlan.from_dicts([{"kind": "meteor_strike", "at_us": 1}])
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="needs a 'kind'"):
+            FleetFaultPlan.from_dicts([{"at_us": 1, "machine": 0}])
+
+    def test_bad_fields_rejected(self):
+        with pytest.raises(FaultPlanError, match="bad fields"):
+            FleetFaultPlan.from_dicts([
+                {"kind": "machine_crash", "at_us": 1, "disk": 0}
+            ])
+
+    def test_round_trip_revalidates(self):
+        records = [
+            {"kind": "machine_crash", "at_us": 10, "machine": 0},
+            {"kind": "machine_crash", "at_us": 20, "machine": 0},
+        ]
+        with pytest.raises(FaultPlanError, match="crashes twice"):
+            FleetFaultPlan.from_dicts(records)

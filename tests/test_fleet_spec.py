@@ -1,0 +1,160 @@
+"""FleetSpec: load-time validation and the JSON round-trip."""
+
+import pytest
+
+from repro.faults.fleet import FleetFaultPlan, MachineCrash
+from repro.fleet import (
+    FleetMachineSpec,
+    FleetSpec,
+    FleetSpecError,
+    FleetSpuSpec,
+)
+
+
+def fleet(**overrides):
+    fields = dict(
+        machines=[FleetMachineSpec(ncpus=4), FleetMachineSpec(ncpus=2)],
+        spus=[
+            FleetSpuSpec(name="svc", demand_cpus=1.5, slo_min_fraction=0.5),
+            FleetSpuSpec(name="batch", demand_cpus=1.0),
+        ],
+        placement={"svc": 0, "batch": 1},
+        scheme="piso",
+        seed=3,
+        horizon_us=200_000,
+        faults=FleetFaultPlan([MachineCrash(at_us=50_000, machine=1)]),
+    )
+    fields.update(overrides)
+    return FleetSpec(**fields)
+
+
+class TestMachineSpec:
+    def test_capacity_in_milli_cpus(self):
+        assert FleetMachineSpec(ncpus=4).capacity_mcpu == 4000
+
+    def test_rejects_non_positive_shape(self):
+        with pytest.raises(FleetSpecError, match="ncpus"):
+            FleetMachineSpec(ncpus=0)
+        with pytest.raises(FleetSpecError, match="memory_mb"):
+            FleetMachineSpec(memory_mb=-1)
+
+
+class TestSpuSpec:
+    def test_demand_mcpu_is_integer(self):
+        assert FleetSpuSpec(name="a", demand_cpus=1.5).demand_mcpu == 1500
+        assert FleetSpuSpec(name="a", demand_cpus=0.0004).demand_mcpu == 1
+
+    def test_total_rounds(self):
+        spu = FleetSpuSpec(name="a", jobs=3, rounds=7)
+        assert spu.total_rounds == 21
+
+    def test_rejects_bad_demand(self):
+        with pytest.raises(FleetSpecError, match="demand_cpus"):
+            FleetSpuSpec(name="a", demand_cpus=0)
+        with pytest.raises(FleetSpecError, match="demand_cpus"):
+            FleetSpuSpec(name="a", demand_cpus=float("inf"))
+
+    def test_rejects_bad_slo_floor(self):
+        with pytest.raises(FleetSpecError, match="slo_min_fraction"):
+            FleetSpuSpec(name="a", slo_min_fraction=0.0)
+        with pytest.raises(FleetSpecError, match="slo_min_fraction"):
+            FleetSpuSpec(name="a", slo_min_fraction=1.5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(FleetSpecError, match="name"):
+            FleetSpuSpec(name="")
+
+
+class TestFleetValidation:
+    def test_well_formed_spec_builds(self):
+        spec = fleet()
+        assert spec.spu("svc").demand_cpus == 1.5
+        assert [s.name for s in spec.hosted_on(0)] == ["svc"]
+
+    def test_needs_machines_and_spus(self):
+        with pytest.raises(FleetSpecError, match="at least one machine"):
+            fleet(machines=[])
+        with pytest.raises(FleetSpecError, match="at least one SPU"):
+            fleet(spus=[], placement={})
+
+    def test_duplicate_spu_names_rejected(self):
+        with pytest.raises(FleetSpecError, match="duplicate"):
+            fleet(
+                spus=[FleetSpuSpec(name="a"), FleetSpuSpec(name="a")],
+                placement={"a": 0},
+            )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(FleetSpecError, match="unknown scheme"):
+            fleet(scheme="lottery")
+
+    def test_placement_must_cover_every_spu(self):
+        with pytest.raises(FleetSpecError, match="placement missing"):
+            fleet(placement={"svc": 0})
+        with pytest.raises(FleetSpecError, match="unknown SPUs"):
+            fleet(placement={"svc": 0, "batch": 1, "ghost": 0})
+
+    def test_placement_index_out_of_range_names_field(self):
+        with pytest.raises(FleetSpecError, match="field 'placement'") as exc:
+            fleet(placement={"svc": 0, "batch": 9})
+        assert "'batch'" in str(exc.value)
+        assert "fleet has 2" in str(exc.value)
+
+    def test_fault_event_out_of_range_rejected_at_spec_level(self):
+        with pytest.raises(FleetSpecError, match="field 'machine'"):
+            fleet(faults=FleetFaultPlan([
+                MachineCrash(at_us=10, machine=5)
+            ]))
+
+    def test_boot_overcommit_rejected(self):
+        # Machine 1 has 2 CPUs; 2.5 CPUs of demand cannot boot there.
+        with pytest.raises(FleetSpecError, match="overcommitted at boot"):
+            fleet(
+                spus=[
+                    FleetSpuSpec(name="svc", demand_cpus=1.5),
+                    FleetSpuSpec(name="batch", demand_cpus=2.5),
+                ],
+            )
+
+    def test_unknown_spu_lookup_raises(self):
+        with pytest.raises(FleetSpecError, match="ghost"):
+            fleet().spu("ghost")
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        spec = fleet()
+        back = FleetSpec.from_json(spec.to_json())
+        assert back.machines == spec.machines
+        assert back.spus == spec.spus
+        assert back.placement == spec.placement
+        assert back.scheme == spec.scheme
+        assert back.seed == spec.seed
+        assert back.horizon_us == spec.horizon_us
+        assert back.faults == spec.faults
+
+    def test_round_trip_is_canonical(self):
+        spec = fleet()
+        assert FleetSpec.from_json(spec.to_json()).to_json() == spec.to_json()
+
+    def test_format_tag_is_checked(self):
+        record = fleet().to_dict()
+        record["format"] = "repro.scenario/1"
+        with pytest.raises(FleetSpecError, match="not a fleet spec"):
+            FleetSpec.from_dict(record)
+
+    def test_missing_fields_rejected(self):
+        record = fleet().to_dict()
+        del record["placement"]
+        with pytest.raises(FleetSpecError, match="missing fields"):
+            FleetSpec.from_dict(record)
+
+    def test_from_dict_revalidates(self):
+        record = fleet().to_dict()
+        record["placement"]["batch"] = 17
+        with pytest.raises(FleetSpecError, match="field 'placement'"):
+            FleetSpec.from_dict(record)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FleetSpecError, match="not valid JSON"):
+            FleetSpec.from_json("{nope")

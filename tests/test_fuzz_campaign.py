@@ -43,20 +43,54 @@ class TestCorpus:
         with open(path) as fh:
             assert fh.read() == '{"seed": 1, "verdict": "ok"}\n'
 
-    def test_interior_corruption_is_rejected(self, tmp_path):
+    def test_interior_corruption_is_skipped_with_warning(self, tmp_path):
         path = str(tmp_path / "corpus.jsonl")
         with open(path, "w") as fh:
             fh.write("not json\n")
             fh.write('{"seed": 1, "verdict": "ok"}\n')
-        with pytest.raises(CampaignError, match="line 1"):
-            load_corpus(path)
+        warnings = []
+        records = load_corpus(path, warn=warnings.append)
+        assert [r["seed"] for r in records] == [1]
+        assert len(warnings) == 1
+        assert "line 1" in warnings[0]
+        assert "re-run on resume" in warnings[0]
 
-    def test_records_must_carry_seed_and_verdict(self, tmp_path):
+    def test_records_missing_seed_or_verdict_are_skipped(self, tmp_path):
         path = str(tmp_path / "corpus.jsonl")
         with open(path, "w") as fh:
             fh.write('{"other": 1}\n')
-        with pytest.raises(CampaignError, match="seed/verdict"):
-            load_corpus(path)
+            fh.write('{"seed": 2, "verdict": "ok"}\n')
+        warnings = []
+        records = load_corpus(path, warn=warnings.append)
+        assert [r["seed"] for r in records] == [2]
+        assert len(warnings) == 1
+        assert "seed/verdict" in warnings[0]
+
+    def test_corrupt_interior_line_reruns_its_seed_on_resume(self, tmp_path):
+        # A campaign whose corpus rots in the middle must resume —
+        # skipping the rotten line, re-running the seed it used to
+        # hold — rather than abort.
+        seeds = list(range(6))
+        cfg = config(tmp_path, seeds)
+        run_campaign(cfg)
+        with open(cfg.corpus_path) as fh:
+            lines = fh.readlines()
+        pristine = list(lines)
+        lines[2] = "@@@ bit rot @@@\n"  # hand-corrupt an interior record
+        with open(cfg.corpus_path, "w") as fh:
+            fh.writelines(lines)
+
+        report = run_campaign(cfg)
+        assert report.ok
+        assert report.ran == 1  # exactly the seed the rotten line held
+        assert report.resumed == 5
+        records = load_corpus(cfg.corpus_path)
+        assert sorted(r["seed"] for r in records) == seeds
+        # The re-run record is byte-identical to the pre-rot one; only
+        # its position moved (appended after the survivors).
+        with open(cfg.corpus_path) as fh:
+            healed = fh.readlines()
+        assert healed[-1] == pristine[2]
 
 
 class TestCampaign:

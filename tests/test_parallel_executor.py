@@ -176,3 +176,110 @@ def test_worker_recycling_spawns_fresh_processes():
 def test_values_passthrough_on_success():
     outcomes = [RunOutcome(index=0, status="ok", value="a")]
     assert values(outcomes) == ["a"]
+
+
+# --- interrupt hygiene -------------------------------------------------------
+
+
+def _interrupt(x):
+    raise KeyboardInterrupt
+
+
+def test_inprocess_interrupt_propagates():
+    # workers<=1 runs cells in-process: a Ctrl-C during a cell must
+    # reach the caller, not be swallowed into an "error" outcome.
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(_interrupt, range(3), max_workers=1)
+
+
+def test_pool_kill_reaps_workers_and_closes_pipes():
+    from repro.parallel.executor import _Pool
+
+    pool = _Pool(_square, n_workers=2, tasks_per_worker=None)
+    processes = [w.process for w in pool.workers]
+    assert all(p.is_alive() for p in processes)
+    pool.kill()
+    assert all(not p.is_alive() for p in processes)
+    for worker in pool.workers:
+        assert worker.conn.closed
+    # Idempotent, and shutdown() after kill() is a no-op (the pipes
+    # are gone; a graceful drain would explode).
+    pool.kill()
+    pool.shutdown()
+
+
+def test_interrupt_mid_sweep_kills_the_pool(monkeypatch):
+    # Inject a KeyboardInterrupt into the parent's poll loop and check
+    # the sweep re-raises it with every worker dead and pipes closed.
+    import repro.parallel.executor as executor
+
+    captured = {}
+    real_pool = executor._Pool
+
+    class _Spy(real_pool):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            captured["pool"] = self
+
+        def poll(self):
+            raise KeyboardInterrupt
+
+    monkeypatch.setattr(executor, "_Pool", _Spy)
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(_sleep_on_one, [1, 1, 1, 1], max_workers=2)
+    pool = captured["pool"]
+    assert all(not w.process.is_alive() for w in pool.workers)
+    assert all(w.conn.closed for w in pool.workers)
+
+
+@pytest.mark.skipif(os.name != "posix", reason="needs POSIX signals")
+def test_sigint_mid_sweep_leaves_no_orphans(tmp_path):
+    # The real thing: a separate interpreter runs a sweep of slow
+    # cells, takes a SIGINT, and must exit promptly via
+    # KeyboardInterrupt with no worker processes left behind.
+    import signal
+    import subprocess
+    import sys
+    import textwrap
+
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    script = tmp_path / "sweeper.py"
+    script.write_text(textwrap.dedent("""
+        import multiprocessing
+        import sys
+        import time
+
+        from repro.parallel import run_sweep
+
+        def slow(x):
+            time.sleep(60)
+            return x
+
+        if __name__ == "__main__":
+            print("ready", flush=True)
+            try:
+                run_sweep(slow, [1, 2, 3, 4], max_workers=2)
+            except KeyboardInterrupt:
+                leftover = [p for p in multiprocessing.active_children()
+                            if p.is_alive()]
+                print(f"leftover={len(leftover)}", flush=True)
+                sys.exit(42)
+            sys.exit(0)
+    """))
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    proc = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env=env, text=True,
+    )
+    try:
+        assert proc.stdout.readline().strip() == "ready"
+        time.sleep(1.0)  # let the pool spawn and cells start
+        os.kill(proc.pid, signal.SIGINT)
+        stdout, _stderr = proc.communicate(timeout=15)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - hung sweep
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 42
+    assert "leftover=0" in stdout
