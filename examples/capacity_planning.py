@@ -11,10 +11,18 @@ entitlement covers its load.
 Run with:  python examples/capacity_planning.py
 """
 
-from repro import DiskSpec, Kernel, MachineConfig, piso_scheme
-from repro.disk.model import fast_disk
-from repro.metrics import format_table, machine_report
-from repro.workloads import PmakeParams, create_pmake_files, pmake_job
+from repro.api import (
+    DiskSpec,
+    Kernel,
+    MachineConfig,
+    PmakeParams,
+    create_pmake_files,
+    fast_disk,
+    format_table,
+    machine_report,
+    piso_scheme,
+    pmake_job,
+)
 
 JOB = PmakeParams(n_tasks=6, parallelism=2, compile_ms=400.0, ws_pages=96)
 

@@ -13,17 +13,19 @@ projects on an eight-way server, and shows that
 Run with:  python examples/department_server.py
 """
 
-from repro import (
+from repro.api import (
     Compute,
     DiskSpec,
     Kernel,
     MachineConfig,
     Sleep,
     WeightedContract,
+    fast_disk,
+    msecs,
     piso_scheme,
+    secs,
+    to_seconds,
 )
-from repro.disk.model import fast_disk
-from repro.sim.units import msecs, secs, to_seconds
 
 
 def worker(busy_ms):

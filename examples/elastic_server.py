@@ -17,10 +17,18 @@ share over time so the re-divisions are visible in the output.
 Run with:  python examples/elastic_server.py
 """
 
-from repro import Compute, DiskSpec, Kernel, MachineConfig, piso_scheme
-from repro.disk.model import fast_disk
-from repro.metrics import UtilizationSampler, format_table
-from repro.sim.units import msecs, secs
+from repro.api import (
+    Compute,
+    DiskSpec,
+    Kernel,
+    MachineConfig,
+    UtilizationSampler,
+    fast_disk,
+    format_table,
+    msecs,
+    piso_scheme,
+    secs,
+)
 
 
 def batch(ms):

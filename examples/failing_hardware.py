@@ -14,20 +14,29 @@ renegotiations).
 Run with:  python examples/failing_hardware.py
 """
 
-from repro import DiskSpec, Kernel, MachineConfig, piso_scheme
-from repro.disk.model import fast_disk
-from repro.faults import (
+from repro.api import (
+    KB,
+    MB,
+    Compute,
+    CopyParams,
     CpuRemove,
     DiskFailure,
+    DiskSpec,
     DiskTransient,
     FaultInjector,
     FaultPlan,
     InvariantWatchdog,
+    Kernel,
+    MachineConfig,
+    ReadFile,
+    copy_job,
+    create_copy_files,
+    fast_disk,
+    format_report,
+    machine_report,
+    msecs,
+    piso_scheme,
 )
-from repro.kernel.syscalls import Compute, ReadFile
-from repro.metrics import format_report, machine_report
-from repro.sim.units import KB, MB, msecs
-from repro.workloads import CopyParams, copy_job, create_copy_files
 
 
 def service_job(file, rounds=18):

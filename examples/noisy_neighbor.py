@@ -14,11 +14,23 @@ copy pays only a modest price.
 Run with:  python examples/noisy_neighbor.py
 """
 
-from repro import DiskSpec, Kernel, MachineConfig, ReadFile, Sleep, piso_scheme
-from repro.core import DiskSchedPolicy
-from repro.disk import hp97560
-from repro.sim.units import KB, MB, msecs, to_seconds
-from repro.workloads import CopyParams, copy_job, create_copy_files
+from repro.api import (
+    KB,
+    MB,
+    CopyParams,
+    DiskSchedPolicy,
+    DiskSpec,
+    Kernel,
+    MachineConfig,
+    ReadFile,
+    Sleep,
+    copy_job,
+    create_copy_files,
+    hp97560,
+    msecs,
+    piso_scheme,
+    to_seconds,
+)
 
 
 def interactive_job(files, think_ms=5):

@@ -14,18 +14,18 @@ applications would require.
 Run with:  python examples/parallel_apps.py
 """
 
-from repro import (
-    BarrierWait,
+from repro.api import (
     Barrier,
+    BarrierWait,
     Compute,
     DiskSpec,
     Kernel,
     MachineConfig,
+    fast_disk,
+    format_table,
+    msecs,
     piso_scheme,
 )
-from repro.disk.model import fast_disk
-from repro.metrics import format_table
-from repro.sim.units import msecs
 
 
 def spin_worker(barrier, phases, phase_ms):

@@ -12,17 +12,18 @@ paper, showing the headline result:
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
+from repro.api import (
     Compute,
     DiskSpec,
     Kernel,
     MachineConfig,
+    fast_disk,
+    msecs,
     piso_scheme,
     quota_scheme,
     smp_scheme,
+    to_seconds,
 )
-from repro.disk.model import fast_disk
-from repro.sim.units import msecs, to_seconds
 
 
 def cpu_job(duration_ms):

@@ -12,7 +12,7 @@ pass section names to run a subset, e.g.::
 
 import sys
 
-from repro.experiments.runner import main
+from repro.api import paper_main
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv[1:]))
+    raise SystemExit(paper_main(sys.argv[1:]))

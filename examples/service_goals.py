@@ -14,11 +14,20 @@ GoalManager notices and shifts contract weight until the goal is met.
 Run with:  python examples/service_goals.py
 """
 
-from repro import Compute, DiskSpec, Kernel, MachineConfig, piso_scheme
-from repro.core import AdaptiveContract, GoalManager, VelocityGoal
-from repro.disk.model import fast_disk
-from repro.metrics import format_table
-from repro.sim.units import msecs, secs
+from repro.api import (
+    AdaptiveContract,
+    Compute,
+    DiskSpec,
+    GoalManager,
+    Kernel,
+    MachineConfig,
+    VelocityGoal,
+    fast_disk,
+    format_table,
+    msecs,
+    piso_scheme,
+    secs,
+)
 
 
 def batch(ms):

@@ -1,8 +1,13 @@
 """``python -m repro.bench`` — measure, report, and archive performance.
 
-Writes ``BENCH_parallel.json`` (events/sec on the hot path vs the
-checked-in baseline, per-experiment wall clock, sweep scaling) and
-exits 1 if the serial and parallel sweeps ever disagree on results.
+Writes ``BENCH_parallel.json`` (events/sec on the hot-path probes vs
+their checked-in baselines, per-experiment wall clock, sweep scaling
+with per-stage overhead) and exits 1 if the serial and parallel sweeps
+ever disagree on results, or — on a host with at least 4 CPUs — if the
+4-worker sweep speedup falls below ``--min-speedup``.  On smaller
+hosts the speedup gate prints a warning and is skipped: with fewer
+cores than workers there is no parallelism to measure, only
+oversubscription.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ import json
 import sys
 from typing import List
 
-from repro.bench import SCALING_WORKERS, format_report, run_bench
+from repro.bench import MIN_SPEEDUP, SCALING_WORKERS, format_report, run_bench
 
 
 def main(argv: List[str] = sys.argv[1:]) -> int:
@@ -39,6 +44,11 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         "--json", metavar="PATH", default="BENCH_parallel.json",
         help="where to write the results (default: BENCH_parallel.json)",
     )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help="fail if the 4-worker sweep speedup is below this on a"
+        f" >=4-core host (default: {MIN_SPEEDUP}; 0 disables the gate)",
+    )
     args = parser.parse_args(argv)
 
     workers = SCALING_WORKERS if args.workers == 0 else (args.workers,)
@@ -53,7 +63,24 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         payload["sweep"]["divergence"]
         or payload.get("fleet", {}).get("divergence")
     )
-    return 1 if diverged else 0
+    if diverged:
+        return 1
+
+    four = payload["sweep"]["workers"].get("4")
+    if args.min_speedup > 0 and four is not None:
+        cpus = payload["host"]["cpu_count"] or 1
+        if cpus < 4:
+            print(
+                f"WARNING: speedup gate skipped — host has {cpus} CPU(s),"
+                " fewer than the 4 workers measured"
+            )
+        elif four["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: 4-worker sweep speedup {four['speedup']}x is below"
+                f" the {args.min_speedup}x floor"
+            )
+            return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -51,8 +51,11 @@ class ProcessPriority:
     def _decay_to(self, now: int) -> None:
         if now <= self._stamp:
             return
-        elapsed = now - self._stamp
-        self._recent_us *= math.pow(0.5, elapsed / USAGE_HALF_LIFE)
+        # 0.0 times any decay factor is 0.0, so the pow() is skipped
+        # for never-charged priorities without changing any float.
+        if self._recent_us != 0.0:
+            elapsed = now - self._stamp
+            self._recent_us *= math.pow(0.5, elapsed / USAGE_HALF_LIFE)
         self._stamp = now
 
     def charge(self, used_us: int, now: int) -> None:

@@ -137,8 +137,13 @@ class CpuScheduler:
             else:
                 stamp = pr._stamp
                 if now > stamp:
-                    elapsed = now - stamp
-                    pr._recent_us *= pow_(0.5, elapsed / USAGE_HALF_LIFE)
+                    # 0.0 times any decay factor is 0.0: skipping the
+                    # pow() call for never-charged (or fully decayed-
+                    # to-zero) priorities changes no float.
+                    recent = pr._recent_us
+                    if recent != 0.0:
+                        elapsed = now - stamp
+                        pr._recent_us = recent * pow_(0.5, elapsed / USAGE_HALF_LIFE)
                     pr._stamp = now
                 eff = pr.base + (pr._recent_us / MSEC) * USAGE_WEIGHT_PER_MS
             if (

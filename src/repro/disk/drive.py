@@ -280,7 +280,7 @@ class DiskDrive:
                 request.on_complete(request)
             return
         self.stats.retries += 1
-        self.engine.after(backoff, self._retry, request)
+        self.engine.call_after(backoff, self._retry, request)
         self._start_next()
 
     def _retry(self, request: DiskRequest) -> None:

@@ -183,7 +183,7 @@ class FileSystem:
 
         state["issued"] = True
         if state["remaining"] == 0:
-            self.engine.after(0, on_done)
+            self.engine.call_after(0, on_done)
 
     def _cluster(
         self, file: File, blocks: List[int], max_sectors: int
@@ -286,7 +286,7 @@ class FileSystem:
                     return
                 self._write_through(file, blocks[i], spu_id, pid, lambda: step(index + 1))
                 return
-            self.engine.after(0, on_done)
+            self.engine.call_after(0, on_done)
 
         step(0)
 

@@ -73,7 +73,7 @@ class WritebackDaemon:
     ) -> int:
         if not blocks:
             if on_done is not None:
-                self.engine.after(0, on_done)
+                self.engine.call_after(0, on_done)
             return 0
 
         # Map blocks to physical position, group per drive, sort by

@@ -368,7 +368,13 @@ class Kernel:
             self.pageout.start()
 
         self.fs.start_daemons()
-        self.engine.every(self.scheme.params.clock_tick, self._tick)
+        # The tick opts into idle fast-forward: when the machine is
+        # quiescent (engine idle probe below), _skip_ticks replays the
+        # only state k idle ticks change — the time-partition rotation.
+        self._tick_timer = self.engine.every(
+            self.scheme.params.clock_tick, self._tick, skip_fn=self._skip_ticks
+        )
+        self.engine.set_idle_probe(self._quiescent)
         self._booted = True
 
         # Imported here, not at module top: the sanitizer needs the
@@ -780,7 +786,7 @@ class Kernel:
                 return
             if isinstance(op, Sleep):
                 proc.state = ProcessState.BLOCKED
-                self.engine.after(op.duration_us, partial(self._resume, proc))
+                self.engine.call_after(op.duration_us, self._resume, proc)
                 return
             if isinstance(op, Spawn):
                 spu = self.registry.get(proc.spu_id)
@@ -794,7 +800,7 @@ class Kernel:
                         self.tracer.emit(self.engine.now, "proc", "spawn_denied",
                                          pid=proc.pid, spu=spu.spu_id)
                     proc.state = ProcessState.BLOCKED
-                    self.engine.after(
+                    self.engine.call_after(
                         max(1, self.overload.spawn_backoff_us),
                         self._resume_value, proc, -1,
                     )
@@ -898,7 +904,7 @@ class Kernel:
                 return
             if not throttled:
                 self.io_throttled[spu_id] = self.io_throttled.get(spu_id, 0) + 1
-            self.engine.after(
+            self.engine.call_after(
                 self.overload.io_retry_us, self._admit_io, proc, op, issued_at, True
             )
             return
@@ -1042,9 +1048,7 @@ class Kernel:
         )
         # Shrinking releases the excess immediately.
         if proc.resident > op.pages:
-            excess = proc.resident - op.pages
-            for _ in range(excess):
-                self.memory.free(proc.spu_id)
+            self.memory.free_n(proc.spu_id, proc.resident - op.pages)
             proc.resident = op.pages
         # Pages on swap beyond the new working set will never be
         # touched again.
@@ -1063,8 +1067,7 @@ class Kernel:
             self.tracer.emit(self.engine.now, "proc", "exit",
                              pid=proc.pid, response_us=proc.response_us,
                              cpu_us=proc.cpu_time_us, faults=proc.fault_count)
-        for _ in range(proc.resident):
-            self.memory.free(proc.spu_id)
+        self.memory.free_n(proc.spu_id, proc.resident)
         proc.resident = 0
         self.registry.remove(proc.pid)
         if proc.parent is not None:
@@ -1115,7 +1118,7 @@ class Kernel:
             if proc.state is ProcessState.RUNNABLE:
                 self._arm_dispatch_retry(proc)
 
-        self.engine.after(self.scheme.params.clock_tick, retry)
+        self.engine.call_after(self.scheme.params.clock_tick, retry)
 
     def _send_revocation_ipi(self, proc: Process) -> None:
         """Immediate loan revocation for a newly runnable home process.
@@ -1143,7 +1146,7 @@ class Kernel:
                 sched.loans_revoked += 1
                 self._preempt(target)
 
-        self.engine.after(self.scheme.params.ipi_cost, deliver)
+        self.engine.call_after(self.scheme.params.ipi_cost, deliver)
 
     def _sched(self) -> CpuScheduler:
         if self.cpusched is None:
@@ -1267,6 +1270,39 @@ class Kernel:
             if cpu.idle:
                 self._dispatch(cpu)
 
+    def _quiescent(self) -> bool:
+        """True when a clock tick could change nothing but the rotation.
+
+        With no process running or runnable, :meth:`_tick` reduces to
+        ``partition.tick()``: the rotation preempts skip every CPU
+        (nothing is running), :meth:`CpuScheduler.revocations` returns
+        [] without touching its counters (no queue has waiters, no CPU
+        is on loan), the gang boost finds no runnable members, and
+        dispatching idle CPUs picks None with no side effects.  This is
+        the engine's idle probe — the license to fast-forward tick runs.
+        """
+        sched = self.cpusched
+        if sched is None:
+            return False
+        for cpu in sched.processors:
+            if cpu.running is not None:
+                return False
+        return sched.waiting() == 0
+
+    def _skip_ticks(self, k: int) -> None:
+        """Replay the state changes of ``k`` quiescent ticks at once.
+
+        Under :meth:`_quiescent` the only mutation a tick makes is the
+        time-partition rotation's credit arithmetic (which is
+        independent of the clock), so k elided ticks are exactly k
+        rotation advances.
+        """
+        sched = self.cpusched
+        partition = sched.partition if sched is not None else None
+        if partition is not None and partition.time_shared:
+            for _ in range(k):
+                partition.tick()
+
     # --- demand paging -----------------------------------------------------------
 
     def _page_fault(self, proc: Process) -> None:
@@ -1287,8 +1323,12 @@ class Kernel:
                              paged_out=proc.paged_out)
         assert proc.working_set is not None
         want = proc.working_set.pages_per_fault(proc.resident)
-        got = 0
-        for _ in range(want):
+        # Bulk-grant what fits outright (no denial bookkeeping), then
+        # fall back to the stealing path page by page; its first
+        # failing try_allocate records the denial the per-page loop
+        # would have recorded.
+        got = self.memory.try_allocate_n(proc.spu_id, want)
+        while got < want:
             if self._allocate_page(proc.spu_id):
                 got += 1
             else:
@@ -1313,7 +1353,7 @@ class Kernel:
         swapped = min(got, proc.paged_out) if got else min(1, proc.paged_out)
         if swapped == 0:
             # Zero-fill fault: a fixed kernel cost per page, no disk.
-            self.engine.after(
+            self.engine.call_after(
                 max(1, got) * self.ZERO_FILL_US_PER_PAGE,
                 self._fault_done, proc, got, 0,
             )

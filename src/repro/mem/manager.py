@@ -125,6 +125,33 @@ class MemoryManager:
         self.free_pages -= 1
         return True
 
+    def try_allocate_n(self, spu_id: int, n: int) -> int:
+        """Charge up to ``n`` pages to ``spu_id``; returns pages granted.
+
+        Exactly equivalent to that many successful :meth:`try_allocate`
+        calls — the grant is capped by the free pool and (under memory
+        limits) the SPU's headroom, and **no denial is recorded**: a
+        caller wanting more than was granted must fall back to the
+        per-page path, whose first failure records the one denial the
+        per-page loop would have.
+        """
+        if n <= 0:
+            return 0
+        grant = n if n < self.free_pages else self.free_pages
+        if grant <= 0:
+            return 0
+        spu = self.registry.get(spu_id)
+        levels = spu.memory()
+        if self.scheme.mem_limits and spu.is_user:
+            headroom = levels.allowed - levels.used
+            if headroom < grant:
+                grant = headroom
+            if grant <= 0:
+                return 0
+        levels.acquire(grant)
+        self.free_pages -= grant
+        return grant
+
     def _deny(self, spu_id: int) -> None:
         self.denials[spu_id] = self.denials.get(spu_id, 0) + 1
         self.total_denials[spu_id] = self.total_denials.get(spu_id, 0) + 1
@@ -133,6 +160,15 @@ class MemoryManager:
         """Return one page charged to ``spu_id``."""
         self.registry.get(spu_id).memory().release(1)
         self.free_pages += 1
+        if self.free_pages > self.total_pages:  # pragma: no cover - invariant
+            raise OutOfMemoryError("freed more pages than the machine has")
+
+    def free_n(self, spu_id: int, n: int) -> None:
+        """Return ``n`` pages charged to ``spu_id`` in one call."""
+        if n <= 0:
+            return
+        self.registry.get(spu_id).memory().release(n)
+        self.free_pages += n
         if self.free_pages > self.total_pages:  # pragma: no cover - invariant
             raise OutOfMemoryError("freed more pages than the machine has")
 

@@ -118,7 +118,7 @@ class NetworkLink:
         packet = self.scheduler.select(self.queue, self.engine.now, self.ledger)
         self.queue.remove(packet)
         packet.start_time = self.engine.now
-        self.engine.after(self.transmit_us(packet.nbytes), self._complete, packet)
+        self.engine.call_after(self.transmit_us(packet.nbytes), self._complete, packet)
 
     def _complete(self, packet: Packet) -> None:
         packet.finish_time = self.engine.now

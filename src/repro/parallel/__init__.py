@@ -2,8 +2,11 @@
 
 from repro.parallel.executor import (
     DEFAULT_WORKER_CAP,
+    Executor,
     RunOutcome,
     SweepError,
+    SweepPlan,
+    SweepStats,
     resolve_workers,
     run_sweep,
     values,
@@ -11,8 +14,11 @@ from repro.parallel.executor import (
 
 __all__ = [
     "DEFAULT_WORKER_CAP",
+    "Executor",
     "RunOutcome",
     "SweepError",
+    "SweepPlan",
+    "SweepStats",
     "resolve_workers",
     "run_sweep",
     "values",

@@ -3,46 +3,71 @@
 Every figure and table in the paper's evaluation is a sweep of
 independent (scheme, workload, seed) simulations, and the chaos soak is
 a sweep of independent seeds — embarrassingly parallel work that the
-serial runner used to grind through one cell at a time.
-:func:`run_sweep` fans such cells across worker processes while keeping
-the *results* exactly what the serial loop would have produced:
+serial runner used to grind through one cell at a time.  The
+:class:`Executor` (configured by a :class:`SweepPlan`; the legacy
+:func:`run_sweep` is a thin shim over both) fans such cells across
+worker processes while keeping the *results* exactly what the serial
+loop would have produced:
 
 * **Deterministic merge order.**  Outcomes are returned in submission
   order, whatever order workers finish in.  Each cell is a pure
   function of its payload (the engine gives every simulation its own
   seeded RNG), so serial and parallel sweeps produce byte-identical
   results.
+* **Batched dispatch.**  Cells are handed to workers in batches
+  (``batch_size``; auto-sized from the sweep by default) so one pipe
+  round-trip amortises over several cells.  Completion is still
+  reported per cell — progress, timeouts, and crash containment keep
+  cell granularity.
+* **Shared-memory results.**  With ``transport="shm"`` each worker owns
+  a shared-memory segment; results are pickled into it and only a tiny
+  ``(offset, length)`` descriptor crosses the pipe.  Results that
+  outgrow the segment fall back to inline pipe transport per cell
+  (counted in :class:`SweepStats.shm_spills`); platforms without
+  ``fork`` (the segment is inherited, never re-attached) or without
+  shared memory degrade to ``"pipe"`` wholesale.
 * **Worker recycling.**  A worker retires after ``tasks_per_worker``
   cells and is replaced by a fresh process, bounding the blast radius
-  of any per-process state a simulation might leak.
-* **Per-run timeouts.**  A cell that exceeds ``timeout_s`` has its
-  worker killed and is reported as ``"timeout"``; the sweep continues
-  on a replacement worker.
+  of any per-process state a simulation might leak.  Batches never
+  straddle the recycling budget.
+* **Per-run timeouts.**  Each cell gets ``timeout_s`` of wall clock —
+  the deadline re-arms as every cell of a batch completes.  A cell
+  that exceeds it has its worker killed and is reported as
+  ``"timeout"``; the batch's not-yet-started cells are re-queued with
+  no penalty and the sweep continues on a replacement worker.
 * **Crash containment with retry.**  A worker that dies mid-cell
   (segfault, ``os._exit``, OOM-kill) or blows its deadline charges that
   cell only; the cell is retried once on a fresh worker after a short
   backoff (``retries`` controls how many times) before being reported
   as ``"crashed"``/``"timeout"``, because a worker death is the one
   failure mode that is usually the *host's* fault (memory pressure,
-  fork storms) rather than the payload's.  Deterministic failures —
-  the callable raising — are never retried.
+  fork storms) rather than the payload's.  Cells behind it in the
+  batch had not started (completions arrive in batch order) and are
+  re-queued without consuming a retry.  Deterministic failures — the
+  callable raising — are never retried.
 * **Graceful fallback.**  ``max_workers=1`` (or a platform where
   process creation fails) runs every cell in-process, in order, with
   no multiprocessing machinery at all.
 * **Interrupt hygiene.**  A ``KeyboardInterrupt`` (or ``SystemExit``)
-  mid-sweep terminates every worker outright, closes every pipe, and
-  re-raises — a Ctrl-C'd sweep leaves no orphan processes behind.
-  Workers receiving the terminal's group-wide SIGINT while idle exit
-  quietly rather than printing tracebacks.
+  mid-sweep terminates every worker outright, closes every pipe,
+  unlinks every shared-memory segment, and re-raises — a Ctrl-C'd
+  sweep leaves no orphan processes behind.  Workers receiving the
+  terminal's group-wide SIGINT while idle exit quietly rather than
+  printing tracebacks.
 
-Transport is one duplex :func:`multiprocessing.Pipe` per worker rather
-than shared queues, deliberately: a ``Queue`` flushes through a feeder
-thread, so a worker killed between cells can die holding the shared
-write lock and wedge every other worker.  With a pipe the worker sends
-synchronously from its main thread — a message is fully written before
-the next (crashable) cell starts — each worker's failure domain is its
-own pipe, and a broken pipe doubles as immediate crash detection
-(EOF on :func:`multiprocessing.connection.wait`).
+Control transport is one duplex :func:`multiprocessing.Pipe` per worker
+rather than shared queues, deliberately: a ``Queue`` flushes through a
+feeder thread, so a worker killed between cells can die holding the
+shared write lock and wedge every other worker.  With a pipe the worker
+sends synchronously from its main thread — a message is fully written
+before the next (crashable) cell starts — each worker's failure domain
+is its own pipe, and a broken pipe doubles as immediate crash detection
+(EOF on :func:`multiprocessing.connection.wait`).  The shared-memory
+segment adds no synchronisation of its own: a worker only writes a
+region before sending the descriptor for it, the parent only reads a
+region after receiving the descriptor, and the write offset only
+resets when a new batch is assigned — which the parent does strictly
+after consuming every descriptor of the previous batch.
 
 The worker function must be a module-level callable (it is imported by
 name in the worker) and payloads/results must be picklable.  Timeouts
@@ -54,6 +79,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -67,9 +93,89 @@ DEFAULT_WORKER_CAP = 4
 #: How long the parent waits for worker messages per poll, seconds.
 _POLL_S = 0.02
 
+#: Size of each worker's shared-memory result segment.  Large enough
+#: for any experiment record batch; results that do not fit spill to
+#: inline pipe transport per cell.
+_SEGMENT_BYTES = 1 << 23
+
+#: Ceiling for the auto-sized batch: load balancing degrades if one
+#: worker hoards too much of the sweep.
+_MAX_AUTO_BATCH = 16
+
 
 class SweepError(RuntimeError):
     """Raised by :func:`values` when a sweep cell did not succeed."""
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Everything configurable about a sweep, as one picklable object.
+
+    ``batch_size=None`` auto-sizes from the sweep (1 for short sweeps,
+    growing with cells-per-worker, capped).  ``transport`` selects how
+    results travel back: ``"shm"`` (shared memory, the default; falls
+    back to ``"pipe"`` where unavailable) or ``"pipe"`` (pickled over
+    the control pipe, the pre-batching behaviour).
+    """
+
+    max_workers: Optional[int] = None
+    timeout_s: Optional[float] = None
+    tasks_per_worker: Optional[int] = None
+    retries: int = 1
+    batch_size: Optional[int] = None
+    transport: str = "shm"
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pipe', got {self.transport!r}"
+            )
+        if self.tasks_per_worker is not None and self.tasks_per_worker < 1:
+            raise ValueError(
+                f"tasks_per_worker must be >= 1, got {self.tasks_per_worker}"
+            )
+
+
+@dataclass
+class SweepStats:
+    """Where a sweep's wall clock went, for overhead attribution.
+
+    ``dispatch_s`` is parent time spent choosing and sending work,
+    ``compute_s`` is the sum of worker-measured per-cell run times
+    (across workers, so it can exceed the wall clock), ``merge_s`` is
+    parent time spent decoding results into outcomes.  ``wall_s`` minus
+    the parent-side stages is time the parent sat in poll waits.
+    """
+
+    workers: int = 0
+    batch_size: int = 1
+    transport: str = "serial"
+    cells: int = 0
+    wall_s: float = 0.0
+    dispatch_s: float = 0.0
+    compute_s: float = 0.0
+    merge_s: float = 0.0
+    #: Cells whose result outgrew the shared segment and went inline.
+    shm_spills: int = 0
+    retried_cells: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "transport": self.transport,
+            "cells": self.cells,
+            "wall_s": round(self.wall_s, 4),
+            "dispatch_s": round(self.dispatch_s, 4),
+            "compute_s": round(self.compute_s, 4),
+            "merge_s": round(self.merge_s, 4),
+            "shm_spills": self.shm_spills,
+            "retried_cells": self.retried_cells,
+        }
 
 
 @dataclass
@@ -123,12 +229,17 @@ def resolve_workers(max_workers: Optional[int]) -> int:
 # --- worker side -----------------------------------------------------------
 
 
-def _worker_main(worker_id: int, conn, tasks_per_worker: Optional[int]) -> None:
-    """Run cells from the pipe until retired, poisoned, or crashed."""
+def _worker_main(
+    worker_id: int, conn, fn: Callable[[Any], Any],
+    tasks_per_worker: Optional[int], shm,
+) -> None:
+    """Run cell batches from the pipe until retired, poisoned, or crashed."""
     done = 0
+    buf = shm.buf if shm is not None else None
+    capacity = len(buf) if buf is not None else 0
     while True:
         try:
-            item = conn.recv()
+            batch = conn.recv()
         except (EOFError, OSError):
             return
         except KeyboardInterrupt:
@@ -137,27 +248,50 @@ def _worker_main(worker_id: int, conn, tasks_per_worker: Optional[int]) -> None:
             # interrupt (it kills the pool); a worker parked on recv()
             # just exits quietly instead of spraying tracebacks.
             return
-        if item is None:
+        if batch is None:
             return
-        index, fn, payload = item
-        try:
-            value = fn(payload)
-            message = ("ok", worker_id, index, value, None)
-        except BaseException:
-            message = ("error", worker_id, index, None, traceback.format_exc())
-        try:
-            # send() pickles then writes from this thread, so the
-            # message is fully flushed before the next cell can crash
-            # the process, and an unpicklable result surfaces here as a
-            # structured error rather than killing the worker.
-            conn.send(message)
-        except Exception as exc:
-            conn.send(("error", worker_id, index, None,
-                       f"result of cell {index} is not picklable: {exc!r}"))
-        done += 1
-        if tasks_per_worker is not None and done >= tasks_per_worker:
-            conn.send(("retired", worker_id, None, None, None))
-            return
+        # The parent has consumed every result of the previous batch
+        # before assigning this one (the assignment is the ack), so the
+        # segment is free to reuse from the top.
+        offset = 0
+        for index, payload in batch:
+            started = time.perf_counter()
+            try:
+                value = fn(payload)
+                compute_s = time.perf_counter() - started
+                if buf is not None:
+                    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                    size = len(blob)
+                    if offset + size <= capacity:
+                        buf[offset:offset + size] = blob
+                        message = ("ok", worker_id, index,
+                                   ("shm", offset, size), None, compute_s)
+                        offset += size
+                    else:
+                        message = ("ok", worker_id, index,
+                                   ("inline", value), None, compute_s)
+                else:
+                    message = ("ok", worker_id, index,
+                               ("inline", value), None, compute_s)
+            except BaseException:
+                message = ("error", worker_id, index, None,
+                           traceback.format_exc(),
+                           time.perf_counter() - started)
+            try:
+                # send() pickles then writes from this thread, so the
+                # message is fully flushed before the next cell can
+                # crash the process, and an unpicklable result surfaces
+                # here as a structured error rather than killing the
+                # worker.
+                conn.send(message)
+            except Exception as exc:
+                conn.send(("error", worker_id, index, None,
+                           f"result of cell {index} is not picklable: {exc!r}",
+                           0.0))
+            done += 1
+            if tasks_per_worker is not None and done >= tasks_per_worker:
+                conn.send(("retired", worker_id, None, None, None, 0.0))
+                return
 
 
 # --- parent side -----------------------------------------------------------
@@ -170,12 +304,21 @@ class _Worker:
     ordinal: int
     process: Any
     conn: Any
-    #: Index of the cell currently assigned, or None when idle.
-    inflight: Optional[int] = None
-    #: Wall-clock deadline for the in-flight cell, or None.
+    #: The worker's shared-memory segment, or None on pipe transport.
+    shm: Any = None
+    #: Indices of the assigned batch still awaiting completion, in the
+    #: order the worker runs them (completions arrive in this order).
+    pending: List[int] = field(default_factory=list)
+    #: Wall-clock deadline for the cell now in flight, or None.
     deadline: Optional[float] = None
-    started_at: float = 0.0
+    #: When the cell now in flight started (parent clock).
+    cell_started: float = 0.0
     tasks_done: int = field(default=0)
+
+    @property
+    def inflight(self) -> Optional[int]:
+        """The cell the worker is running right now, or None when idle."""
+        return self.pending[0] if self.pending else None
 
 
 class _Pool:
@@ -186,30 +329,55 @@ class _Pool:
         fn: Callable[[Any], Any],
         n_workers: int,
         tasks_per_worker: Optional[int],
+        transport: str = "pipe",
+        segment_bytes: int = _SEGMENT_BYTES,
     ):
         self._fn = fn
         self._tasks_per_worker = tasks_per_worker
+        self._transport = transport
+        self._segment_bytes = segment_bytes
         self._ctx = multiprocessing.get_context()
         self._next_ordinal = 0
         self._dead = False
         self.workers: List[_Worker] = []
-        for _ in range(n_workers):
-            self.workers.append(self._spawn())
+        try:
+            for _ in range(n_workers):
+                self.workers.append(self._spawn())
+        except BaseException:
+            # Creation failed partway: release what exists before the
+            # caller falls back to serial.
+            self.kill()
+            raise
 
     def _spawn(self) -> _Worker:
         ordinal = self._next_ordinal
         self._next_ordinal += 1
+        shm = None
+        if self._transport == "shm":
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=self._segment_bytes
+            )
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(ordinal, child_conn, self._tasks_per_worker),
-            daemon=True,
-        )
-        process.start()
+        try:
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(ordinal, child_conn, self._fn,
+                      self._tasks_per_worker, shm),
+                daemon=True,
+            )
+            process.start()
+        except BaseException:
+            _release_segment(shm)
+            parent_conn.close()
+            child_conn.close()
+            raise
         # Close the child's end in the parent so a dead worker reads as
         # EOF here instead of a half-open pipe.
         child_conn.close()
-        return _Worker(ordinal=ordinal, process=process, conn=parent_conn)
+        return _Worker(ordinal=ordinal, process=process, conn=parent_conn,
+                       shm=shm)
 
     def replace(self, worker: _Worker) -> _Worker:
         """Kill a worker (timeout/crash/retired) and refill its slot."""
@@ -217,19 +385,20 @@ class _Pool:
             worker.process.terminate()
         worker.process.join(timeout=5)
         worker.conn.close()
+        _release_segment(worker.shm)
         slot = self.workers.index(worker)
         fresh = self._spawn()
         self.workers[slot] = fresh
         return fresh
 
-    def assign(self, worker: _Worker, index: int, payload: Any,
-               timeout_s: Optional[float]) -> None:
-        worker.inflight = index
-        worker.started_at = time.monotonic()
+    def assign(self, worker: _Worker, indices: List[int],
+               payloads: Sequence[Any], timeout_s: Optional[float]) -> None:
+        worker.pending = list(indices)
+        worker.cell_started = time.monotonic()
         worker.deadline = (
-            worker.started_at + timeout_s if timeout_s is not None else None
+            worker.cell_started + timeout_s if timeout_s is not None else None
         )
-        worker.conn.send((index, self._fn, payload))
+        worker.conn.send([(i, payloads[i]) for i in indices])
 
     def poll(self) -> List[Tuple[_Worker, Optional[tuple]]]:
         """(worker, message) for every worker with something to say.
@@ -256,6 +425,10 @@ class _Pool:
                 return worker
         return None
 
+    def read_segment(self, worker: _Worker, offset: int, size: int) -> Any:
+        """Decode one result from the worker's shared segment."""
+        return pickle.loads(bytes(worker.shm.buf[offset:offset + size]))
+
     def shutdown(self) -> None:
         """Drain gracefully: poison pills, then join, then close pipes."""
         if self._dead:
@@ -272,15 +445,16 @@ class _Pool:
                 worker.process.terminate()
                 worker.process.join(timeout=2)
             worker.conn.close()
+            _release_segment(worker.shm)
 
     def kill(self) -> None:
         """Tear the pool down *now*: no poison pills, no graceful drain.
 
         The interrupt path.  Terminate every worker (no matter what it
-        is running), join briefly, and close every pipe, so a Ctrl-C'd
-        sweep leaves no orphan processes or leaked file descriptors
-        behind.  Idempotent, and makes any later :meth:`shutdown` a
-        no-op.
+        is running), join briefly, close every pipe, and unlink every
+        shared segment, so a Ctrl-C'd sweep leaves no orphan processes,
+        leaked file descriptors, or stale ``/dev/shm`` entries behind.
+        Idempotent, and makes any later :meth:`shutdown` a no-op.
         """
         if self._dead:
             return
@@ -297,10 +471,33 @@ class _Pool:
                 worker.conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+            _release_segment(worker.shm)
+
+
+def _release_segment(shm) -> None:
+    """Close and unlink one shared segment; tolerates double release."""
+    if shm is None:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+def _auto_batch(n_cells: int, n_workers: int) -> int:
+    """Batch size when the plan leaves it to us.
+
+    Small sweeps (the experiment registry: ~10 heterogeneous cells)
+    stay at 1 — batching would serialise unlike-sized cells behind one
+    worker.  Large sweeps (fuzz campaigns: hundreds of uniform seeds)
+    grow toward :data:`_MAX_AUTO_BATCH` so dispatch overhead amortises.
+    """
+    return max(1, min(_MAX_AUTO_BATCH, n_cells // (n_workers * 8)))
 
 
 def _run_serial(
-    fn: Callable[[Any], Any], payloads: Sequence[Any]
+    fn: Callable[[Any], Any], payloads: Sequence[Any], stats: SweepStats
 ) -> List[RunOutcome]:
     """The in-process fallback: the plain loop the serial runner was."""
     outcomes = []
@@ -317,7 +514,92 @@ def _run_serial(
                 index=index, status="error", error=traceback.format_exc(),
                 elapsed_s=time.monotonic() - start,
             ))
+        stats.compute_s += time.monotonic() - start
     return outcomes
+
+
+#: Backoff before a retried cell is reassigned, seconds per attempt —
+#: long enough for transient host pressure (the usual cause of a worker
+#: death) to clear, short enough to be invisible in a sweep.
+_RETRY_BACKOFF_S = 0.25
+
+
+class Executor:
+    """Runs sweeps under one :class:`SweepPlan`.
+
+    Stateless between runs except :attr:`stats`, which after each
+    :meth:`run` holds that sweep's stage breakdown.
+    """
+
+    def __init__(self, plan: Optional[SweepPlan] = None):
+        self.plan = plan if plan is not None else SweepPlan()
+        self.stats: Optional[SweepStats] = None
+
+    def run(self, fn: Callable[[Any], Any],
+            payloads: Sequence[Any]) -> List[RunOutcome]:
+        """Run ``fn(payload)`` for every payload; outcomes in payload order."""
+        plan = self.plan
+        payloads = list(payloads)
+        stats = SweepStats(cells=len(payloads))
+        self.stats = stats
+        if not payloads:
+            return []
+        started = time.monotonic()
+        try:
+            return self._run(fn, payloads, stats)
+        finally:
+            stats.wall_s = time.monotonic() - started
+
+    def _run(self, fn: Callable[[Any], Any], payloads: List[Any],
+             stats: SweepStats) -> List[RunOutcome]:
+        plan = self.plan
+        n_workers = min(resolve_workers(plan.max_workers), len(payloads))
+        if n_workers <= 1:
+            stats.workers = 1
+            return _run_serial(fn, payloads, stats)
+        transport = plan.transport
+        if transport == "shm" and not _shm_available():
+            transport = "pipe"
+        batch = (
+            plan.batch_size if plan.batch_size is not None
+            else _auto_batch(len(payloads), n_workers)
+        )
+        if plan.tasks_per_worker is not None:
+            batch = min(batch, plan.tasks_per_worker)
+        stats.workers = n_workers
+        stats.batch_size = batch
+        stats.transport = transport
+        try:
+            pool = _Pool(fn, n_workers, plan.tasks_per_worker,
+                         transport=transport)
+        except (OSError, ValueError):
+            # No processes on this platform (sandbox, resource limits):
+            # degrade to the serial path rather than failing the sweep.
+            stats.workers = 1
+            stats.transport = "serial"
+            return _run_serial(fn, payloads, stats)
+        try:
+            return _run_pool(pool, payloads, plan, batch, stats)
+        except (KeyboardInterrupt, SystemExit):
+            # Ctrl-C (or a hard exit request) mid-sweep: kill the
+            # workers outright — they may be mid-cell and will never
+            # see a poison pill — close every pipe, and let the
+            # interrupt propagate.
+            pool.kill()
+            raise
+        finally:
+            pool.shutdown()
+
+
+def _shm_available() -> bool:
+    """Shared-memory transport needs fork (segments are inherited)."""
+    if multiprocessing.get_start_method(allow_none=False) != "fork":
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - ancient python
+        return False
+    return True
 
 
 def run_sweep(
@@ -328,65 +610,43 @@ def run_sweep(
     tasks_per_worker: Optional[int] = None,
     retries: int = 1,
 ) -> List[RunOutcome]:
-    """Run ``fn(payload)`` for every payload; outcomes in payload order.
+    """Deprecated entry point; builds a :class:`SweepPlan` and runs it.
 
-    ``max_workers=None`` auto-sizes (see :func:`resolve_workers`);
-    ``1`` runs in-process.  ``timeout_s`` bounds each cell's wall time
-    (workers only).  ``tasks_per_worker`` retires a worker after that
-    many cells (``None`` = never).  ``retries`` re-runs a crashed or
-    timed-out cell on a fresh worker that many times before charging
-    it; cells whose callable *raises* are never retried (that failure
-    is deterministic).  ``RunOutcome.retries`` reports what each cell
-    consumed.
+    Kept as a shim so existing callers (chaos, fuzz, fleet, bench)
+    migrate at their own pace — behaviour is identical to
+    ``Executor(SweepPlan(...)).run(fn, payloads)`` with the loose
+    kwargs folded into the plan.
     """
-    payloads = list(payloads)
-    if not payloads:
-        return []
-    if retries < 0:
-        raise ValueError(f"retries must be >= 0, got {retries}")
-    n_workers = min(resolve_workers(max_workers), len(payloads))
-    if n_workers <= 1:
-        return _run_serial(fn, payloads)
-    try:
-        pool = _Pool(fn, n_workers, tasks_per_worker)
-    except (OSError, ValueError):
-        # No processes on this platform (sandbox, resource limits):
-        # degrade to the serial path rather than failing the sweep.
-        return _run_serial(fn, payloads)
-    try:
-        return _run_pool(pool, payloads, timeout_s, retries)
-    except (KeyboardInterrupt, SystemExit):
-        # Ctrl-C (or a hard exit request) mid-sweep: kill the workers
-        # outright — they may be mid-cell and will never see a poison
-        # pill — close every pipe, and let the interrupt propagate.
-        pool.kill()
-        raise
-    finally:
-        pool.shutdown()
-
-
-#: Backoff before a retried cell is reassigned, seconds per attempt —
-#: long enough for transient host pressure (the usual cause of a worker
-#: death) to clear, short enough to be invisible in a sweep.
-_RETRY_BACKOFF_S = 0.25
+    plan = SweepPlan(
+        max_workers=max_workers,
+        timeout_s=timeout_s,
+        tasks_per_worker=tasks_per_worker,
+        retries=retries,
+    )
+    return Executor(plan).run(fn, payloads)
 
 
 def _run_pool(
-    pool: _Pool, payloads: Sequence[Any], timeout_s: Optional[float],
-    retries: int = 0,
+    pool: _Pool, payloads: Sequence[Any], plan: SweepPlan, batch_cap: int,
+    stats: SweepStats,
 ) -> List[RunOutcome]:
     outcomes: List[Optional[RunOutcome]] = [None] * len(payloads)
     next_index = 0
     completed = 0
     budget = pool._tasks_per_worker
+    retries = plan.retries
+    timeout_s = plan.timeout_s
     #: Crash/timeout retries consumed so far, per cell.
     attempts = [0] * len(payloads)
     #: Cells awaiting a retry slot, as (not_before, index).
     retry_queue: List[Tuple[float, int]] = []
+    #: Batch cells orphaned unstarted by a crash/timeout ahead of them;
+    #: re-dispatched first, with no retry penalty.
+    requeue: List[int] = []
 
     def feed() -> None:
         nonlocal next_index
-        now = time.monotonic()
+        t0 = time.monotonic()
         for worker in pool.workers:
             # Never hand a cell to a worker that has hit its recycling
             # budget: it exits right after announcing retirement, and a
@@ -394,19 +654,29 @@ def _run_pool(
             # process's pipe.  Its replacement picks up the slack.
             if budget is not None and worker.tasks_done >= budget:
                 continue
-            if worker.inflight is not None:
+            if worker.pending:
                 continue
+            now = time.monotonic()
             # Retries first, so a flaky cell's result stops gating the
-            # sweep's tail; each retry lands on a worker that is fresh
-            # by construction (the failed worker was replaced).
+            # sweep's tail; a retry runs alone (batch of one) so no
+            # innocent cell sits behind a suspect one.
             ready = next((r for r in retry_queue if r[0] <= now), None)
             if ready is not None:
                 retry_queue.remove(ready)
-                pool.assign(worker, ready[1], payloads[ready[1]], timeout_s)
+                pool.assign(worker, [ready[1]], payloads, timeout_s)
                 continue
-            if next_index < len(payloads):
-                pool.assign(worker, next_index, payloads[next_index], timeout_s)
+            room = batch_cap
+            if budget is not None:
+                room = min(room, budget - worker.tasks_done)
+            indices: List[int] = []
+            while requeue and len(indices) < room:
+                indices.append(requeue.pop(0))
+            while next_index < len(payloads) and len(indices) < room:
+                indices.append(next_index)
                 next_index += 1
+            if indices:
+                pool.assign(worker, indices, payloads, timeout_s)
+        stats.dispatch_s += time.monotonic() - t0
 
     def fail(worker: _Worker, index: int, status: str, error: str) -> None:
         """Charge a crashed/timed-out cell, or queue its retry."""
@@ -421,40 +691,72 @@ def _run_pool(
             return
         outcomes[index] = RunOutcome(
             index=index, status=status, error=error,
-            elapsed_s=time.monotonic() - worker.started_at,
+            elapsed_s=time.monotonic() - worker.cell_started,
             worker=worker.ordinal, retries=attempts[index],
         )
         completed += 1
 
+    def abandon(worker: _Worker) -> None:
+        """Re-queue a dead worker's unstarted batch cells, penalty-free.
+
+        Completions arrive in batch order, so ``pending[0]`` is the
+        cell that was actually running; everything behind it never
+        started and keeps its retry budget intact.
+        """
+        for index in worker.pending[1:]:
+            if outcomes[index] is None:
+                requeue.append(index)
+        worker.pending = []
+
     def record(worker: _Worker, message: tuple) -> None:
         """Fold one worker message into outcomes and bookkeeping."""
         nonlocal completed
-        status, ordinal, index, value, error = message
+        status, ordinal, index, desc, error, compute_s = message
         if status == "retired":
             # The worker hit its recycling budget: replace it with a
-            # fresh process.
+            # fresh process.  (Batches never straddle the budget, so a
+            # retiring worker has no unstarted cells to abandon.)
+            abandon(worker)
             if pool.by_ordinal(ordinal) is not None:
                 pool.replace(worker)
             return
+        t0 = time.monotonic()
+        stats.compute_s += compute_s
         if index is not None and outcomes[index] is None:
+            value = None
+            if status == "ok":
+                kind = desc[0]
+                if kind == "shm":
+                    value = pool.read_segment(worker, desc[1], desc[2])
+                else:
+                    value = desc[1]
+                    if worker.shm is not None:
+                        stats.shm_spills += 1
             outcomes[index] = RunOutcome(
                 index=index, status=status, value=value, error=error,
-                elapsed_s=time.monotonic() - worker.started_at, worker=ordinal,
-                retries=attempts[index],
+                elapsed_s=time.monotonic() - worker.cell_started,
+                worker=ordinal, retries=attempts[index],
             )
             completed += 1
-        if worker.inflight == index:
-            worker.inflight = None
-            worker.deadline = None
+        if worker.pending and worker.pending[0] == index:
+            worker.pending.pop(0)
             worker.tasks_done += 1
+            now = time.monotonic()
+            worker.cell_started = now
+            worker.deadline = (
+                now + timeout_s
+                if timeout_s is not None and worker.pending else None
+            )
+        stats.merge_s += time.monotonic() - t0
 
     feed()
     while completed < len(payloads):
         events = pool.poll()
         for worker, message in events:
             if message is None:
-                # EOF: the worker died.  Charge (or retry) its
-                # in-flight cell and refill the slot.
+                # EOF: the worker died.  Charge (or retry) its in-
+                # flight cell, re-queue the rest of its batch, and
+                # refill the slot.
                 index = worker.inflight
                 if index is not None:
                     fail(
@@ -463,6 +765,7 @@ def _run_pool(
                         f" (exitcode {worker.process.exitcode},"
                         f" attempt {attempts[index] + 1})",
                     )
+                abandon(worker)
                 if pool.by_ordinal(worker.ordinal) is not None:
                     pool.replace(worker)
             else:
@@ -483,7 +786,11 @@ def _run_pool(
                     f"cell exceeded {timeout_s}s"
                     f" (attempt {attempts[index] + 1})",
                 )
+                abandon(worker)
                 pool.replace(worker)
         feed()
 
+    stats.retried_cells = sum(
+        o.retries for o in outcomes if o is not None
+    )
     return [o for o in outcomes if o is not None]

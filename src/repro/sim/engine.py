@@ -1,13 +1,29 @@
 """Deterministic discrete-event simulation engine.
 
-The engine owns simulated time (integer microseconds) and a binary-heap
-event queue.  Components schedule callbacks with :meth:`Engine.at` /
-:meth:`Engine.after`; both return an :class:`EventHandle` that can be
-cancelled, which is how pre-emptions and timer resets are expressed.
+The engine owns simulated time (integer microseconds) and a two-level
+**calendar queue**: a binary heap holding the near-term *dispatch
+window* plus an array of far-future buckets.  Events land in the
+window directly; events beyond the window horizon are appended to a
+bucket (O(1)) and only heapified when the window advances to their
+bucket.  For the workloads the simulator runs — a dense near-term
+event population fed by periodic timers, plus long-tail timeouts and
+fault injections — this keeps the per-event cost of the far tail off
+the hot dispatch path while degenerating to the plain heap when every
+event is near-term.
 
 Events scheduled for the same instant fire in scheduling order (a
 monotonically increasing sequence number breaks ties), so a run is a
 pure function of the initial configuration and the RNG seed.
+
+**Packed events.**  The queues hold ``(time, seq, kind, target, args)``
+tuples.  Tuple comparison runs in C and the unique sequence number
+guarantees comparison never reaches the non-comparable tail.  Four
+kinds exist: plain calls (:meth:`Engine.call_at` /
+:meth:`Engine.call_after` — fire-and-forget, no handle allocated),
+their daemon variants, cancellable :class:`EventHandle` events
+(:meth:`Engine.at` / :meth:`Engine.after`), and
+:class:`PeriodicTimer` occurrences, which reschedule without
+allocating a handle per period.
 
 **Daemon events.**  Periodic infrastructure (clock ticks, writeback,
 memory rebalancing) reschedules itself forever, which would keep
@@ -16,18 +32,45 @@ memory rebalancing) reschedules itself forever, which would keep
 alive.  ``run()`` with no deadline returns once only daemon events
 remain.
 
-The heap holds ``(time, seq, handle)`` tuples rather than handles:
-tuple comparison runs in C and the unique sequence number guarantees
-the handle itself is never compared, which keeps the dispatch loop —
-the hottest code in the whole simulator — free of Python-level
-``__lt__`` calls.
+**Idle fast-forward.**  A periodic timer created with a ``skip_fn``
+may have idle stretches elided: when the registered idle probe reports
+no runnable work and the next occurrence lands strictly before every
+other pending event, the engine calls ``skip_fn(k)`` once in place of
+``k`` consecutive firings and jumps the occurrence past the next real
+event.  ``skip_fn(k)`` must reproduce exactly the state changes ``k``
+idle firings would have made; under that contract the journal, the
+event count returned by :meth:`run`, and all same-instant orderings
+are bit-identical with and without fast-forward (elision never crosses
+or touches a pending event's timestamp, so no event's relative order
+can change).  Fast-forward disables itself whenever observability
+hooks need every event: under a SIMSAN sanitizer or a ``max_events``
+budget the engine fires each occurrence individually.
 """
 
 from __future__ import annotations
 
 import random
-from heapq import heappop, heappush
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Far-future bucket width is ``1 << _BUCKET_SHIFT`` microseconds
+#: (~65 ms): wide enough that steady-state traffic stays in the
+#: dispatch window, narrow enough that advancing heapifies small
+#: batches.
+_BUCKET_SHIFT = 16
+
+#: Module-wide defaults for :class:`Engine`'s queue flags.  The
+#: differential test suite flips these to run whole experiments on the
+#: legacy single-heap queue or without fast-forward and prove the
+#: journals identical; production code leaves them alone.
+DEFAULT_CALENDAR = True
+DEFAULT_FAST_FORWARD = True
+
+# Event kinds, inlined as constants in the dispatch loops.
+_K_CALL = 0      # fire-and-forget call, non-daemon
+_K_CALL_D = 1    # fire-and-forget call, daemon
+_K_HANDLE = 2    # cancellable EventHandle
+_K_TIMER = 3     # PeriodicTimer occurrence
 
 
 class SimulationError(RuntimeError):
@@ -87,14 +130,41 @@ class Engine:
         of randomness in a simulation must draw from :attr:`rng` (or a
         stream forked from it via :meth:`fork_rng`) so runs replay
         exactly.
+    calendar:
+        With False, the far buckets are disabled and every event lives
+        in one heap — the pre-calendar behaviour, kept selectable so
+        differential tests can prove the two produce identical runs.
+        None (the default) follows :data:`DEFAULT_CALENDAR`.
+    fast_forward:
+        With False, idle stretches of skip-capable periodic timers are
+        never elided; every occurrence fires individually.  None (the
+        default) follows :data:`DEFAULT_FAST_FORWARD`.
     """
 
-    __slots__ = ("_now", "_seq", "_queue", "_live", "rng", "_seed", "_running", "_san")
+    __slots__ = (
+        "_now", "_seq", "_near", "_far", "_far_ids", "_horizon",
+        "_live", "rng", "_seed", "_running", "_san", "_idle", "_ff",
+    )
 
-    def __init__(self, seed: int = 0):
+    def __init__(
+        self,
+        seed: int = 0,
+        calendar: Optional[bool] = None,
+        fast_forward: Optional[bool] = None,
+    ):
+        if calendar is None:
+            calendar = DEFAULT_CALENDAR
+        if fast_forward is None:
+            fast_forward = DEFAULT_FAST_FORWARD
         self._now = 0
         self._seq = 0
-        self._queue: List[Tuple[int, int, EventHandle]] = []
+        #: The dispatch window: a heap of entries with time < _horizon.
+        self._near: List[Tuple[int, int, int, Any, Any]] = []
+        #: Far-future buckets keyed by time >> _BUCKET_SHIFT, each an
+        #: unsorted append-only list, plus a heap of occupied bucket ids.
+        self._far: Dict[int, List[Tuple[int, int, int, Any, Any]]] = {}
+        self._far_ids: List[int] = []
+        self._horizon: Any = (1 << _BUCKET_SHIFT) if calendar else float("inf")
         #: Count of pending non-daemon events; run() without a deadline
         #: returns when this reaches zero.
         self._live = 0
@@ -104,6 +174,10 @@ class Engine:
         #: Post-event hook (the SIMSAN sanitizer).  None keeps the
         #: dispatch loop on its branch-free fast path.
         self._san: Optional[Callable[[], None]] = None
+        #: Idle probe: True means no component has runnable work, so
+        #: skip-capable timers may fast-forward.  None disables.
+        self._idle: Optional[Callable[[], bool]] = None
+        self._ff = fast_forward
 
     # --- time ------------------------------------------------------------
 
@@ -126,6 +200,46 @@ class Engine:
         """
         return random.Random(f"{self._seed}/{name}")
 
+    # --- queue internals ---------------------------------------------------
+
+    def _push(self, entry: Tuple[int, int, int, Any, Any]) -> None:
+        """File an entry in the window or a far bucket by its time."""
+        if entry[0] < self._horizon:
+            # entry is a (time, seq, ...) tuple; seq is unique, so
+            # comparison never reaches the payload.
+            heappush(self._near, entry)  # simlint: disable=SL202
+        else:
+            bid = entry[0] >> _BUCKET_SHIFT
+            bucket = self._far.get(bid)
+            if bucket is None:
+                self._far[bid] = [entry]
+                # Bucket ids are plain ints (totally ordered).
+                heappush(self._far_ids, bid)  # simlint: disable=SL202
+            else:
+                bucket.append(entry)
+
+    def _advance_window(self) -> None:
+        """Move the dispatch window to the next occupied far bucket.
+
+        Only called with the window empty, so every near entry stays
+        below every far entry and ordering is preserved.  The near list
+        object is never rebound — dispatch loops hold a local alias.
+        """
+        bid = heappop(self._far_ids)
+        near = self._near
+        near.extend(self._far.pop(bid))
+        heapify(near)
+        self._horizon = (bid + 1) << _BUCKET_SHIFT
+
+    def _peek_time(self) -> Optional[int]:
+        """Time of the next pending entry (dead ones included), or None."""
+        near = self._near
+        while not near:
+            if not self._far_ids:
+                return None
+            self._advance_window()
+        return near[0][0]
+
     # --- scheduling --------------------------------------------------------
 
     def at(
@@ -141,7 +255,7 @@ class Engine:
         handle = EventHandle(time, seq, fn, args, daemon, self)
         if not daemon:
             self._live += 1
-        heappush(self._queue, (time, seq, handle))
+        self._push((time, seq, _K_HANDLE, handle, None))
         return handle
 
     def after(
@@ -158,8 +272,44 @@ class Engine:
         handle = EventHandle(time, seq, fn, args, daemon, self)
         if not daemon:
             self._live += 1
-        heappush(self._queue, (time, seq, handle))
+        self._push((time, seq, _K_HANDLE, handle, None))
         return handle
+
+    def call_at(
+        self, time: int, fn: Callable[..., None], *args: Any, daemon: bool = False
+    ) -> None:
+        """Schedule ``fn(*args)`` at ``time`` with no cancellation handle.
+
+        The packed fast path for the many schedule sites that never
+        cancel: no :class:`EventHandle` is allocated.  Consumes one
+        sequence number, exactly like :meth:`at`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now ({self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        if daemon:
+            self._push((time, seq, _K_CALL_D, fn, args))
+        else:
+            self._live += 1
+            self._push((time, seq, _K_CALL, fn, args))
+
+    def call_after(
+        self, delay: int, fn: Callable[..., None], *args: Any, daemon: bool = False
+    ) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` with no handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        if daemon:
+            self._push((time, seq, _K_CALL_D, fn, args))
+        else:
+            self._live += 1
+            self._push((time, seq, _K_CALL, fn, args))
 
     def every(
         self,
@@ -168,15 +318,21 @@ class Engine:
         *args: Any,
         start: Optional[int] = None,
         daemon: bool = True,
+        skip_fn: Optional[Callable[[int], None]] = None,
     ) -> "PeriodicTimer":
         """Run ``fn(*args)`` every ``period`` microseconds until stopped.
 
         Periodic timers default to daemon events: they do not keep
         :meth:`run` alive once all real work has drained.
+
+        ``skip_fn(k)`` opts the timer into idle fast-forward; it must
+        replay the exact state changes ``k`` consecutive idle firings
+        of ``fn`` would make (see the module docstring for the
+        determinism contract).
         """
         if period <= 0:
             raise SimulationError(f"non-positive period {period}")
-        timer = PeriodicTimer(self, period, fn, args, daemon)
+        timer = PeriodicTimer(self, period, fn, args, daemon, skip_fn)
         timer.start(self._now + period if start is None else start)
         return timer
 
@@ -186,26 +342,53 @@ class Engine:
         """Install (or remove, with None) a hook run after every event.
 
         Used by :mod:`repro.sanitizer` to check invariants at event
-        granularity.  With no hook installed, the dispatch loop stays on
-        its branch-free fast path.
+        granularity.  With no hook installed, the dispatch loop stays
+        on its branch-free fast path.  A sanitizer also suspends idle
+        fast-forward so the hook observes every timer occurrence.
         """
         self._san = hook
 
+    def set_idle_probe(self, probe: Optional[Callable[[], bool]]) -> None:
+        """Install the probe that authorises idle fast-forward.
+
+        ``probe()`` must return True only when no component has
+        runnable work — i.e. every pending state change is already an
+        event in this queue.  Without a probe, skip-capable timers
+        fire every occurrence.
+        """
+        self._idle = probe
+
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
-            time, _seq, handle = heappop(self._queue)
-            if handle.cancelled:
+        near = self._near
+        while True:
+            if not near:
+                if not self._far_ids:
+                    return False
+                self._advance_window()
                 continue
-            self._now = time
-            handle.fired = True
-            if not handle.daemon:
-                self._live -= 1
-            handle.fn(*handle.args)
+            time, _seq, kind, target, args = heappop(near)
+            if kind == _K_HANDLE:
+                if target.cancelled:
+                    continue
+                self._now = time
+                target.fired = True
+                if not target.daemon:
+                    self._live -= 1
+                target.fn(*target.args)
+            elif kind == _K_TIMER:
+                if target._stopped:
+                    continue
+                self._now = time
+                target._dispatch(time)
+            else:
+                self._now = time
+                if kind == _K_CALL:
+                    self._live -= 1
+                target(*args)
             if self._san is not None:
                 self._san()
             return True
-        return False
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
@@ -213,47 +396,127 @@ class Engine:
         With no ``until``, runs until no non-daemon events remain (or
         ``max_events`` fire).  With ``until``, runs all events —
         daemons included — up to and including that time, then sets the
-        clock to ``until``.  Returns the number of events executed.
+        clock to ``until``.  Returns the number of events executed
+        (fast-forwarded timer occurrences count as if each had fired).
         """
         if self._running:
             raise SimulationError("engine is not re-entrant")
         self._running = True
         executed = 0
-        # The queue list is never rebound, so it (and heappop) can live
-        # in locals; _live and _now cannot — callbacks mutate them
-        # through self.
-        queue = self._queue
+        # The near list is never rebound (advancing extends it in
+        # place), so it can live in a local; _live and _now cannot —
+        # callbacks mutate them through self.
+        near = self._near
+        pop = heappop
         try:
             if until is None and max_events is None and self._san is None:
                 # The common case, kept free of per-event branch tests.
-                while queue and self._live:
-                    time, _seq, handle = heappop(queue)
-                    if handle.cancelled:
+                while self._live:
+                    if near:
+                        time, _seq, kind, target, args = pop(near)
+                    elif self._far_ids:
+                        self._advance_window()
                         continue
-                    self._now = time
-                    handle.fired = True
-                    if not handle.daemon:
+                    else:
+                        break
+                    if kind == _K_CALL:
+                        self._now = time
                         self._live -= 1
-                    handle.fn(*handle.args)
-                    executed += 1
+                        target(*args)
+                        executed += 1
+                    elif kind == _K_TIMER:
+                        if target._stopped:
+                            continue
+                        if target._skip_fn is not None and self._ff:
+                            probe = self._idle
+                            if probe is not None and probe():
+                                bound = self._peek_time()
+                                if bound is not None and bound > time:
+                                    period = target.period
+                                    k = (bound - time + period - 1) // period
+                                    target._skip_fn(k)
+                                    seq = self._seq
+                                    self._seq = seq + 1
+                                    self._push(
+                                        (time + k * period, seq, _K_TIMER, target, None)
+                                    )
+                                    executed += k
+                                    continue
+                        self._now = time
+                        target._dispatch(time)
+                        executed += 1
+                    elif kind == _K_HANDLE:
+                        if target.cancelled:
+                            continue
+                        self._now = time
+                        target.fired = True
+                        if not target.daemon:
+                            self._live -= 1
+                        target.fn(*target.args)
+                        executed += 1
+                    else:  # _K_CALL_D
+                        self._now = time
+                        target(*args)
+                        executed += 1
                 return executed
-            while queue:
+            ff = self._ff and max_events is None and self._san is None
+            while True:
                 if max_events is not None and executed >= max_events:
                     break
                 if until is None and self._live == 0:
                     break
-                time, _seq, handle = queue[0]
-                if handle.cancelled:
-                    heappop(queue)
+                if not near:
+                    if self._far_ids:
+                        self._advance_window()
+                        continue
+                    break
+                entry = near[0]
+                time = entry[0]
+                kind = entry[2]
+                # Dead entries are drained even past the deadline, as
+                # the pre-calendar engine did.
+                if kind == _K_HANDLE and entry[3].cancelled:
+                    pop(near)
+                    continue
+                if kind == _K_TIMER and entry[3]._stopped:
+                    pop(near)
                     continue
                 if until is not None and time > until:
                     break
-                heappop(queue)
-                self._now = time
-                handle.fired = True
-                if not handle.daemon:
-                    self._live -= 1
-                handle.fn(*handle.args)
+                pop(near)
+                target = entry[3]
+                if kind == _K_TIMER:
+                    if ff and target._skip_fn is not None:
+                        probe = self._idle
+                        if probe is not None and probe():
+                            nxt = self._peek_time()
+                            bound = until + 1 if until is not None else None
+                            if nxt is not None and (bound is None or nxt < bound):
+                                bound = nxt
+                            if bound is not None and bound > time:
+                                period = target.period
+                                k = (bound - time + period - 1) // period
+                                target._skip_fn(k)
+                                seq = self._seq
+                                self._seq = seq + 1
+                                self._push(
+                                    (time + k * period, seq, _K_TIMER, target, None)
+                                )
+                                executed += k
+                                continue
+                    self._now = time
+                    target._dispatch(time)
+                elif kind == _K_HANDLE:
+                    self._now = time
+                    target.fired = True
+                    if not target.daemon:
+                        self._live -= 1
+                    target.fn(*target.args)
+                else:
+                    self._now = time
+                    if kind == _K_CALL:
+                        self._live -= 1
+                    target(*entry[4])
                 if self._san is not None:
                     self._san()
                 executed += 1
@@ -265,7 +528,19 @@ class Engine:
 
     def pending(self) -> int:
         """Number of scheduled, uncancelled events."""
-        return sum(1 for _, _, h in self._queue if not h.cancelled)
+        count = 0
+        for bucket in [self._near, *self._far.values()]:
+            for entry in bucket:
+                kind = entry[2]
+                if kind == _K_HANDLE:
+                    if not entry[3].cancelled:
+                        count += 1
+                elif kind == _K_TIMER:
+                    if not entry[3]._stopped:
+                        count += 1
+                else:
+                    count += 1
+        return count
 
     def live_events(self) -> int:
         """Number of pending non-daemon events."""
@@ -273,9 +548,20 @@ class Engine:
 
 
 class PeriodicTimer:
-    """A repeating event; reschedules itself after each firing."""
+    """A repeating event; reschedules itself after each firing.
 
-    __slots__ = ("_engine", "period", "daemon", "_fn", "_args", "_handle", "_stopped")
+    Occurrences are packed queue entries carrying the timer itself —
+    no per-period handle allocation.  The engine dispatches them via
+    :meth:`_dispatch`, which fires the callback *first* and then files
+    the next occurrence, so callbacks' own scheduling wins the
+    same-instant tie against the reschedule — the same order the
+    handle-based implementation produced.
+    """
+
+    __slots__ = (
+        "_engine", "period", "daemon", "_fn", "_args",
+        "_stopped", "_scheduled", "_skip_fn",
+    )
 
     def __init__(
         self,
@@ -284,30 +570,53 @@ class PeriodicTimer:
         fn: Callable[..., None],
         args: tuple,
         daemon: bool = True,
+        skip_fn: Optional[Callable[[int], None]] = None,
     ):
         self._engine = engine
         self.period = period
         self.daemon = daemon
         self._fn = fn
         self._args = args
-        self._handle: Optional[EventHandle] = None
         self._stopped = False
+        self._scheduled = False
+        self._skip_fn = skip_fn
 
     def start(self, first_time: int) -> None:
         if self._stopped:
             raise SimulationError("timer already stopped")
-        self._handle = self._engine.at(first_time, self._fire, daemon=self.daemon)
+        eng = self._engine
+        if first_time < eng._now:
+            raise SimulationError(
+                f"cannot schedule event at {first_time} before now ({eng._now})"
+            )
+        seq = eng._seq
+        eng._seq = seq + 1
+        if not self.daemon:
+            eng._live += 1
+        eng._push((first_time, seq, _K_TIMER, self, None))
+        self._scheduled = True
 
-    def _fire(self) -> None:
-        if self._stopped:
-            return
+    def _dispatch(self, time: int) -> None:
+        """Fire one occurrence (engine-internal; clock already set)."""
+        eng = self._engine
+        self._scheduled = False
+        if not self.daemon:
+            eng._live -= 1
         self._fn(*self._args)
         if not self._stopped:
-            self._handle = self._engine.after(self.period, self._fire, daemon=self.daemon)
+            seq = eng._seq
+            eng._seq = seq + 1
+            if not self.daemon:
+                eng._live += 1
+            eng._push((time + self.period, seq, _K_TIMER, self, None))
+            self._scheduled = True
 
     def stop(self) -> None:
         """Stop the timer.  Idempotent."""
+        if self._stopped:
+            return
         self._stopped = True
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        if self._scheduled:
+            self._scheduled = False
+            if not self.daemon:
+                self._engine._live -= 1

@@ -1,0 +1,176 @@
+"""Differential determinism: calendar queue and fast-forward vs legacy.
+
+The calendar-queue scheduler and the idle fast-forward are pure
+performance features — every experiment must produce *byte-identical*
+results with them on or off.  These tests run real experiments under
+all engine configurations and compare canonical JSON, plus engine-level
+same-tick FIFO regressions for the packed event structs.
+"""
+
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro.api import ExperimentSpec, run_experiment
+from repro.sim.engine import Engine
+
+#: Experiments exercising CPU, memory, disk, and network subsystems.
+SECTIONS = ("fig5", "table4", "network")
+SEEDS = (0, 1)
+
+#: (calendar, fast_forward) engine configurations under test; the
+#: fourth combination (heap + fast-forward) is also valid but adds
+#: little — fast-forward elision is queue-structure independent.
+CONFIGS = [
+    pytest.param(True, True, id="calendar+ff"),
+    pytest.param(True, False, id="calendar"),
+    pytest.param(False, False, id="heap"),
+]
+
+
+def _canonical(section: str, seed: int, monkeypatch, calendar: bool,
+               fast_forward: bool) -> str:
+    monkeypatch.setattr(engine_mod, "DEFAULT_CALENDAR", calendar)
+    monkeypatch.setattr(engine_mod, "DEFAULT_FAST_FORWARD", fast_forward)
+    return run_experiment(
+        ExperimentSpec(name=section, seed=seed)
+    ).canonical_json()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Canonical JSON per (section, seed) with both features enabled."""
+    assert engine_mod.DEFAULT_CALENDAR and engine_mod.DEFAULT_FAST_FORWARD
+    return {
+        (section, seed): run_experiment(
+            ExperimentSpec(name=section, seed=seed)
+        ).canonical_json()
+        for section in SECTIONS
+        for seed in SEEDS
+    }
+
+
+@pytest.mark.parametrize("calendar,fast_forward", CONFIGS[1:])
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("section", SECTIONS)
+def test_experiments_byte_identical_across_engines(
+    section, seed, calendar, fast_forward, reference, monkeypatch
+):
+    got = _canonical(section, seed, monkeypatch, calendar, fast_forward)
+    assert got == reference[(section, seed)], (
+        f"{section} seed {seed} diverged under"
+        f" calendar={calendar} fast_forward={fast_forward}"
+    )
+
+
+# --- engine-level same-tick FIFO regressions -------------------------------
+
+
+def _trace_engine(calendar: bool, fast_forward: bool = False):
+    eng = Engine(seed=0, calendar=calendar, fast_forward=fast_forward)
+    trace = []
+    return eng, trace
+
+
+@pytest.mark.parametrize("calendar", [True, False], ids=["calendar", "heap"])
+def test_same_tick_fifo_across_event_kinds(calendar):
+    """Packed calls, handles, and timer fires at one time run in
+    schedule order, whatever mix of kinds is involved."""
+    eng, trace = _trace_engine(calendar)
+    eng.call_at(100, trace.append, "call-first")
+    eng.at(100, trace.append, "handle-second")
+    timer = eng.every(100, trace.append, "timer-third", start=100)
+    eng.call_at(100, trace.append, "call-fourth")
+    eng.run(until=100)
+    timer.stop()
+    assert trace == ["call-first", "handle-second", "timer-third",
+                     "call-fourth"]
+
+
+@pytest.mark.parametrize("calendar", [True, False], ids=["calendar", "heap"])
+def test_same_tick_fifo_for_events_scheduled_during_dispatch(calendar):
+    """Events scheduled *while dispatching* the current time run after
+    everything already queued at that time, in schedule order."""
+    eng, trace = _trace_engine(calendar)
+
+    def first():
+        trace.append("first")
+        eng.call_after(0, trace.append, "nested-a")
+        eng.call_after(0, trace.append, "nested-b")
+
+    eng.call_at(50, first)
+    eng.call_at(50, trace.append, "second")
+    eng.run()
+    assert trace == ["first", "second", "nested-a", "nested-b"]
+
+
+def test_fifo_across_calendar_bucket_boundary():
+    """Order survives the near/far window advance: events straddling a
+    bucket boundary (t = k << 16) run in (time, schedule-order)."""
+    eng, trace = _trace_engine(True)[0], []
+    boundary = 1 << 16
+    for t in (boundary - 1, boundary, boundary + 1):
+        eng.call_at(t, trace.append, f"{t}-a")
+        eng.call_at(t, trace.append, f"{t}-b")
+    eng.run()
+    assert trace == [
+        f"{boundary - 1}-a", f"{boundary - 1}-b",
+        f"{boundary}-a", f"{boundary}-b",
+        f"{boundary + 1}-a", f"{boundary + 1}-b",
+    ]
+
+
+def test_fifo_far_future_events_many_buckets_out():
+    """Events many buckets out come back in schedule order, including
+    interleaved near-term work."""
+    eng = Engine(seed=0, calendar=True)
+    trace = []
+    times = [5, (3 << 16) + 7, (1 << 16), 12, (7 << 16) + 1, (3 << 16) + 7]
+    for i, t in enumerate(times):
+        eng.call_at(t, trace.append, (t, i))
+    eng.run()
+    assert trace == sorted(trace, key=lambda e: (e[0], e[1]))
+    assert len(trace) == len(times)
+
+
+@pytest.mark.parametrize("calendar", [True, False], ids=["calendar", "heap"])
+def test_timer_fire_and_same_tick_call_order(calendar):
+    """A periodic timer's next occurrence is scheduled when it fires, so
+    a call_at() for the next tick made *before* boot still runs first."""
+    eng, trace = _trace_engine(calendar)
+    eng.every(10, trace.append, "timer", start=10)
+    eng.call_at(20, trace.append, "call-at-20")
+    eng.run(until=20)
+    assert trace == ["timer", "call-at-20", "timer"]
+
+
+def test_fast_forward_lands_on_exact_occurrence_grid():
+    """Elided occurrences land the timer exactly on its period grid and
+    count as executed events."""
+    eng = Engine(seed=0, calendar=True, fast_forward=True)
+    fires = []
+    skips = []
+    eng.set_idle_probe(lambda: True)
+    eng.every(10, lambda: fires.append(eng.now), start=10,
+              skip_fn=skips.append)
+    eng.call_at(1005, lambda: None)
+    executed = eng.run(until=1005)
+    # Ticks 10..1000 were elided in bulk; the landing occurrence fires
+    # on the grid at or before the next real event.
+    assert sum(skips) > 0
+    assert all(t % 10 == 0 for t in fires)
+    assert executed == sum(skips) + len(fires) + 1
+
+
+def test_fast_forward_never_elides_same_tick_work():
+    """An event at the timer's own fire time always runs; fast-forward
+    only jumps across *strictly* idle gaps."""
+    eng = Engine(seed=0, calendar=True, fast_forward=True)
+    trace = []
+    eng.set_idle_probe(lambda: True)
+    eng.every(10, lambda: trace.append(("tick", eng.now)), start=10,
+              skip_fn=lambda k: trace.append(("skip", k)))
+    eng.call_at(10, lambda: trace.append(("call", 10)))
+    eng.run(until=10)
+    assert ("tick", 10) in trace
+    assert ("call", 10) in trace
+    assert not any(kind == "skip" for kind, _ in trace)

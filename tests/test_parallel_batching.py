@@ -1,0 +1,193 @@
+"""Batched dispatch and shared-memory transport contracts.
+
+The executor redesign (SweepPlan/Executor) must keep every behaviour
+run_sweep promised — deterministic merge order, crash containment,
+retry accounting — while adding batch dispatch and the shm result
+path.  These tests pin the new surface.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel import Executor, RunOutcome, SweepPlan, SweepStats, values
+from repro.parallel.executor import _auto_batch, _shm_available
+
+
+def _square(x):
+    return x * x
+
+
+def _big_result(x):
+    # Far larger than the shm segment (8 MiB): must spill inline.
+    return bytes(9 << 20)
+
+
+def _crash_on_five(x):
+    if x == 5:
+        os._exit(17)
+    return x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+# --- SweepPlan validation ---------------------------------------------------
+
+
+def test_plan_defaults():
+    plan = SweepPlan()
+    assert plan.retries == 1
+    assert plan.batch_size is None
+    assert plan.transport == "shm"
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"retries": -1},
+    {"batch_size": 0},
+    {"transport": "carrier-pigeon"},
+    {"tasks_per_worker": 0},
+])
+def test_plan_rejects_bad_config(kwargs):
+    with pytest.raises(ValueError):
+        SweepPlan(**kwargs)
+
+
+def test_auto_batch_scales_with_sweep_size():
+    assert _auto_batch(6, 4) == 1       # registry-sized sweep: no batching
+    assert _auto_batch(200, 4) == 6     # fuzz-campaign sized: amortise
+    assert _auto_batch(10_000, 4) == 16  # capped
+
+
+# --- batched dispatch -------------------------------------------------------
+
+
+@pytest.mark.parametrize("transport", ["shm", "pipe"])
+@pytest.mark.parametrize("batch_size", [1, 3, 16])
+def test_batched_results_in_submission_order(transport, batch_size):
+    plan = SweepPlan(max_workers=2, batch_size=batch_size,
+                     transport=transport)
+    executor = Executor(plan)
+    outcomes = executor.run(_square, list(range(23)))
+    assert [o.index for o in outcomes] == list(range(23))
+    assert values(outcomes) == [i * i for i in range(23)]
+    assert executor.stats.cells == 23
+    assert executor.stats.batch_size == batch_size
+
+
+def test_shm_and_pipe_transports_agree():
+    results = {}
+    for transport in ("shm", "pipe"):
+        executor = Executor(SweepPlan(max_workers=2, transport=transport))
+        results[transport] = values(executor.run(_square, list(range(10))))
+    assert results["shm"] == results["pipe"]
+
+
+@pytest.mark.skipif(not _shm_available(), reason="needs fork + shm")
+def test_oversized_result_spills_inline():
+    executor = Executor(SweepPlan(max_workers=2, batch_size=2))
+    outcomes = executor.run(_big_result, list(range(3)))
+    assert all(o.ok and len(o.value) == 9 << 20 for o in outcomes)
+    assert executor.stats.shm_spills == 3
+    assert executor.stats.transport == "shm"
+
+
+def test_shm_segments_released():
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm on this platform")
+    before = set(os.listdir("/dev/shm"))
+    executor = Executor(SweepPlan(max_workers=2))
+    executor.run(_square, list(range(8)))
+    leaked = set(os.listdir("/dev/shm")) - before
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
+# --- crash containment within a batch ---------------------------------------
+
+
+def test_crash_charges_only_the_inflight_cell():
+    """A worker death mid-batch charges the running cell; cells queued
+    behind it in the same batch keep their full retry budget."""
+    plan = SweepPlan(max_workers=2, batch_size=4, retries=0)
+    outcomes = Executor(plan).run(_crash_on_five, list(range(12)))
+    by = {o.index: o for o in outcomes}
+    assert by[5].status == "crashed"
+    assert "died" in by[5].error
+    innocents = [o for o in outcomes if o.index != 5]
+    assert all(o.ok for o in innocents)
+    assert all(o.retries == 0 for o in innocents)
+
+
+def test_crash_retry_within_batches():
+    plan = SweepPlan(max_workers=2, batch_size=4, retries=1)
+    outcomes = Executor(plan).run(_crash_on_five, list(range(12)))
+    by = {o.index: o for o in outcomes}
+    # Cell 5 crashes deterministically: it consumed its one retry and
+    # still failed; everything else is untouched.
+    assert by[5].status == "crashed"
+    assert by[5].retries == 1
+    assert all(o.ok and o.retries == 0 for o in outcomes if o.index != 5)
+
+
+def test_deterministic_error_not_retried_in_batch():
+    plan = SweepPlan(max_workers=2, batch_size=3, retries=2)
+    outcomes = Executor(plan).run(_fail_on_three, list(range(9)))
+    by = {o.index: o for o in outcomes}
+    assert by[3].status == "error"
+    assert by[3].retries == 0
+    assert "three is right out" in by[3].error
+
+
+# --- stats ------------------------------------------------------------------
+
+
+def test_stats_stage_breakdown_populated():
+    executor = Executor(SweepPlan(max_workers=2, batch_size=2))
+    executor.run(_square, list(range(12)))
+    stats = executor.stats
+    assert isinstance(stats, SweepStats)
+    assert stats.workers == 2
+    assert stats.wall_s > 0
+    assert stats.compute_s > 0
+    assert stats.dispatch_s >= 0 and stats.merge_s >= 0
+    payload = stats.to_dict()
+    for key in ("dispatch_s", "compute_s", "merge_s", "transport",
+                "batch_size", "shm_spills", "retried_cells"):
+        assert key in payload
+
+
+def test_serial_path_stats():
+    executor = Executor(SweepPlan(max_workers=1))
+    outcomes = executor.run(_square, list(range(4)))
+    assert values(outcomes) == [0, 1, 4, 9]
+    assert all(o.worker == -1 for o in outcomes)
+    assert executor.stats.workers == 1
+    assert executor.stats.transport == "serial"
+
+
+# --- recycling composes with batching ---------------------------------------
+
+
+def test_batches_never_straddle_recycling_budget():
+    plan = SweepPlan(max_workers=2, batch_size=8, tasks_per_worker=2)
+    executor = Executor(plan)
+    outcomes = executor.run(_square, list(range(10)))
+    assert values(outcomes) == [i * i for i in range(10)]
+    # Budget caps the effective batch: a worker retiring after 2 cells
+    # can never be handed 8.
+    assert executor.stats.batch_size == 2
+    # 10 cells / 2 per worker = 5 worker lifetimes; ordinals prove
+    # replacement actually happened.
+    assert len({o.worker for o in outcomes}) >= 5
+
+
+def test_run_sweep_shim_matches_executor():
+    from repro.parallel import run_sweep
+
+    via_shim = run_sweep(_square, list(range(6)), max_workers=2)
+    via_plan = Executor(SweepPlan(max_workers=2)).run(_square, list(range(6)))
+    assert values(via_shim) == values(via_plan)
+    assert all(isinstance(o, RunOutcome) for o in via_shim)
