@@ -43,9 +43,11 @@ _LAZY_EXPORTS = {
     # parallel sweeps
     "Executor": ("repro.parallel", "Executor"),
     "RunOutcome": ("repro.parallel", "RunOutcome"),
+    "SweepCache": ("repro.parallel", "SweepCache"),
     "SweepError": ("repro.parallel", "SweepError"),
     "SweepPlan": ("repro.parallel", "SweepPlan"),
     "SweepStats": ("repro.parallel", "SweepStats"),
+    "WorkerPool": ("repro.parallel", "WorkerPool"),
     "run_sweep": ("repro.parallel", "run_sweep"),
     "sweep_values": ("repro.parallel", "values"),
     # machine construction and schemes

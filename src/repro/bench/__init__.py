@@ -1,7 +1,7 @@
 """The performance harness behind ``python -m repro.bench``.
 
 Four measurements, one JSON artifact (``BENCH_parallel.json``,
-schema ``repro.bench/2``):
+schema ``repro.bench/3``):
 
 * **hot path** — events/sec through the simulator core, over two fixed
   probes that stress opposite regimes:
@@ -28,6 +28,32 @@ schema ``repro.bench/2``):
   SLO failover) per scheme, run in-process and through the sweep
   executor, with the same byte-identity requirement on the records.
 
+All sweep-shaped stages (experiment sweep scaling, fleet cells) share
+one persistent :class:`repro.parallel.WorkerPool`, so the bench pays
+the fork cost once instead of once per stage; with ``--cache`` every
+sweep cell is first looked up in the content-addressed sweep cache
+(:class:`repro.parallel.SweepCache`), making a *warm* re-run skip all
+experiment and fleet computation while producing byte-identical
+records.  The hot-path probes always run — they *are* the measurement.
+
+Schema migration (``repro.bench/2`` → ``/3``): the payload gained a
+``stages`` map (per-stage wall seconds: ``hot_path``/``experiments``/
+``sweep``/``fleet`` — compare a cold artifact's stage seconds against
+a warm one's for the cold-vs-warm trajectory), a ``cache`` block
+(enabled flag, hit/miss/put/error counts, ``hit_ratio``), and a
+``pool`` block (processes forked, sweeps served — ``forks`` staying
+flat while ``runs_served`` grows is the pool doing its job);
+``experiments`` gained ``digests`` (short sha256 of each experiment's
+canonical records, so two artifacts can be compared for byte-identity
+without carrying the records) and ``cache_hits``;
+``sweep.workers.<n>`` gained ``pool_reuse``/``spooled_payloads``/
+``spool_bytes``/``cache_hits``/``cache_misses`` from
+:class:`repro.parallel.SweepStats`.  Every ``/2`` field is still
+present with unchanged meaning, so history stays comparable; cached
+runs are marked by ``cache.enabled`` + nonzero ``cache.hits`` (compare
+wall-clock trajectories cold-to-cold or warm-to-warm only — the
+``--min-speedup`` gate already skips cached runs for that reason).
+
 Schema migration (``repro.bench/1`` → ``/2``): ``hot_path`` gained a
 ``probes`` map (per-probe events/seconds/rate/baseline) — the old
 flat fields now describe the *combined* run; ``sweep.workers.<n>``
@@ -43,6 +69,7 @@ like-for-like.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import platform
 import time
@@ -57,7 +84,7 @@ from repro.api import (
     run_experiment,
 )
 from repro.core.schemes import piso_scheme, smp_scheme
-from repro.parallel import Executor, SweepPlan, run_sweep, values
+from repro.parallel import Executor, SweepCache, SweepPlan, WorkerPool, values
 
 #: Per-probe events/sec measured on the pre-optimisation tree (1-CPU
 #: container, CPython 3.11): best of 3 on the same probe definitions.
@@ -184,20 +211,37 @@ def bench_hot_path(reps: int = 3, seed: int = 0) -> Dict[str, Any]:
     }
 
 
-def bench_experiments(sections: List[str], seed: int = 0) -> Dict[str, Any]:
-    """Serial wall clock per experiment (also the serial sweep total)."""
+def bench_experiments(
+    sections: List[str], seed: int = 0, cache: Optional[SweepCache] = None,
+) -> Dict[str, Any]:
+    """Serial wall clock per experiment (also the serial sweep total).
+
+    With a ``cache``, each cell is answered from the store when its
+    (name, seed, code) key is present — the warm-run fast path — and
+    recorded on a miss; the result bytes are identical either way.
+    """
     per_figure: Dict[str, Any] = {}
     canonical: Dict[str, str] = {}
+    digests: Dict[str, str] = {}
     total = 0.0
+    hits = 0
+    executor = Executor(SweepPlan(max_workers=1), cache=cache)
     for name in sections:
         start = time.perf_counter()
-        result = run_experiment(ExperimentSpec(name=name, seed=seed))
+        outcomes = executor.run(
+            run_experiment, [ExperimentSpec(name=name, seed=seed)]
+        )
         elapsed = time.perf_counter() - start
+        result = values(outcomes)[0]
+        hits += executor.stats.cache_hits
         total += elapsed
         per_figure[name] = {"seconds": round(elapsed, 3)}
         canonical[name] = result.canonical_json()
+        digests[name] = hashlib.sha256(
+            canonical[name].encode("utf-8")
+        ).hexdigest()[:16]
     return {"per_figure": per_figure, "serial_seconds": round(total, 3),
-            "canonical": canonical}
+            "canonical": canonical, "digests": digests, "cache_hits": hits}
 
 
 def bench_sweep_scaling(
@@ -205,6 +249,8 @@ def bench_sweep_scaling(
     serial_canonical: Dict[str, str],
     seed: int = 0,
     workers: tuple = SCALING_WORKERS,
+    pool: Optional[WorkerPool] = None,
+    cache: Optional[SweepCache] = None,
 ) -> Dict[str, Any]:
     """The same sweep through the executor at each worker count.
 
@@ -213,11 +259,15 @@ def bench_sweep_scaling(
     count also records the executor's stage attribution — parent time
     dispatching work, summed worker compute time, parent time merging
     results — so dispatch/merge overhead has its own trajectory.
+    ``pool`` shares worker processes across the ladder (and with the
+    fleet stage); ``cache`` answers unchanged cells from the store
+    (their bytes came from a pure run, so the identity check holds
+    vacuously rather than falsely).
     """
     payloads = [ExperimentSpec(name=name, seed=seed) for name in sections]
     out: Dict[str, Any] = {"workers": {}, "divergence": []}
     for n in workers:
-        executor = Executor(SweepPlan(max_workers=n))
+        executor = Executor(SweepPlan(max_workers=n), pool=pool, cache=cache)
         start = time.perf_counter()
         outcomes = executor.run(run_experiment, payloads)
         results = values(outcomes)
@@ -236,6 +286,11 @@ def bench_sweep_scaling(
             "batch_size": stats.batch_size,
             "shm_spills": stats.shm_spills,
             "retried_cells": stats.retried_cells,
+            "pool_reuse": stats.pool_reuse,
+            "spooled_payloads": stats.spooled_payloads,
+            "spool_bytes": stats.spool_bytes,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
         }
         for name in diverged:
             if name not in out["divergence"]:
@@ -243,24 +298,35 @@ def bench_sweep_scaling(
     return out
 
 
-def bench_fleet(seed: int = 0, workers: int = 2) -> Dict[str, Any]:
+def bench_fleet(
+    seed: int = 0, workers: int = 2,
+    pool: Optional[WorkerPool] = None, cache: Optional[SweepCache] = None,
+) -> Dict[str, Any]:
     """Fleet failover cells through the sweep executor, serial vs parallel.
 
     Runs the smoke fleet (one whole-machine crash) per scheme twice —
     in-process and fanned across workers — and compares the records
     byte-for-byte.  ``divergence`` names any scheme whose parallel
     record differs from the serial one; any entry is a determinism bug.
+    With a ``cache`` both legs share the same content addresses, so
+    whichever leg runs first populates the store and the other is
+    answered from it — the identity check then holds by construction
+    (the cached bytes *are* a previous pure run's).  The honest
+    serial-vs-worker comparison comes from uncached runs; CI keeps one.
     """
     from repro.fleet.__main__ import smoke_spec
     from repro.fleet.runner import run_fleet_record
 
     schemes = ("smp", "piso")
     payloads = [smoke_spec(scheme=s, seed=seed).to_dict() for s in schemes]
+    serial_executor = Executor(SweepPlan(max_workers=1), cache=cache)
     start = time.perf_counter()
-    serial = [run_fleet_record(p) for p in payloads]
+    serial = values(serial_executor.run(run_fleet_record, payloads))
     serial_s = time.perf_counter() - start
+    serial_hits = serial_executor.stats.cache_hits
+    executor = Executor(SweepPlan(max_workers=workers), pool=pool, cache=cache)
     start = time.perf_counter()
-    outcomes = run_sweep(run_fleet_record, payloads, max_workers=workers)
+    outcomes = executor.run(run_fleet_record, payloads)
     parallel_s = time.perf_counter() - start
     parallel = values(outcomes)
     divergence = [
@@ -273,6 +339,8 @@ def bench_fleet(seed: int = 0, workers: int = 2) -> Dict[str, Any]:
         "digests": {r["scheme"]: r["digest"] for r in serial},
         "violations": sorted({v for r in serial for v in r["violations"]}),
         "divergence": divergence,
+        "cache_hits": serial_hits + executor.stats.cache_hits,
+        "pool_reuse": executor.stats.pool_reuse,
     }
 
 
@@ -281,24 +349,66 @@ def run_bench(
     seed: int = 0,
     reps: Optional[int] = None,
     workers: tuple = SCALING_WORKERS,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """The full bench; returns the ``BENCH_parallel.json`` payload."""
+    """The full bench; returns the ``BENCH_parallel.json`` payload.
+
+    One :class:`WorkerPool` is shared by every sweep-shaped stage (the
+    scaling ladder and the fleet cells) — the fork cost is paid once
+    per bench, and ``pool.forks`` vs ``pool.runs_served`` in the
+    payload shows the reuse.  ``cache=True`` opens the sweep cache and
+    threads it through every stage except the hot-path probes.
+    """
     sections = names(quick_only=quick)
     reps = reps if reps is not None else (1 if quick else 3)
 
-    hot = bench_hot_path(reps=reps, seed=seed)
-    serial = bench_experiments(sections, seed=seed)
-    scaling = bench_sweep_scaling(
-        sections, serial["canonical"], seed=seed, workers=workers
-    )
-    fleet = bench_fleet(seed=seed)
+    sweep_cache = SweepCache(cache_dir) if cache else None
+    pool = WorkerPool(max_workers=max(tuple(workers) + (2,)))
+    stages: Dict[str, float] = {}
+    try:
+        start = time.perf_counter()
+        hot = bench_hot_path(reps=reps, seed=seed)
+        stages["hot_path"] = round(time.perf_counter() - start, 3)
+
+        start = time.perf_counter()
+        serial = bench_experiments(sections, seed=seed, cache=sweep_cache)
+        stages["experiments"] = round(time.perf_counter() - start, 3)
+
+        start = time.perf_counter()
+        scaling = bench_sweep_scaling(
+            sections, serial["canonical"], seed=seed, workers=workers,
+            pool=pool, cache=sweep_cache,
+        )
+        stages["sweep"] = round(time.perf_counter() - start, 3)
+
+        start = time.perf_counter()
+        fleet = bench_fleet(seed=seed, pool=pool, cache=sweep_cache)
+        stages["fleet"] = round(time.perf_counter() - start, 3)
+        pool_payload = {"forks": pool.forks, "runs_served": pool.runs_served}
+    finally:
+        pool.shutdown()
 
     serial_s = serial["serial_seconds"]
     for stats in scaling["workers"].values():
-        stats["speedup"] = round(serial_s / stats["seconds"], 2)
+        stats["speedup"] = round(serial_s / max(stats["seconds"], 1e-9), 2)
+
+    if sweep_cache is not None:
+        cache_stats = sweep_cache.stats_dict()
+        probed = cache_stats["hits"] + cache_stats["misses"]
+        cache_payload = {
+            "enabled": True,
+            "dir": sweep_cache.root,
+            "hit_ratio": round(cache_stats["hits"] / probed, 4) if probed
+            else 0.0,
+        }
+        cache_payload.update(cache_stats)
+    else:
+        cache_payload = {"enabled": False, "hits": 0, "misses": 0,
+                         "errors": 0, "puts": 0, "hit_ratio": 0.0}
 
     return {
-        "schema": "repro.bench/2",
+        "schema": "repro.bench/3",
         "quick": quick,
         "seed": seed,
         "hot_path": hot,
@@ -306,12 +416,17 @@ def run_bench(
             "sections": sections,
             "per_figure": serial["per_figure"],
             "serial_seconds": serial_s,
+            "digests": serial["digests"],
+            "cache_hits": serial["cache_hits"],
         },
         "sweep": {
             "workers": scaling["workers"],
             "divergence": scaling["divergence"],
         },
         "fleet": fleet,
+        "stages": stages,
+        "cache": cache_payload,
+        "pool": pool_payload,
         "host": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
@@ -370,5 +485,18 @@ def format_report(payload: Dict[str, Any]) -> str:
                else f"DIVERGED: {fleet_diverged}")
             + (f"; violations: {fleet['violations']}"
                if fleet["violations"] else "")
+        )
+    pool = payload.get("pool")
+    if pool is not None:
+        lines.append(
+            f"worker pool: {pool['forks']} process(es) forked for"
+            f" {pool['runs_served']} sweep(s)"
+        )
+    cache = payload.get("cache")
+    if cache is not None and cache.get("enabled"):
+        lines.append(
+            f"sweep cache: {cache['hits']} hit(s), {cache['misses']}"
+            f" miss(es), {cache['puts']} stored"
+            f" (hit ratio {cache['hit_ratio']:.0%})"
         )
     return "\n".join(lines)

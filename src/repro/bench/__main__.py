@@ -49,10 +49,22 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         help="fail if the 4-worker sweep speedup is below this on a"
         f" >=4-core host (default: {MIN_SPEEDUP}; 0 disables the gate)",
     )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="answer unchanged sweep cells from the content-addressed"
+        " sweep cache; a warm re-run then skips every experiment and"
+        " fleet computation (default: --no-cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="sweep-cache store root (default: $REPRO_CACHE_DIR or"
+        " .repro-cache)",
+    )
     args = parser.parse_args(argv)
 
     workers = SCALING_WORKERS if args.workers == 0 else (args.workers,)
-    payload = run_bench(quick=args.quick, seed=args.seed, workers=workers)
+    payload = run_bench(quick=args.quick, seed=args.seed, workers=workers,
+                        cache=args.cache, cache_dir=args.cache_dir)
     with open(args.json, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -69,7 +81,13 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
     four = payload["sweep"]["workers"].get("4")
     if args.min_speedup > 0 and four is not None:
         cpus = payload["host"]["cpu_count"] or 1
-        if cpus < 4:
+        if payload["cache"]["hits"] > 0:
+            print(
+                "WARNING: speedup gate skipped — cells were answered from"
+                " the sweep cache, so the scaling numbers measure the"
+                " cache, not the workers"
+            )
+        elif cpus < 4:
             print(
                 f"WARNING: speedup gate skipped — host has {cpus} CPU(s),"
                 " fewer than the 4 workers measured"

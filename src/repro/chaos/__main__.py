@@ -46,13 +46,24 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         help="worker processes to fan seeds across"
         " (default: 1 = in-process; 0 = auto)",
     )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="answer already-soaked (seed, horizon, scheme) cells from"
+        " the content-addressed sweep cache (default: --no-cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="sweep-cache store root (default: $REPRO_CACHE_DIR or"
+        " .repro-cache)",
+    )
     args = parser.parse_args(argv)
 
     seeds = args.seeds if args.seeds is not None \
         else list(range(args.seed, args.seed + 5))
     max_workers = None if args.workers == 0 else args.workers
     results = run_soak(
-        seeds, horizon_us=args.horizon_ms * MSEC, max_workers=max_workers
+        seeds, horizon_us=args.horizon_ms * MSEC, max_workers=max_workers,
+        cache=args.cache, cache_dir=args.cache_dir,
     )
     failed = False
     for seed, result in zip(seeds, results):

@@ -237,15 +237,24 @@ def run_soak(
     horizon_us: Optional[int] = None,
     scheme: Optional[SchemeConfig] = None,
     max_workers: Optional[int] = 1,
+    pool=None,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> List[ChaosResult]:
     """Generate and run one chaos plan per seed.
 
     Each seed's plan is independent and each run is a pure function of
     its plan (journals are byte-identical across replays), so seeds fan
     out across worker processes; results come back in seed order
-    regardless of which worker finished first.
+    regardless of which worker finished first.  ``pool`` is an optional
+    shared :class:`repro.parallel.WorkerPool` so a multi-scheme or
+    multi-horizon soak pays one fork cost total; ``cache=True`` answers
+    previously-soaked seeds from the content-addressed sweep cache
+    (byte-identical journals, it stores the pure run's result).
     """
-    from repro.parallel import run_sweep, values
+    from repro.parallel import Executor, SweepPlan, values
 
+    plan = SweepPlan(max_workers=max_workers, cache=cache,
+                     cache_dir=cache_dir)
     payloads = [(seed, horizon_us, scheme) for seed in seeds]
-    return values(run_sweep(_soak_cell, payloads, max_workers=max_workers))
+    return values(Executor(plan, pool=pool).run(_soak_cell, payloads))

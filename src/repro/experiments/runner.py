@@ -4,8 +4,8 @@ This is the ``experiments`` subcommand behind ``python -m repro`` (and
 still runnable as ``python -m repro.experiments.runner``).  It iterates
 the experiment registry — every module in :mod:`repro.experiments`
 registers its driver with :func:`repro.api.experiment` — fans the
-selected experiments across worker processes with
-:func:`repro.parallel.run_sweep`, and prints each experiment's rendered
+selected experiments across worker processes with an
+:class:`repro.parallel.Executor`, and prints each experiment's rendered
 report in registration order, whatever order the workers finished in.
 """
 
@@ -16,7 +16,7 @@ import sys
 from typing import List, Optional
 
 from repro.api import ExperimentResult, ExperimentSpec, get, names, run_experiment
-from repro.parallel import run_sweep, values
+from repro.parallel import Executor, SweepPlan, values
 
 
 def run_sections(
@@ -37,12 +37,20 @@ def run_sections_with_stats(
     seed: int = 0,
     max_workers: Optional[int] = 1,
     timeout_s: Optional[float] = None,
+    pool=None,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> "tuple[List[ExperimentResult], int]":
-    """Like :func:`run_sections`, plus the crash/timeout retry count."""
+    """Like :func:`run_sections`, plus the crash/timeout retry count.
+
+    ``pool`` optionally shares a :class:`repro.parallel.WorkerPool`
+    across callers; ``cache=True`` answers unchanged (name, seed) cells
+    from the content-addressed sweep cache.
+    """
+    plan = SweepPlan(max_workers=max_workers, timeout_s=timeout_s,
+                     cache=cache, cache_dir=cache_dir)
     payloads = [ExperimentSpec(name=name, seed=seed) for name in sections]
-    outcomes = run_sweep(
-        run_experiment, payloads, max_workers=max_workers, timeout_s=timeout_s
-    )
+    outcomes = Executor(plan, pool=pool).run(run_experiment, payloads)
     return values(outcomes), sum(o.retries for o in outcomes)
 
 
@@ -86,6 +94,20 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         default=None,
         help="also write every experiment's flat records as JSON",
     )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="answer unchanged (section, seed) cells from the"
+        " content-addressed sweep cache (default: off)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="sweep-cache directory (default: .repro-cache or"
+        " $REPRO_CACHE_DIR)",
+    )
     args = parser.parse_args(argv)
     named = list(args.sections) + list(args.only or [])
     chosen = named if named else list(known)
@@ -96,7 +118,8 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
 
     max_workers = None if args.workers == 0 else args.workers
     results, retried = run_sections_with_stats(
-        chosen, seed=args.seed, max_workers=max_workers
+        chosen, seed=args.seed, max_workers=max_workers,
+        cache=args.cache, cache_dir=args.cache_dir,
     )
     for result in results:
         print(get(result.name).report(result.data))

@@ -28,7 +28,7 @@ from repro.fleet.spec import (
     FleetSpec,
     FleetSpuSpec,
 )
-from repro.parallel import run_sweep
+from repro.parallel import Executor, SweepPlan
 from repro.sim.units import MSEC
 
 
@@ -99,8 +99,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     payload = spec.to_dict()
     serial = run_fleet_record(payload)
-    outcomes = run_sweep(
-        run_fleet_record, [payload], max_workers=args.workers
+    outcomes = Executor(SweepPlan(max_workers=args.workers)).run(
+        run_fleet_record, [payload]
     )
     parallel = outcomes[0].value if outcomes[0].status == "ok" else None
 

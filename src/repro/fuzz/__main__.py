@@ -101,6 +101,17 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         help="replay mode: re-run FILE's scenario and exit 1 if its"
         " violation still reproduces",
     )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="answer already-fuzzed (seed, horizon, simsan) cells from"
+        " the content-addressed sweep cache; corpus bytes are identical"
+        " either way (default: --no-cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="sweep-cache store root (default: $REPRO_CACHE_DIR or"
+        " .repro-cache)",
+    )
     args = parser.parse_args(argv)
 
     if args.repro is not None:
@@ -142,6 +153,8 @@ def main(argv: List[str] = sys.argv[1:]) -> int:
         shrink_budget=args.shrink_budget,
         budget_s=args.budget_s,
         fleet=args.fleet,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
     )
     report = run_campaign(config)
     for line in report.summary():

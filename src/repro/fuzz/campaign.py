@@ -11,10 +11,15 @@ already recorded, and converges on the byte-identical file an
 uninterrupted run would have written.
 
 Worker crashes and per-cell timeouts are absorbed twice over: the
-executor retries the cell once on a fresh worker
-(:func:`repro.parallel.run_sweep` with ``retries=1``), and a cell that
-still fails is recorded with a ``crashed``/``timeout`` verdict rather
-than aborting the campaign.
+executor retries the cell once on a fresh worker (the
+:class:`repro.parallel.Executor` default ``retries=1``), and a cell
+that still fails is recorded with a ``crashed``/``timeout`` verdict
+rather than aborting the campaign.  All shards share one persistent
+:class:`repro.parallel.WorkerPool`, so a thousand-seed campaign pays
+the fork cost once, not once per shard; with ``cache=True`` cells
+whose ``(seed, horizon, simsan)`` is already in the content-addressed
+sweep cache are answered from the store — the cached value is the pure
+cell's record, so the corpus bytes are identical either way.
 
 Every ``violation`` verdict ends as a **repro file**: the campaign
 re-runs the scenario in-process, shrinks it
@@ -37,7 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.fuzz.generate import generate_scenario
 from repro.fuzz.runner import run_record, run_scenario
 from repro.fuzz.shrink import shrink_scenario, write_repro
-from repro.parallel import run_sweep
+from repro.parallel import Executor, SweepPlan, WorkerPool
 
 
 class CampaignError(RuntimeError):
@@ -166,6 +171,10 @@ class CampaignConfig:
     #: of single-machine scenarios; failures get a ``fleet-repro`` file
     #: (the full spec — fleet draws have no ddmin shrinker yet).
     fleet: bool = False
+    #: Answer already-seen cells from the content-addressed sweep cache.
+    cache: bool = False
+    #: Cache store root (None = $REPRO_CACHE_DIR or .repro-cache).
+    cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -180,6 +189,8 @@ class CampaignReport:
     verdicts: Dict[str, int] = field(default_factory=dict)
     #: Executor crash/timeout retries consumed across all shards.
     retried_cells: int = 0
+    #: Cells answered from the sweep cache instead of run.
+    cache_hits: int = 0
     repro_files: List[str] = field(default_factory=list)
     #: True if budget_s/max_shards stopped the campaign before the end.
     stopped_early: bool = False
@@ -200,6 +211,8 @@ class CampaignReport:
             f" {self.ran} cell(s) run, {self.resumed} resumed"
             f" ({counts}; {self.retried_cells} retried)"
         ]
+        if self.cache_hits:
+            lines.append(f"{self.cache_hits} cell(s) answered from the sweep cache")
         if self.stopped_early:
             lines.append("stopped early (budget exhausted); resume to continue")
         for path in self.repro_files:
@@ -320,48 +333,61 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     parent = os.path.dirname(config.corpus_path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    with open(config.corpus_path, "a") as fh:
-        for shard_no, shard in enumerate(shards):
-            if config.max_shards is not None and shard_no >= config.max_shards:
-                report.stopped_early = True
-                break
-            if config.budget_s is not None \
-                    and time.monotonic() - start >= config.budget_s:  # simlint: disable=SL101
-                report.stopped_early = True
-                break
-            payloads = [(s, config.horizon_us, config.simsan) for s in shard]
-            outcomes = run_sweep(
-                cell_fn, payloads,
-                max_workers=config.workers, timeout_s=config.timeout_s,
-            )
-            for seed, outcome in zip(shard, outcomes):
-                if outcome.ok:
-                    record = outcome.value
-                    if config.differential and outcome.worker >= 0:
-                        serial = cell_fn(
-                            (seed, config.horizon_us, config.simsan)
-                        )
-                        if serial != record:
-                            record = dict(
-                                record,
-                                verdict="differential",
-                                violations=sorted(
-                                    set(record["violations"])
-                                    | {"differential"}
-                                ),
+    # One persistent pool serves every shard (the executor leases it
+    # per shard); the fork cost is paid once per campaign, not per
+    # shard.  The pool spawns lazily, so a serial campaign never forks.
+    plan = SweepPlan(
+        max_workers=config.workers, timeout_s=config.timeout_s,
+        cache=config.cache, cache_dir=config.cache_dir,
+    )
+    pool = WorkerPool(max_workers=config.workers)
+    executor = Executor(plan, pool=pool)
+    try:
+        with open(config.corpus_path, "a") as fh:
+            for shard_no, shard in enumerate(shards):
+                if config.max_shards is not None \
+                        and shard_no >= config.max_shards:
+                    report.stopped_early = True
+                    break
+                if config.budget_s is not None \
+                        and time.monotonic() - start >= config.budget_s:  # simlint: disable=SL101
+                    report.stopped_early = True
+                    break
+                payloads = [
+                    (s, config.horizon_us, config.simsan) for s in shard
+                ]
+                outcomes = executor.run(cell_fn, payloads)
+                report.cache_hits += executor.stats.cache_hits
+                for seed, outcome in zip(shard, outcomes):
+                    if outcome.ok:
+                        record = outcome.value
+                        if config.differential and outcome.worker >= 0:
+                            serial = cell_fn(
+                                (seed, config.horizon_us, config.simsan)
                             )
-                else:
-                    record = _failure_record(seed, config, outcome)
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
-                verdicts[record["verdict"]] += 1
-                report.ran += 1
-                report.retried_cells += outcome.retries
-                if record["verdict"] in ("violation", "differential"):
-                    failures.append(seed)
-            # One checkpoint per shard: a kill between shards loses
-            # nothing, a kill mid-shard loses at most a torn tail.
-            fh.flush()
-            os.fsync(fh.fileno())
+                            if serial != record:
+                                record = dict(
+                                    record,
+                                    verdict="differential",
+                                    violations=sorted(
+                                        set(record["violations"])
+                                        | {"differential"}
+                                    ),
+                                )
+                    else:
+                        record = _failure_record(seed, config, outcome)
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+                    verdicts[record["verdict"]] += 1
+                    report.ran += 1
+                    report.retried_cells += outcome.retries
+                    if record["verdict"] in ("violation", "differential"):
+                        failures.append(seed)
+                # One checkpoint per shard: a kill between shards loses
+                # nothing, a kill mid-shard loses at most a torn tail.
+                fh.flush()
+                os.fsync(fh.fileno())
+    finally:
+        pool.shutdown()
 
     report.verdicts = dict(verdicts)
 

@@ -1,5 +1,6 @@
 """Parallel sweep execution for independent simulation runs."""
 
+from repro.parallel.cache import SweepCache, default_cache_dir
 from repro.parallel.executor import (
     DEFAULT_WORKER_CAP,
     Executor,
@@ -11,15 +12,23 @@ from repro.parallel.executor import (
     run_sweep,
     values,
 )
+from repro.parallel.pool import WorkerPool, shm_available
+from repro.parallel.spool import PayloadSpool, SpoolReader
 
 __all__ = [
     "DEFAULT_WORKER_CAP",
     "Executor",
+    "PayloadSpool",
     "RunOutcome",
+    "SpoolReader",
+    "SweepCache",
     "SweepError",
     "SweepPlan",
     "SweepStats",
+    "WorkerPool",
+    "default_cache_dir",
     "resolve_workers",
     "run_sweep",
+    "shm_available",
     "values",
 ]

@@ -5,31 +5,50 @@ independent (scheme, workload, seed) simulations, and the chaos soak is
 a sweep of independent seeds — embarrassingly parallel work that the
 serial runner used to grind through one cell at a time.  The
 :class:`Executor` (configured by a :class:`SweepPlan`; the legacy
-:func:`run_sweep` is a thin shim over both) fans such cells across
-worker processes while keeping the *results* exactly what the serial
-loop would have produced:
+:func:`run_sweep` is a deprecated shim over both) fans such cells
+across worker processes while keeping the *results* exactly what the
+serial loop would have produced:
 
 * **Deterministic merge order.**  Outcomes are returned in submission
   order, whatever order workers finish in.  Each cell is a pure
   function of its payload (the engine gives every simulation its own
-  seeded RNG), so serial and parallel sweeps produce byte-identical
-  results.
+  seeded RNG), so serial, parallel, and cached sweeps produce
+  byte-identical results.
+* **Persistent worker pools.**  Pass ``pool=`` a
+  :class:`~repro.parallel.pool.WorkerPool` and the same worker
+  processes serve every ``run()`` — one fork cost per process, not per
+  stage; the pool protocol carries the callable per batch, so unlike
+  sweeps (experiments, fleet records, fuzz cells) share one pool.
+  Without ``pool=`` an ephemeral pool is created and torn down per run,
+  the pre-pool behaviour.
 * **Batched dispatch.**  Cells are handed to workers in batches
   (``batch_size``; auto-sized from the sweep by default) so one pipe
   round-trip amortises over several cells.  Completion is still
   reported per cell — progress, timeouts, and crash containment keep
   cell granularity.
-* **Shared-memory results.**  With ``transport="shm"`` each worker owns
-  a shared-memory segment; results are pickled into it and only a tiny
-  ``(offset, length)`` descriptor crosses the pipe.  Results that
-  outgrow the segment fall back to inline pipe transport per cell
-  (counted in :class:`SweepStats.shm_spills`); platforms without
-  ``fork`` (the segment is inherited, never re-attached) or without
-  shared memory degrade to ``"pipe"`` wholesale.
+* **Shared-memory results, mmap-spooled payloads.**  With
+  ``transport="shm"`` each worker owns a shared-memory segment;
+  results are pickled into it and only a tiny ``(offset, length)``
+  descriptor crosses the pipe (oversized results spill inline, counted
+  in :class:`SweepStats.shm_spills`).  Symmetrically, payloads whose
+  pickle meets ``spool_threshold`` are written once to an mmap'd spool
+  file (:mod:`repro.parallel.spool`) and referenced by descriptor, so a
+  large spec is serialised once however many cells, retries, and
+  re-queues touch it.  Platforms without ``fork`` degrade to ``"pipe"``
+  transport wholesale.
+* **Content-addressed caching.**  With ``plan.cache`` (or an explicit
+  ``cache=`` :class:`~repro.parallel.cache.SweepCache`), each cell's
+  key — canonical payload + callable + code digest — is probed before
+  dispatch; hits return the stored result without touching a worker
+  (``RunOutcome.cached``), misses run and are recorded.  Because a
+  cached value is the pickled bytes of a previous pure run, cached and
+  cold sweeps are byte-identical; :class:`SweepStats` reports the
+  hit/miss split.
 * **Worker recycling.**  A worker retires after ``tasks_per_worker``
   cells and is replaced by a fresh process, bounding the blast radius
   of any per-process state a simulation might leak.  Batches never
-  straddle the recycling budget.
+  straddle the recycling budget.  (For a shared pool the pool's own
+  budget governs, counted across every sweep the worker served.)
 * **Per-run timeouts.**  Each cell gets ``timeout_s`` of wall clock —
   the deadline re-arms as every cell of a batch completes.  A cell
   that exceeds it has its worker killed and is reported as
@@ -50,10 +69,10 @@ loop would have produced:
   no multiprocessing machinery at all.
 * **Interrupt hygiene.**  A ``KeyboardInterrupt`` (or ``SystemExit``)
   mid-sweep terminates every worker outright, closes every pipe,
-  unlinks every shared-memory segment, and re-raises — a Ctrl-C'd
-  sweep leaves no orphan processes behind.  Workers receiving the
-  terminal's group-wide SIGINT while idle exit quietly rather than
-  printing tracebacks.
+  unlinks every shared-memory segment and spool file, and re-raises —
+  a Ctrl-C'd sweep leaves no orphan processes behind.  Workers
+  receiving the terminal's group-wide SIGINT while idle exit quietly
+  rather than printing tracebacks.
 
 Control transport is one duplex :func:`multiprocessing.Pipe` per worker
 rather than shared queues, deliberately: a ``Queue`` flushes through a
@@ -62,45 +81,60 @@ shared write lock and wedge every other worker.  With a pipe the worker
 sends synchronously from its main thread — a message is fully written
 before the next (crashable) cell starts — each worker's failure domain
 is its own pipe, and a broken pipe doubles as immediate crash detection
-(EOF on :func:`multiprocessing.connection.wait`).  The shared-memory
-segment adds no synchronisation of its own: a worker only writes a
-region before sending the descriptor for it, the parent only reads a
-region after receiving the descriptor, and the write offset only
-resets when a new batch is assigned — which the parent does strictly
-after consuming every descriptor of the previous batch.
+(EOF on :func:`multiprocessing.connection.wait`).  See
+:mod:`repro.parallel.pool` for the worker protocol and segment
+synchronisation argument.
 
-The worker function must be a module-level callable (it is imported by
-name in the worker) and payloads/results must be picklable.  Timeouts
-are only enforceable when real workers exist; the in-process path runs
-each cell to completion and records the timeout budget as advisory.
+The worker function must be a module-level callable (it crosses the
+pipe pickled by reference) and payloads/results must be picklable.
+Timeouts are only enforceable when real workers exist; the in-process
+path runs each cell to completion and records the timeout budget as
+advisory.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import pickle
 import time
 import traceback
-from dataclasses import dataclass, field
-from multiprocessing import connection
+import warnings
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-#: Default worker-count cap when ``max_workers`` is None: enough to
-#: cover the experiment sweeps without oversubscribing small machines.
-DEFAULT_WORKER_CAP = 4
+from repro.parallel.cache import SweepCache
+from repro.parallel.pool import (
+    DEFAULT_WORKER_CAP,
+    PoolLease,
+    WorkerPool,
+    resolve_workers,
+    shm_available,
+)
+from repro.parallel.spool import PayloadSpool
 
-#: How long the parent waits for worker messages per poll, seconds.
-_POLL_S = 0.02
-
-#: Size of each worker's shared-memory result segment.  Large enough
-#: for any experiment record batch; results that do not fit spill to
-#: inline pipe transport per cell.
-_SEGMENT_BYTES = 1 << 23
+__all__ = [
+    "DEFAULT_WORKER_CAP",
+    "Executor",
+    "RunOutcome",
+    "SweepError",
+    "SweepPlan",
+    "SweepStats",
+    "resolve_workers",
+    "run_sweep",
+    "values",
+]
 
 #: Ceiling for the auto-sized batch: load balancing degrades if one
 #: worker hoards too much of the sweep.
 _MAX_AUTO_BATCH = 16
+
+#: Payloads at or above this many pickled bytes go through the mmap
+#: spool by default.  Registry/fuzz payloads (tens to hundreds of
+#: bytes) stay inline; generated fleet scenarios and fault plans that
+#: outgrow a pipe buffer's comfort zone spool.
+DEFAULT_SPOOL_THRESHOLD = 1 << 14
+
+# Backwards-compatible private alias (pre-pool layout).
+_shm_available = shm_available
 
 
 class SweepError(RuntimeError):
@@ -116,6 +150,18 @@ class SweepPlan:
     results travel back: ``"shm"`` (shared memory, the default; falls
     back to ``"pipe"`` where unavailable) or ``"pipe"`` (pickled over
     the control pipe, the pre-batching behaviour).
+    ``spool_threshold`` is the pickled-payload size, in bytes, at which
+    payload fan-out switches from inline pipe messages to the mmap
+    spool (``None`` disables spooling).  ``cache=True`` consults the
+    content-addressed result cache in ``cache_dir`` (default:
+    ``$REPRO_CACHE_DIR`` or ``.repro-cache``) before dispatching any
+    cell.
+
+    When an :class:`Executor` is given a shared
+    :class:`~repro.parallel.pool.WorkerPool`, the pool's own
+    ``transport`` and ``tasks_per_worker`` govern (they are properties
+    of the processes, which outlive any one plan); the plan's values
+    apply to the ephemeral pool created when no shared pool is passed.
     """
 
     max_workers: Optional[int] = None
@@ -124,6 +170,9 @@ class SweepPlan:
     retries: int = 1
     batch_size: Optional[int] = None
     transport: str = "shm"
+    spool_threshold: Optional[int] = DEFAULT_SPOOL_THRESHOLD
+    cache: bool = False
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -138,6 +187,10 @@ class SweepPlan:
             raise ValueError(
                 f"tasks_per_worker must be >= 1, got {self.tasks_per_worker}"
             )
+        if self.spool_threshold is not None and self.spool_threshold < 1:
+            raise ValueError(
+                f"spool_threshold must be >= 1, got {self.spool_threshold}"
+            )
 
 
 @dataclass
@@ -149,6 +202,10 @@ class SweepStats:
     (across workers, so it can exceed the wall clock), ``merge_s`` is
     parent time spent decoding results into outcomes.  ``wall_s`` minus
     the parent-side stages is time the parent sat in poll waits.
+    ``pool_reuse`` is how many sweeps the shared pool had already
+    served before this one (0 for an ephemeral pool);
+    ``cache_hits``/``cache_misses`` split the cells that were answered
+    from the content-addressed store vs actually run.
     """
 
     workers: int = 0
@@ -162,6 +219,14 @@ class SweepStats:
     #: Cells whose result outgrew the shared segment and went inline.
     shm_spills: int = 0
     retried_cells: int = 0
+    #: Sweeps the shared pool served before this one (0 = cold/ephemeral).
+    pool_reuse: int = 0
+    #: Payload descriptors that referenced the mmap spool.
+    spooled_payloads: int = 0
+    #: Unique payload bytes written to the spool file (deduplicated).
+    spool_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -175,6 +240,11 @@ class SweepStats:
             "merge_s": round(self.merge_s, 4),
             "shm_spills": self.shm_spills,
             "retried_cells": self.retried_cells,
+            "pool_reuse": self.pool_reuse,
+            "spooled_payloads": self.spooled_payloads,
+            "spool_bytes": self.spool_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
 
@@ -185,7 +255,8 @@ class RunOutcome:
     ``status`` is one of ``"ok"``, ``"error"`` (the callable raised),
     ``"timeout"`` (killed at the per-run deadline), or ``"crashed"``
     (the worker process died without reporting).  ``value`` is only
-    meaningful when ``status == "ok"``.
+    meaningful when ``status == "ok"``.  ``cached`` marks a result
+    answered from the content-addressed store without running.
     """
 
     index: int
@@ -197,6 +268,8 @@ class RunOutcome:
     worker: int = -1
     #: Crash/timeout retries this cell consumed (0 = first try stood).
     retries: int = 0
+    #: True when the value came from the sweep cache, not a run.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -213,276 +286,6 @@ def values(outcomes: Sequence[RunOutcome]) -> List[Any]:
             f" cell {first.index} {first.status}: {first.error}"
         )
     return [o.value for o in outcomes]
-
-
-def resolve_workers(max_workers: Optional[int]) -> int:
-    """Map the user-facing ``--workers`` value to a worker count.
-
-    ``None`` means auto: one worker per CPU, capped at
-    :data:`DEFAULT_WORKER_CAP`.  Anything below 2 means in-process.
-    """
-    if max_workers is None:
-        max_workers = min(DEFAULT_WORKER_CAP, os.cpu_count() or 1)
-    return max(1, int(max_workers))
-
-
-# --- worker side -----------------------------------------------------------
-
-
-def _worker_main(
-    worker_id: int, conn, fn: Callable[[Any], Any],
-    tasks_per_worker: Optional[int], shm,
-) -> None:
-    """Run cell batches from the pipe until retired, poisoned, or crashed."""
-    done = 0
-    buf = shm.buf if shm is not None else None
-    capacity = len(buf) if buf is not None else 0
-    while True:
-        try:
-            batch = conn.recv()
-        except (EOFError, OSError):
-            return
-        except KeyboardInterrupt:
-            # A terminal Ctrl-C delivers SIGINT to the whole foreground
-            # process group, workers included.  The parent owns the
-            # interrupt (it kills the pool); a worker parked on recv()
-            # just exits quietly instead of spraying tracebacks.
-            return
-        if batch is None:
-            return
-        # The parent has consumed every result of the previous batch
-        # before assigning this one (the assignment is the ack), so the
-        # segment is free to reuse from the top.
-        offset = 0
-        for index, payload in batch:
-            started = time.perf_counter()
-            try:
-                value = fn(payload)
-                compute_s = time.perf_counter() - started
-                if buf is not None:
-                    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-                    size = len(blob)
-                    if offset + size <= capacity:
-                        buf[offset:offset + size] = blob
-                        message = ("ok", worker_id, index,
-                                   ("shm", offset, size), None, compute_s)
-                        offset += size
-                    else:
-                        message = ("ok", worker_id, index,
-                                   ("inline", value), None, compute_s)
-                else:
-                    message = ("ok", worker_id, index,
-                               ("inline", value), None, compute_s)
-            except BaseException:
-                message = ("error", worker_id, index, None,
-                           traceback.format_exc(),
-                           time.perf_counter() - started)
-            try:
-                # send() pickles then writes from this thread, so the
-                # message is fully flushed before the next cell can
-                # crash the process, and an unpicklable result surfaces
-                # here as a structured error rather than killing the
-                # worker.
-                conn.send(message)
-            except Exception as exc:
-                conn.send(("error", worker_id, index, None,
-                           f"result of cell {index} is not picklable: {exc!r}",
-                           0.0))
-            done += 1
-            if tasks_per_worker is not None and done >= tasks_per_worker:
-                conn.send(("retired", worker_id, None, None, None, 0.0))
-                return
-
-
-# --- parent side -----------------------------------------------------------
-
-
-@dataclass
-class _Worker:
-    """Parent-side bookkeeping for one worker process."""
-
-    ordinal: int
-    process: Any
-    conn: Any
-    #: The worker's shared-memory segment, or None on pipe transport.
-    shm: Any = None
-    #: Indices of the assigned batch still awaiting completion, in the
-    #: order the worker runs them (completions arrive in this order).
-    pending: List[int] = field(default_factory=list)
-    #: Wall-clock deadline for the cell now in flight, or None.
-    deadline: Optional[float] = None
-    #: When the cell now in flight started (parent clock).
-    cell_started: float = 0.0
-    tasks_done: int = field(default=0)
-
-    @property
-    def inflight(self) -> Optional[int]:
-        """The cell the worker is running right now, or None when idle."""
-        return self.pending[0] if self.pending else None
-
-
-class _Pool:
-    """The worker set: spawn, assign, reap, recycle, kill."""
-
-    def __init__(
-        self,
-        fn: Callable[[Any], Any],
-        n_workers: int,
-        tasks_per_worker: Optional[int],
-        transport: str = "pipe",
-        segment_bytes: int = _SEGMENT_BYTES,
-    ):
-        self._fn = fn
-        self._tasks_per_worker = tasks_per_worker
-        self._transport = transport
-        self._segment_bytes = segment_bytes
-        self._ctx = multiprocessing.get_context()
-        self._next_ordinal = 0
-        self._dead = False
-        self.workers: List[_Worker] = []
-        try:
-            for _ in range(n_workers):
-                self.workers.append(self._spawn())
-        except BaseException:
-            # Creation failed partway: release what exists before the
-            # caller falls back to serial.
-            self.kill()
-            raise
-
-    def _spawn(self) -> _Worker:
-        ordinal = self._next_ordinal
-        self._next_ordinal += 1
-        shm = None
-        if self._transport == "shm":
-            from multiprocessing import shared_memory
-
-            shm = shared_memory.SharedMemory(
-                create=True, size=self._segment_bytes
-            )
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        try:
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(ordinal, child_conn, self._fn,
-                      self._tasks_per_worker, shm),
-                daemon=True,
-            )
-            process.start()
-        except BaseException:
-            _release_segment(shm)
-            parent_conn.close()
-            child_conn.close()
-            raise
-        # Close the child's end in the parent so a dead worker reads as
-        # EOF here instead of a half-open pipe.
-        child_conn.close()
-        return _Worker(ordinal=ordinal, process=process, conn=parent_conn,
-                       shm=shm)
-
-    def replace(self, worker: _Worker) -> _Worker:
-        """Kill a worker (timeout/crash/retired) and refill its slot."""
-        if worker.process.is_alive():
-            worker.process.terminate()
-        worker.process.join(timeout=5)
-        worker.conn.close()
-        _release_segment(worker.shm)
-        slot = self.workers.index(worker)
-        fresh = self._spawn()
-        self.workers[slot] = fresh
-        return fresh
-
-    def assign(self, worker: _Worker, indices: List[int],
-               payloads: Sequence[Any], timeout_s: Optional[float]) -> None:
-        worker.pending = list(indices)
-        worker.cell_started = time.monotonic()
-        worker.deadline = (
-            worker.cell_started + timeout_s if timeout_s is not None else None
-        )
-        worker.conn.send([(i, payloads[i]) for i in indices])
-
-    def poll(self) -> List[Tuple[_Worker, Optional[tuple]]]:
-        """(worker, message) for every worker with something to say.
-
-        A ``None`` message means the worker's pipe hit EOF (or broke
-        mid-message): the process is gone.
-        """
-        ready = connection.wait(
-            [worker.conn for worker in self.workers], timeout=_POLL_S
-        )
-        events: List[Tuple[_Worker, Optional[tuple]]] = []
-        by_conn = {worker.conn: worker for worker in self.workers}
-        for conn in ready:
-            worker = by_conn[conn]
-            try:
-                events.append((worker, conn.recv()))
-            except (EOFError, OSError):
-                events.append((worker, None))
-        return events
-
-    def by_ordinal(self, ordinal: int) -> Optional[_Worker]:
-        for worker in self.workers:
-            if worker.ordinal == ordinal:
-                return worker
-        return None
-
-    def read_segment(self, worker: _Worker, offset: int, size: int) -> Any:
-        """Decode one result from the worker's shared segment."""
-        return pickle.loads(bytes(worker.shm.buf[offset:offset + size]))
-
-    def shutdown(self) -> None:
-        """Drain gracefully: poison pills, then join, then close pipes."""
-        if self._dead:
-            return
-        self._dead = True
-        for worker in self.workers:
-            try:
-                worker.conn.send(None)
-            except Exception:  # pragma: no cover - pipe already broken
-                pass
-        for worker in self.workers:
-            worker.process.join(timeout=2)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=2)
-            worker.conn.close()
-            _release_segment(worker.shm)
-
-    def kill(self) -> None:
-        """Tear the pool down *now*: no poison pills, no graceful drain.
-
-        The interrupt path.  Terminate every worker (no matter what it
-        is running), join briefly, close every pipe, and unlink every
-        shared segment, so a Ctrl-C'd sweep leaves no orphan processes,
-        leaked file descriptors, or stale ``/dev/shm`` entries behind.
-        Idempotent, and makes any later :meth:`shutdown` a no-op.
-        """
-        if self._dead:
-            return
-        self._dead = True
-        for worker in self.workers:
-            if worker.process.is_alive():
-                worker.process.terminate()
-        for worker in self.workers:
-            worker.process.join(timeout=2)
-            if worker.process.is_alive():  # pragma: no cover - stuck in D
-                worker.process.kill()
-                worker.process.join(timeout=2)
-            try:
-                worker.conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-            _release_segment(worker.shm)
-
-
-def _release_segment(shm) -> None:
-    """Close and unlink one shared segment; tolerates double release."""
-    if shm is None:
-        return
-    try:
-        shm.close()
-        shm.unlink()
-    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
-        pass
 
 
 def _auto_batch(n_cells: int, n_workers: int) -> int:
@@ -524,21 +327,72 @@ def _run_serial(
 _RETRY_BACKOFF_S = 0.25
 
 
+def _spool_payloads(
+    payloads: Sequence[Any],
+    threshold: Optional[int],
+    stats: SweepStats,
+) -> Tuple[List[tuple], Optional[PayloadSpool]]:
+    """Payload descriptors for dispatch; big payloads go to the spool.
+
+    Returns one descriptor per payload — ``("inline", payload)`` below
+    the threshold, ``("spool", path, offset, length)`` at or above it —
+    plus the spool (caller closes it when the sweep ends).  Identical
+    large payloads deduplicate to one spool region.
+    """
+    if threshold is None:
+        return [("inline", p) for p in payloads], None
+    descs: List[tuple] = []
+    spool: Optional[PayloadSpool] = None
+    try:
+        for payload in payloads:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(blob) < threshold:
+                descs.append(("inline", payload))
+                continue
+            if spool is None:
+                spool = PayloadSpool()
+            offset, length = spool.append(blob)
+            descs.append(("spool", spool.path, offset, length))
+            stats.spooled_payloads += 1
+    except BaseException:
+        if spool is not None:
+            spool.close()
+        raise
+    if spool is not None:
+        stats.spool_bytes = spool.bytes_written
+    return descs, spool
+
+
 class Executor:
     """Runs sweeps under one :class:`SweepPlan`.
 
-    Stateless between runs except :attr:`stats`, which after each
-    :meth:`run` holds that sweep's stage breakdown.
+    ``pool`` is an optional shared :class:`WorkerPool`: when given, its
+    processes serve this run (and are left running afterwards — the
+    caller owns the pool's lifecycle); when omitted, an ephemeral pool
+    is created and torn down inside :meth:`run`.  ``cache`` is an
+    optional :class:`SweepCache`; when omitted and ``plan.cache`` is
+    set, one is opened on ``plan.cache_dir``.  Stateless between runs
+    except :attr:`stats`, which after each :meth:`run` holds that
+    sweep's stage breakdown.
     """
 
-    def __init__(self, plan: Optional[SweepPlan] = None):
+    def __init__(self, plan: Optional[SweepPlan] = None,
+                 pool: Optional[WorkerPool] = None,
+                 cache: Optional[SweepCache] = None):
         self.plan = plan if plan is not None else SweepPlan()
         self.stats: Optional[SweepStats] = None
+        self._pool = pool
+        if cache is None and self.plan.cache:
+            cache = SweepCache(self.plan.cache_dir)
+        self._cache = cache
+
+    @property
+    def cache(self) -> Optional[SweepCache]:
+        return self._cache
 
     def run(self, fn: Callable[[Any], Any],
             payloads: Sequence[Any]) -> List[RunOutcome]:
         """Run ``fn(payload)`` for every payload; outcomes in payload order."""
-        plan = self.plan
         payloads = list(payloads)
         stats = SweepStats(cells=len(payloads))
         self.stats = stats
@@ -546,40 +400,87 @@ class Executor:
             return []
         started = time.monotonic()
         try:
-            return self._run(fn, payloads, stats)
+            outcomes: List[Optional[RunOutcome]] = [None] * len(payloads)
+            keys: List[Optional[str]] = [None] * len(payloads)
+            cache = self._cache
+            if cache is not None:
+                for i, payload in enumerate(payloads):
+                    key = cache.key_for(fn, payload)
+                    keys[i] = key
+                    if key is None:
+                        continue
+                    hit, value = cache.get(key)
+                    if hit:
+                        outcomes[i] = RunOutcome(
+                            index=i, status="ok", value=value, cached=True,
+                        )
+                        stats.cache_hits += 1
+            todo = [i for i, o in enumerate(outcomes) if o is None]
+            if cache is not None:
+                stats.cache_misses = len(todo)
+            if todo:
+                ran = self._run_cells(fn, [payloads[i] for i in todo], stats)
+                for outcome in ran:
+                    index = todo[outcome.index]
+                    outcome.index = index
+                    outcomes[index] = outcome
+                    if cache is not None and outcome.ok \
+                            and keys[index] is not None:
+                        cache.put(keys[index], outcome.value)
+            stats.retried_cells = sum(
+                o.retries for o in outcomes if o is not None
+            )
+            return [o for o in outcomes if o is not None]
         finally:
             stats.wall_s = time.monotonic() - started
 
-    def _run(self, fn: Callable[[Any], Any], payloads: List[Any],
-             stats: SweepStats) -> List[RunOutcome]:
+    def _run_cells(self, fn: Callable[[Any], Any], payloads: List[Any],
+                   stats: SweepStats) -> List[RunOutcome]:
         plan = self.plan
         n_workers = min(resolve_workers(plan.max_workers), len(payloads))
         if n_workers <= 1:
             stats.workers = 1
             return _run_serial(fn, payloads, stats)
-        transport = plan.transport
-        if transport == "shm" and not _shm_available():
-            transport = "pipe"
+        shared = self._pool is not None
+        pool = self._pool
+        lease: Optional[PoolLease] = None
+        try:
+            if shared:
+                stats.pool_reuse = pool.runs_served
+                lease = pool.lease(n_workers)
+            else:
+                pool = WorkerPool(
+                    max_workers=n_workers,
+                    tasks_per_worker=plan.tasks_per_worker,
+                    transport=plan.transport,
+                )
+                lease = pool.lease(n_workers)
+        except (OSError, ValueError):
+            # No processes on this platform (sandbox, resource limits):
+            # degrade to the serial path rather than failing the sweep.
+            if not shared and pool is not None:
+                pool.kill()
+            stats.workers = 1
+            stats.transport = "serial"
+            return _run_serial(fn, payloads, stats)
+        pool.runs_served += 1
+        budget = pool.tasks_per_worker
         batch = (
             plan.batch_size if plan.batch_size is not None
             else _auto_batch(len(payloads), n_workers)
         )
-        if plan.tasks_per_worker is not None:
-            batch = min(batch, plan.tasks_per_worker)
-        stats.workers = n_workers
+        if budget is not None:
+            batch = min(batch, budget)
+        stats.workers = len(lease.workers)
         stats.batch_size = batch
-        stats.transport = transport
+        stats.transport = pool.transport
+        spool: Optional[PayloadSpool] = None
         try:
-            pool = _Pool(fn, n_workers, plan.tasks_per_worker,
-                         transport=transport)
-        except (OSError, ValueError):
-            # No processes on this platform (sandbox, resource limits):
-            # degrade to the serial path rather than failing the sweep.
-            stats.workers = 1
-            stats.transport = "serial"
-            return _run_serial(fn, payloads, stats)
-        try:
-            return _run_pool(pool, payloads, plan, batch, stats)
+            descs, spool = _spool_payloads(
+                payloads, plan.spool_threshold, stats
+            )
+            return _run_pool(lease, fn, payloads, descs, plan, batch,
+                             budget, stats)
         except (KeyboardInterrupt, SystemExit):
             # Ctrl-C (or a hard exit request) mid-sweep: kill the
             # workers outright — they may be mid-cell and will never
@@ -587,19 +488,17 @@ class Executor:
             # interrupt propagate.
             pool.kill()
             raise
+        except BaseException:
+            # Any other escape leaves workers with undelivered batches
+            # and unread pipes; a shared pool in that state would
+            # poison the next sweep, so tear it down too.
+            pool.kill()
+            raise
         finally:
-            pool.shutdown()
-
-
-def _shm_available() -> bool:
-    """Shared-memory transport needs fork (segments are inherited)."""
-    if multiprocessing.get_start_method(allow_none=False) != "fork":
-        return False
-    try:
-        from multiprocessing import shared_memory  # noqa: F401
-    except ImportError:  # pragma: no cover - ancient python
-        return False
-    return True
+            if spool is not None:
+                spool.close()
+            if not shared:
+                pool.shutdown()
 
 
 def run_sweep(
@@ -612,11 +511,22 @@ def run_sweep(
 ) -> List[RunOutcome]:
     """Deprecated entry point; builds a :class:`SweepPlan` and runs it.
 
-    Kept as a shim so existing callers (chaos, fuzz, fleet, bench)
-    migrate at their own pace — behaviour is identical to
-    ``Executor(SweepPlan(...)).run(fn, payloads)`` with the loose
-    kwargs folded into the plan.
+    Kept as a byte-identical shim over
+    ``Executor(SweepPlan(...)).run(fn, payloads)`` so external callers
+    migrate at their own pace; it emits a single-shot
+    :class:`DeprecationWarning` per process and will be removed in a
+    later release (``tests/test_parallel_executor.py`` pins the shim's
+    equivalence until then).
     """
+    global _RUN_SWEEP_WARNED
+    if not _RUN_SWEEP_WARNED:
+        _RUN_SWEEP_WARNED = True
+        warnings.warn(
+            "repro.parallel.run_sweep is deprecated; use"
+            " Executor(SweepPlan(...)).run(fn, payloads) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     plan = SweepPlan(
         max_workers=max_workers,
         timeout_s=timeout_s,
@@ -626,14 +536,17 @@ def run_sweep(
     return Executor(plan).run(fn, payloads)
 
 
+_RUN_SWEEP_WARNED = False
+
+
 def _run_pool(
-    pool: _Pool, payloads: Sequence[Any], plan: SweepPlan, batch_cap: int,
-    stats: SweepStats,
+    lease: PoolLease, fn: Callable[[Any], Any], payloads: Sequence[Any],
+    descs: Sequence[tuple], plan: SweepPlan, batch_cap: int,
+    budget: Optional[int], stats: SweepStats,
 ) -> List[RunOutcome]:
     outcomes: List[Optional[RunOutcome]] = [None] * len(payloads)
     next_index = 0
     completed = 0
-    budget = pool._tasks_per_worker
     retries = plan.retries
     timeout_s = plan.timeout_s
     #: Crash/timeout retries consumed so far, per cell.
@@ -647,7 +560,7 @@ def _run_pool(
     def feed() -> None:
         nonlocal next_index
         t0 = time.monotonic()
-        for worker in pool.workers:
+        for worker in lease.workers:
             # Never hand a cell to a worker that has hit its recycling
             # budget: it exits right after announcing retirement, and a
             # cell sent behind that announcement would strand in a dead
@@ -663,7 +576,7 @@ def _run_pool(
             ready = next((r for r in retry_queue if r[0] <= now), None)
             if ready is not None:
                 retry_queue.remove(ready)
-                pool.assign(worker, [ready[1]], payloads, timeout_s)
+                lease.assign(worker, fn, [ready[1]], descs, timeout_s)
                 continue
             room = batch_cap
             if budget is not None:
@@ -675,10 +588,10 @@ def _run_pool(
                 indices.append(next_index)
                 next_index += 1
             if indices:
-                pool.assign(worker, indices, payloads, timeout_s)
+                lease.assign(worker, fn, indices, descs, timeout_s)
         stats.dispatch_s += time.monotonic() - t0
 
-    def fail(worker: _Worker, index: int, status: str, error: str) -> None:
+    def fail(worker, index: int, status: str, error: str) -> None:
         """Charge a crashed/timed-out cell, or queue its retry."""
         nonlocal completed
         if outcomes[index] is not None:
@@ -696,7 +609,7 @@ def _run_pool(
         )
         completed += 1
 
-    def abandon(worker: _Worker) -> None:
+    def abandon(worker) -> None:
         """Re-queue a dead worker's unstarted batch cells, penalty-free.
 
         Completions arrive in batch order, so ``pending[0]`` is the
@@ -708,7 +621,7 @@ def _run_pool(
                 requeue.append(index)
         worker.pending = []
 
-    def record(worker: _Worker, message: tuple) -> None:
+    def record(worker, message: tuple) -> None:
         """Fold one worker message into outcomes and bookkeeping."""
         nonlocal completed
         status, ordinal, index, desc, error, compute_s = message
@@ -717,8 +630,8 @@ def _run_pool(
             # fresh process.  (Batches never straddle the budget, so a
             # retiring worker has no unstarted cells to abandon.)
             abandon(worker)
-            if pool.by_ordinal(ordinal) is not None:
-                pool.replace(worker)
+            if lease.by_ordinal(ordinal) is not None:
+                lease.replace(worker)
             return
         t0 = time.monotonic()
         stats.compute_s += compute_s
@@ -727,7 +640,7 @@ def _run_pool(
             if status == "ok":
                 kind = desc[0]
                 if kind == "shm":
-                    value = pool.read_segment(worker, desc[1], desc[2])
+                    value = lease.read_segment(worker, desc[1], desc[2])
                 else:
                     value = desc[1]
                     if worker.shm is not None:
@@ -751,7 +664,7 @@ def _run_pool(
 
     feed()
     while completed < len(payloads):
-        events = pool.poll()
+        events = lease.poll()
         for worker, message in events:
             if message is None:
                 # EOF: the worker died.  Charge (or retry) its in-
@@ -766,8 +679,8 @@ def _run_pool(
                         f" attempt {attempts[index] + 1})",
                     )
                 abandon(worker)
-                if pool.by_ordinal(worker.ordinal) is not None:
-                    pool.replace(worker)
+                if lease.by_ordinal(worker.ordinal) is not None:
+                    lease.replace(worker)
             else:
                 record(worker, message)
         if events:
@@ -776,7 +689,7 @@ def _run_pool(
 
         # Nothing to read: enforce per-cell deadlines.
         now = time.monotonic()
-        for worker in list(pool.workers):
+        for worker in list(lease.workers):
             if worker.inflight is None:
                 continue
             if worker.deadline is not None and now > worker.deadline:
@@ -787,10 +700,7 @@ def _run_pool(
                     f" (attempt {attempts[index] + 1})",
                 )
                 abandon(worker)
-                pool.replace(worker)
+                lease.replace(worker)
         feed()
 
-    stats.retried_cells = sum(
-        o.retries for o in outcomes if o is not None
-    )
     return [o for o in outcomes if o is not None]

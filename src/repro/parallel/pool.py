@@ -1,0 +1,435 @@
+"""The persistent worker pool behind the sweep executor.
+
+Before this module existed, every :meth:`repro.parallel.Executor.run`
+forked a fresh set of worker processes and tore them down at the end —
+one fork cost per *stage*, paid again by every bench stage, every fuzz
+shard, and every chaos soak in the same process.  A
+:class:`WorkerPool` decouples worker lifetime from sweep lifetime:
+
+* **Function-per-batch protocol.**  Workers no longer bind the sweep
+  callable at fork time; each batch message carries the callable
+  (pickled by reference — it must stay a module-level function) along
+  with its cells, so one pool serves ``run_experiment`` cells, fleet
+  records, chaos seeds, and fuzz scenarios back to back.
+* **Leases.**  A run asks for ``lease(n)`` and operates on the first
+  ``n`` workers; the pool may hold more (sized once for the largest
+  stage).  Replacements for crashed/retired workers happen through the
+  lease so both views stay consistent.
+* **Spool-aware payload descriptors.**  A cell's payload crosses the
+  pipe either inline (``("inline", payload)``) or as a
+  ``("spool", path, offset, length)`` reference into an mmap'd spool
+  file (:mod:`repro.parallel.spool`) the worker slices lazily.
+* **Lifecycle.**  ``shutdown()`` drains gracefully (poison pills),
+  ``kill()`` tears down immediately (the Ctrl-C path), both are
+  idempotent, and the pool registers an :mod:`atexit` ``kill`` so a
+  process that exits with a live pool leaves no orphan processes,
+  pipes, or ``/dev/shm`` segments behind.  ``with WorkerPool(...)``
+  shuts down on exit.
+
+Everything the old per-run pool promised still holds: one duplex pipe
+per worker (a dead worker reads as EOF, never a wedged queue), results
+via per-worker shared-memory segments with inline spill, recycling via
+``tasks_per_worker``, and completions that arrive strictly in batch
+order so crash attribution stays per-cell.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.parallel.spool import SpoolReader
+
+#: Default worker-count cap when ``max_workers`` is None: enough to
+#: cover the experiment sweeps without oversubscribing small machines.
+DEFAULT_WORKER_CAP = 4
+
+#: How long the parent waits for worker messages per poll, seconds.
+_POLL_S = 0.02
+
+#: Size of each worker's shared-memory result segment.  Large enough
+#: for any experiment record batch; results that do not fit spill to
+#: inline pipe transport per cell.
+_SEGMENT_BYTES = 1 << 23
+
+
+def resolve_workers(max_workers: Optional[int]) -> int:
+    """Map the user-facing ``--workers`` value to a worker count.
+
+    ``None`` means auto: one worker per CPU, capped at
+    :data:`DEFAULT_WORKER_CAP`.  Anything below 2 means in-process.
+    """
+    if max_workers is None:
+        max_workers = min(DEFAULT_WORKER_CAP, os.cpu_count() or 1)
+    return max(1, int(max_workers))
+
+
+def shm_available() -> bool:
+    """Shared-memory transport needs fork (segments are inherited)."""
+    if multiprocessing.get_start_method(allow_none=False) != "fork":
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - ancient python
+        return False
+    return True
+
+
+# --- worker side -----------------------------------------------------------
+
+
+def _resolve_payload(desc: tuple, reader: SpoolReader) -> Any:
+    """Turn one payload descriptor back into the payload object."""
+    if desc[0] == "spool":
+        return pickle.loads(reader.read(desc[1], desc[2], desc[3]))
+    return desc[1]
+
+
+def _worker_main(worker_id: int, conn, tasks_per_worker: Optional[int],
+                 shm) -> None:
+    """Run cell batches from the pipe until retired, poisoned, or crashed."""
+    done = 0
+    buf = shm.buf if shm is not None else None
+    capacity = len(buf) if buf is not None else 0
+    reader = SpoolReader()
+    while True:
+        try:
+            batch = conn.recv()
+        except (EOFError, OSError):
+            return
+        except KeyboardInterrupt:
+            # A terminal Ctrl-C delivers SIGINT to the whole foreground
+            # process group, workers included.  The parent owns the
+            # interrupt (it kills the pool); a worker parked on recv()
+            # just exits quietly instead of spraying tracebacks.
+            return
+        if batch is None:
+            return
+        fn, cells = batch
+        # The parent has consumed every result of the previous batch
+        # before assigning this one (the assignment is the ack), so the
+        # segment is free to reuse from the top.
+        offset = 0
+        for index, desc in cells:
+            started = time.perf_counter()
+            try:
+                payload = _resolve_payload(desc, reader)
+                value = fn(payload)
+                compute_s = time.perf_counter() - started
+                if buf is not None:
+                    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                    size = len(blob)
+                    if offset + size <= capacity:
+                        buf[offset:offset + size] = blob
+                        message = ("ok", worker_id, index,
+                                   ("shm", offset, size), None, compute_s)
+                        offset += size
+                    else:
+                        message = ("ok", worker_id, index,
+                                   ("inline", value), None, compute_s)
+                else:
+                    message = ("ok", worker_id, index,
+                               ("inline", value), None, compute_s)
+            except BaseException:
+                message = ("error", worker_id, index, None,
+                           traceback.format_exc(),
+                           time.perf_counter() - started)
+            try:
+                # send() pickles then writes from this thread, so the
+                # message is fully flushed before the next cell can
+                # crash the process, and an unpicklable result surfaces
+                # here as a structured error rather than killing the
+                # worker.
+                conn.send(message)
+            except Exception as exc:
+                conn.send(("error", worker_id, index, None,
+                           f"result of cell {index} is not picklable: {exc!r}",
+                           0.0))
+            done += 1
+            if tasks_per_worker is not None and done >= tasks_per_worker:
+                conn.send(("retired", worker_id, None, None, None, 0.0))
+                return
+
+
+# --- parent side -----------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    ordinal: int
+    process: Any
+    conn: Any
+    #: The worker's shared-memory segment, or None on pipe transport.
+    shm: Any = None
+    #: Indices of the assigned batch still awaiting completion, in the
+    #: order the worker runs them (completions arrive in this order).
+    pending: List[int] = field(default_factory=list)
+    #: Wall-clock deadline for the cell now in flight, or None.
+    deadline: Optional[float] = None
+    #: When the cell now in flight started (parent clock).
+    cell_started: float = 0.0
+    tasks_done: int = field(default=0)
+
+    @property
+    def inflight(self) -> Optional[int]:
+        """The cell the worker is running right now, or None when idle."""
+        return self.pending[0] if self.pending else None
+
+
+def _release_segment(shm) -> None:
+    """Close and unlink one shared segment; tolerates double release."""
+    if shm is None:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+class WorkerPool:
+    """A set of worker processes that outlives any single sweep.
+
+    ``max_workers`` bounds the pool (``None`` = the auto cap); workers
+    spawn lazily as leases demand them, so a pool constructed for the
+    largest stage costs nothing until used.  ``transport="shm"``
+    degrades to ``"pipe"`` wholesale on platforms without fork or
+    shared memory.
+
+    ``tasks_per_worker`` is a *pool* property: a worker's recycling
+    budget counts every cell it has run across all the sweeps the pool
+    served, which is exactly what the budget is for (bounding leaked
+    per-process state over a worker's whole lifetime).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        tasks_per_worker: Optional[int] = None,
+        transport: str = "shm",
+        segment_bytes: int = _SEGMENT_BYTES,
+    ):
+        if transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pipe', got {transport!r}"
+            )
+        self.size = resolve_workers(max_workers)
+        self.tasks_per_worker = tasks_per_worker
+        self.transport = transport if shm_available() else "pipe"
+        self._segment_bytes = segment_bytes
+        self._ctx = multiprocessing.get_context()
+        self._next_ordinal = 0
+        self._dead = False
+        self.workers: List[_Worker] = []
+        #: Sweeps this pool has served (read by SweepStats.pool_reuse).
+        self.runs_served = 0
+        #: Worker processes spawned over the pool's lifetime.
+        self.forks = 0
+        # A pool abandoned without shutdown() (or killed by Ctrl-C
+        # outside a sweep) must not strand processes or /dev/shm
+        # segments; kill() is idempotent so a clean shutdown makes
+        # this a no-op.
+        atexit.register(self.kill)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def ensure(self, n: int) -> None:
+        """Spawn workers until ``min(n, size)`` exist.
+
+        Raises ``OSError``/``ValueError`` when the platform cannot
+        create processes; whatever was spawned before the failure stays
+        usable (callers may retry with a smaller lease or fall back to
+        serial).
+        """
+        if self._dead:
+            raise ValueError("pool is shut down")
+        target = min(n, self.size)
+        while len(self.workers) < target:
+            self.workers.append(self._spawn())
+
+    def lease(self, n: int) -> "PoolLease":
+        """A view over the first ``min(n, size)`` workers for one sweep.
+
+        Workers left with undelivered state by an aborted sweep are
+        replaced before the lease is handed out, so each sweep starts
+        from idle pipes.
+        """
+        self.ensure(n)
+        workers = self.workers[:min(n, self.size)]
+        for i, worker in enumerate(workers):
+            if worker.pending or not worker.process.is_alive():
+                workers[i] = self.replace(worker)
+        return PoolLease(self, workers)
+
+    def _spawn(self) -> _Worker:
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        shm = None
+        if self.transport == "shm":
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=self._segment_bytes
+            )
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        try:
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(ordinal, child_conn, self.tasks_per_worker, shm),
+                daemon=True,
+            )
+            process.start()
+        except BaseException:
+            _release_segment(shm)
+            parent_conn.close()
+            child_conn.close()
+            raise
+        # Close the child's end in the parent so a dead worker reads as
+        # EOF here instead of a half-open pipe.
+        child_conn.close()
+        self.forks += 1
+        return _Worker(ordinal=ordinal, process=process, conn=parent_conn,
+                       shm=shm)
+
+    def replace(self, worker: _Worker) -> _Worker:
+        """Kill a worker (timeout/crash/retired) and refill its slot."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        worker.conn.close()
+        _release_segment(worker.shm)
+        slot = self.workers.index(worker)
+        fresh = self._spawn()
+        self.workers[slot] = fresh
+        return fresh
+
+    def shutdown(self) -> None:
+        """Drain gracefully: poison pills, then join, then close pipes."""
+        if self._dead:
+            return
+        self._dead = True
+        atexit.unregister(self.kill)
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except Exception:  # pragma: no cover - pipe already broken
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2)
+            worker.conn.close()
+            _release_segment(worker.shm)
+
+    def kill(self) -> None:
+        """Tear the pool down *now*: no poison pills, no graceful drain.
+
+        The interrupt path.  Terminate every worker (no matter what it
+        is running), join briefly, close every pipe, and unlink every
+        shared segment, so a Ctrl-C'd sweep leaves no orphan processes,
+        leaked file descriptors, or stale ``/dev/shm`` entries behind.
+        Idempotent, and makes any later :meth:`shutdown` a no-op.
+        """
+        if self._dead:
+            return
+        self._dead = True
+        atexit.unregister(self.kill)
+        for worker in self.workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in self.workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():  # pragma: no cover - stuck in D
+                worker.process.kill()
+                worker.process.join(timeout=2)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            _release_segment(worker.shm)
+
+    @property
+    def closed(self) -> bool:
+        return self._dead
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class PoolLease:
+    """One sweep's view over a subset of a pool's workers.
+
+    The executor's run loop talks to the lease only; worker
+    replacement updates the pool's slot *and* the lease's, so the two
+    views never diverge mid-sweep.
+    """
+
+    def __init__(self, pool: WorkerPool, workers: List[_Worker]):
+        self._pool = pool
+        self.workers = workers
+
+    @property
+    def tasks_per_worker(self) -> Optional[int]:
+        return self._pool.tasks_per_worker
+
+    @property
+    def transport(self) -> str:
+        return self._pool.transport
+
+    def assign(self, worker: _Worker, fn: Callable[[Any], Any],
+               indices: List[int], descs: Sequence[tuple],
+               timeout_s: Optional[float]) -> None:
+        worker.pending = list(indices)
+        worker.cell_started = time.monotonic()
+        worker.deadline = (
+            worker.cell_started + timeout_s if timeout_s is not None else None
+        )
+        worker.conn.send((fn, [(i, descs[i]) for i in indices]))
+
+    def poll(self) -> List[Tuple[_Worker, Optional[tuple]]]:
+        """(worker, message) for every leased worker with news.
+
+        A ``None`` message means the worker's pipe hit EOF (or broke
+        mid-message): the process is gone.
+        """
+        ready = connection.wait(
+            [worker.conn for worker in self.workers], timeout=_POLL_S
+        )
+        events: List[Tuple[_Worker, Optional[tuple]]] = []
+        by_conn = {worker.conn: worker for worker in self.workers}
+        for conn in ready:
+            worker = by_conn[conn]
+            try:
+                events.append((worker, conn.recv()))
+            except (EOFError, OSError):
+                events.append((worker, None))
+        return events
+
+    def by_ordinal(self, ordinal: int) -> Optional[_Worker]:
+        for worker in self.workers:
+            if worker.ordinal == ordinal:
+                return worker
+        return None
+
+    def replace(self, worker: _Worker) -> _Worker:
+        fresh = self._pool.replace(worker)
+        slot = self.workers.index(worker)
+        self.workers[slot] = fresh
+        return fresh
+
+    def read_segment(self, worker: _Worker, offset: int, size: int) -> Any:
+        """Decode one result from the worker's shared segment."""
+        return pickle.loads(bytes(worker.shm.buf[offset:offset + size]))

@@ -1,0 +1,135 @@
+"""mmap-spooled payload fan-out for the sweep executor.
+
+The mirror image of the shared-memory *result* transport: large cell
+payloads (fleet specs, scenario specs, fault plans) are pickled **once**
+into an append-only spool file by the parent, and only a tiny
+``("spool", path, offset, length)`` descriptor crosses the control pipe
+per cell — instead of the payload being re-pickled down every pipe for
+every dispatch, retry, and re-queue.  Workers map the file read-only
+with :mod:`mmap` on first use and slice payload blobs straight out of
+the page cache, so a payload fanned to N workers costs one serialisation
+and zero pipe copies.
+
+Identical payloads deduplicate: :meth:`PayloadSpool.append` keys blobs
+by content digest, so a sweep that hands the same large spec to many
+cells spools it exactly once.
+
+Lifecycle: the spool file lives in the system temp directory under a
+``repro-spool-<pid>-`` prefix, is written and flushed strictly before
+any descriptor referencing it is sent (workers therefore never observe
+a short read), and is unlinked by :meth:`close` when the sweep ends —
+workers hold their mappings open across the unlink, which POSIX keeps
+valid until they unmap.  ``close`` is idempotent and registered with
+the executor's cleanup paths (success, crash, and Ctrl-C alike), so an
+interrupted sweep leaves no spool files behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+#: Filename prefix for spool files; the leak regression tests key on it.
+SPOOL_PREFIX = "repro-spool-"
+
+#: Mapped spool files a worker keeps open at once.  Spool paths are
+#: unique per sweep, so old entries are dead weight; a tiny FIFO bounds
+#: the address space a long-lived pooled worker can accumulate.
+_READER_CACHE_LIMIT = 4
+
+
+class PayloadSpool:
+    """Parent-side append-only spool of pickled payload blobs."""
+
+    def __init__(self, dir: str = None):
+        fd, path = tempfile.mkstemp(
+            prefix=f"{SPOOL_PREFIX}{os.getpid()}-", suffix=".bin", dir=dir
+        )
+        self.path = path
+        self._fh = os.fdopen(fd, "wb")
+        self.bytes_written = 0
+        #: blob digest -> (offset, length); identical blobs spool once.
+        self._index: Dict[bytes, Tuple[int, int]] = {}
+        self._closed = False
+
+    def append(self, blob: bytes) -> Tuple[int, int]:
+        """Write one pickled blob (deduplicated); return (offset, length).
+
+        The write is flushed before returning, so a descriptor built
+        from the result may be sent to a worker immediately.
+        """
+        if self._closed:
+            raise ValueError("spool is closed")
+        digest = hashlib.blake2b(blob, digest_size=16).digest()
+        existing = self._index.get(digest)
+        if existing is not None:
+            return existing
+        offset = self.bytes_written
+        self._fh.write(blob)
+        self._fh.flush()
+        self.bytes_written += len(blob)
+        entry = (offset, len(blob))
+        self._index[digest] = entry
+        return entry
+
+    def close(self) -> None:
+        """Close and unlink the spool file; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - close raced a full disk
+            pass
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "PayloadSpool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SpoolReader:
+    """Worker-side reader: lazily mmaps spool files, slices blobs out.
+
+    A mapping is (re)established when a path is first referenced or
+    when a descriptor reaches beyond the region mapped so far (the
+    parent appended after we mapped — the bytes are on disk by the
+    time the descriptor arrives, only our view is stale).
+    """
+
+    def __init__(self, limit: int = _READER_CACHE_LIMIT):
+        self._limit = limit
+        #: path -> mmap, in insertion order (FIFO eviction).
+        self._maps: "OrderedDict[str, mmap.mmap]" = OrderedDict()
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        mapped = self._maps.get(path)
+        if mapped is None or len(mapped) < offset + length:
+            mapped = self._remap(path)
+        return mapped[offset:offset + length]
+
+    def _remap(self, path: str) -> mmap.mmap:
+        old = self._maps.pop(path, None)
+        if old is not None:
+            old.close()
+        with open(path, "rb") as fh:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        self._maps[path] = mapped
+        while len(self._maps) > self._limit:
+            _stale_path, stale = self._maps.popitem(last=False)
+            stale.close()
+        return mapped
+
+    def close(self) -> None:
+        while self._maps:
+            _path, mapped = self._maps.popitem()
+            mapped.close()

@@ -1,0 +1,60 @@
+"""Bench warm-cache behaviour: speedup, byte identity, schema fields."""
+
+import pytest
+
+from repro.bench import bench_experiments, bench_fleet
+from repro.parallel import SweepCache
+
+#: Two cheap experiments keep the cold leg short while still measuring
+#: a real workload.
+SECTIONS = ["fig5", "table4"]
+
+
+def test_warm_experiments_stage_is_faster_and_byte_identical(tmp_path):
+    cache = SweepCache(str(tmp_path))
+    cold = bench_experiments(SECTIONS, seed=0, cache=cache)
+    warm = bench_experiments(SECTIONS, seed=0, cache=cache)
+
+    assert cold["cache_hits"] == 0
+    assert warm["cache_hits"] == len(SECTIONS)
+    assert warm["digests"] == cold["digests"]
+    assert warm["canonical"] == cold["canonical"]
+    # The acceptance floor is 1.5x for the whole bench; the cached
+    # stage itself clears it with a wide margin (it skips all compute).
+    assert warm["serial_seconds"] * 1.5 <= cold["serial_seconds"]
+
+
+def test_uncached_experiments_match_cached_digests(tmp_path):
+    plain = bench_experiments(SECTIONS, seed=0, cache=None)
+    cache = SweepCache(str(tmp_path))
+    cached = bench_experiments(SECTIONS, seed=0, cache=cache)
+    warm = bench_experiments(SECTIONS, seed=0, cache=cache)
+    assert plain["digests"] == cached["digests"] == warm["digests"]
+
+
+def test_warm_fleet_stage_hits_the_cache_with_identical_digests(tmp_path):
+    cache = SweepCache(str(tmp_path))
+    cold = bench_fleet(seed=0, cache=cache)
+    warm = bench_fleet(seed=0, cache=cache)
+    assert cold["divergence"] == warm["divergence"] == []
+    assert warm["digests"] == cold["digests"]
+    assert warm["cache_hits"] == 2 * len(warm["schemes"])  # both legs
+
+
+def test_seed_change_does_not_reuse_entries(tmp_path):
+    cache = SweepCache(str(tmp_path))
+    bench_experiments(SECTIONS, seed=0, cache=cache)
+    other = bench_experiments(SECTIONS, seed=1, cache=cache)
+    assert other["cache_hits"] == 0
+
+
+@pytest.mark.parametrize("simsan", ["0", "1"])
+def test_cached_identity_holds_under_simsan(tmp_path, monkeypatch, simsan):
+    # REPRO_SIMSAN is part of the cache address, so each setting has
+    # its own namespace; within a namespace warm must equal cold.
+    monkeypatch.setenv("REPRO_SIMSAN", simsan)
+    cache = SweepCache(str(tmp_path))
+    cold = bench_experiments(["fig5"], seed=0, cache=cache)
+    warm = bench_experiments(["fig5"], seed=0, cache=cache)
+    assert warm["cache_hits"] == 1
+    assert warm["canonical"] == cold["canonical"]

@@ -16,7 +16,7 @@ from repro.fleet import (
     run_fleet,
     run_fleet_record,
 )
-from repro.parallel import run_sweep, values
+from repro.parallel import Executor, SweepPlan, values
 from repro.sim.units import MSEC
 
 HORIZON = 400 * MSEC
@@ -227,7 +227,7 @@ class TestDeterminism:
             for seed in (0, 7)
         ]
         serial = [run_fleet_record(p) for p in payloads]
-        parallel = values(run_sweep(run_fleet_record, payloads, max_workers=2))
+        parallel = values(Executor(SweepPlan(max_workers=2)).run(run_fleet_record, payloads))
         assert serial == parallel
 
     def test_seed_changes_the_journal(self):

@@ -8,7 +8,7 @@ across worker processes may change nothing but wall-clock time.
 import pytest
 
 from repro.api import ExperimentSpec, run_experiment
-from repro.parallel import run_sweep, values
+from repro.parallel import Executor, SweepPlan, values
 
 #: Three cheap experiments x two seeds — enough to cross process
 #: boundaries on every experiment kind without a long test.
@@ -30,16 +30,16 @@ def serial_canonical(payloads):
 
 
 def test_parallel_sweep_matches_serial_byte_for_byte(payloads, serial_canonical):
-    results = values(run_sweep(run_experiment, payloads, max_workers=2))
+    results = values(Executor(SweepPlan(max_workers=2)).run(run_experiment, payloads))
     assert [r.canonical_json() for r in results] == serial_canonical
 
 
 def test_in_process_sweep_matches_serial_byte_for_byte(payloads, serial_canonical):
-    results = values(run_sweep(run_experiment, payloads, max_workers=1))
+    results = values(Executor(SweepPlan(max_workers=1)).run(run_experiment, payloads))
     assert [r.canonical_json() for r in results] == serial_canonical
 
 
 def test_parallel_results_carry_correct_specs(payloads):
-    results = values(run_sweep(run_experiment, payloads, max_workers=2))
+    results = values(Executor(SweepPlan(max_workers=2)).run(run_experiment, payloads))
     assert [(r.name, r.seed) for r in results] == \
            [(p.name, p.seed) for p in payloads]

@@ -178,6 +178,43 @@ def test_values_passthrough_on_success():
     assert values(outcomes) == ["a"]
 
 
+# --- the run_sweep deprecation shim ------------------------------------------
+
+
+def test_run_sweep_emits_a_single_shot_deprecation_warning(monkeypatch):
+    import warnings
+
+    import repro.parallel.executor as executor
+
+    monkeypatch.setattr(executor, "_RUN_SWEEP_WARNED", False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        run_sweep(_square, [1], max_workers=1)
+        run_sweep(_square, [1], max_workers=1)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "Executor" in str(deprecations[0].message)
+
+
+def test_run_sweep_stays_byte_identical_to_executor_run():
+    # The shim exists so external callers migrate at their own pace; it
+    # must stay a pure alias of Executor.run until it is dropped.
+    from repro.parallel import Executor, SweepPlan
+
+    for kwargs in (
+        {"max_workers": 1},
+        {"max_workers": 2},
+        {"max_workers": 2, "timeout_s": 30.0, "tasks_per_worker": 2,
+         "retries": 0},
+    ):
+        shim = run_sweep(_square, range(6), **kwargs)
+        direct = Executor(SweepPlan(**kwargs)).run(_square, range(6))
+        assert [(o.index, o.status, o.value) for o in shim] == \
+               [(o.index, o.status, o.value) for o in direct]
+        assert values(shim) == values(direct)
+
+
 # --- interrupt hygiene -------------------------------------------------------
 
 
@@ -193,9 +230,10 @@ def test_inprocess_interrupt_propagates():
 
 
 def test_pool_kill_reaps_workers_and_closes_pipes():
-    from repro.parallel.executor import _Pool
+    from repro.parallel import WorkerPool
 
-    pool = _Pool(_square, n_workers=2, tasks_per_worker=None)
+    pool = WorkerPool(max_workers=2)
+    pool.ensure(2)
     processes = [w.process for w in pool.workers]
     assert all(p.is_alive() for p in processes)
     pool.kill()
@@ -212,19 +250,24 @@ def test_interrupt_mid_sweep_kills_the_pool(monkeypatch):
     # Inject a KeyboardInterrupt into the parent's poll loop and check
     # the sweep re-raises it with every worker dead and pipes closed.
     import repro.parallel.executor as executor
+    from repro.parallel.pool import WorkerPool
 
     captured = {}
-    real_pool = executor._Pool
 
-    class _Spy(real_pool):
+    def _boom():
+        raise KeyboardInterrupt
+
+    class _Spy(WorkerPool):
         def __init__(self, *args, **kwargs):
             super().__init__(*args, **kwargs)
             captured["pool"] = self
 
-        def poll(self):
-            raise KeyboardInterrupt
+        def lease(self, n):
+            lease = super().lease(n)
+            lease.poll = _boom
+            return lease
 
-    monkeypatch.setattr(executor, "_Pool", _Spy)
+    monkeypatch.setattr(executor, "WorkerPool", _Spy)
     with pytest.raises(KeyboardInterrupt):
         run_sweep(_sleep_on_one, [1, 1, 1, 1], max_workers=2)
     pool = captured["pool"]

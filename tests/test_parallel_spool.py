@@ -1,0 +1,125 @@
+"""mmap payload spooling: descriptors, dedup, remap, sweep identity."""
+
+import os
+import pickle
+
+from repro.parallel import (
+    Executor,
+    PayloadSpool,
+    SpoolReader,
+    SweepPlan,
+    values,
+)
+
+
+def _echo(payload):
+    return payload
+
+
+def test_append_returns_offsets_and_flushes(tmp_path):
+    with PayloadSpool(dir=str(tmp_path)) as spool:
+        a = spool.append(b"aaaa")
+        b = spool.append(b"bbbbbb")
+        assert a == (0, 4)
+        assert b == (4, 6)
+        # Flushed before return: the bytes are readable immediately.
+        with open(spool.path, "rb") as fh:
+            assert fh.read() == b"aaaa" + b"bbbbbb"
+
+
+def test_identical_blobs_deduplicate(tmp_path):
+    with PayloadSpool(dir=str(tmp_path)) as spool:
+        first = spool.append(b"payload")
+        again = spool.append(b"payload")
+        assert first == again
+        assert spool.bytes_written == len(b"payload")
+
+
+def test_reader_slices_blobs_out(tmp_path):
+    spool = PayloadSpool(dir=str(tmp_path))
+    blob_a = pickle.dumps({"k": 1})
+    blob_b = pickle.dumps([1, 2, 3])
+    off_a, len_a = spool.append(blob_a)
+    off_b, len_b = spool.append(blob_b)
+    reader = SpoolReader()
+    try:
+        assert pickle.loads(reader.read(spool.path, off_a, len_a)) == {"k": 1}
+        assert pickle.loads(reader.read(spool.path, off_b, len_b)) == [1, 2, 3]
+    finally:
+        reader.close()
+        spool.close()
+
+
+def test_reader_remaps_when_the_file_grew(tmp_path):
+    # The parent appends after a worker first mapped the file; the
+    # worker's next descriptor reaches past its stale view and must
+    # trigger a remap, not a short read.
+    spool = PayloadSpool(dir=str(tmp_path))
+    off_a, len_a = spool.append(b"x" * 32)
+    reader = SpoolReader()
+    try:
+        assert reader.read(spool.path, off_a, len_a) == b"x" * 32
+        off_b, len_b = spool.append(b"y" * 64)
+        assert reader.read(spool.path, off_b, len_b) == b"y" * 64
+    finally:
+        reader.close()
+        spool.close()
+
+
+def test_reader_cache_is_bounded(tmp_path):
+    reader = SpoolReader(limit=2)
+    spools = []
+    try:
+        for i in range(4):
+            spool = PayloadSpool(dir=str(tmp_path))
+            spools.append(spool)
+            off, length = spool.append(f"blob-{i}".encode())
+            assert reader.read(spool.path, off, length) == f"blob-{i}".encode()
+        assert len(reader._maps) == 2
+    finally:
+        reader.close()
+        for spool in spools:
+            spool.close()
+
+
+def test_reader_survives_unlink_while_mapped(tmp_path):
+    # POSIX keeps the mapping valid after the unlink — exactly how the
+    # parent closes the spool while workers may still hold mappings.
+    spool = PayloadSpool(dir=str(tmp_path))
+    off, length = spool.append(b"still-here")
+    reader = SpoolReader()
+    try:
+        assert reader.read(spool.path, off, length) == b"still-here"
+        path = spool.path
+        spool.close()
+        assert not os.path.exists(path)
+        assert reader.read(path, off, length) == b"still-here"
+    finally:
+        reader.close()
+
+
+def test_spooled_sweep_matches_inline_byte_for_byte():
+    # Force every payload through the spool (threshold=1) and compare
+    # against the inline-dispatch run and the serial run.
+    payloads = [{"cell": i, "blob": "z" * 200} for i in range(8)]
+    serial = values(
+        Executor(SweepPlan(max_workers=1)).run(_echo, payloads)
+    )
+    spooled_exec = Executor(SweepPlan(max_workers=2, spool_threshold=1))
+    spooled = values(spooled_exec.run(_echo, payloads))
+    inline = values(
+        Executor(SweepPlan(max_workers=2, spool_threshold=None)).run(
+            _echo, payloads
+        )
+    )
+    assert serial == spooled == inline == payloads
+    if spooled_exec.stats.workers > 1:
+        assert spooled_exec.stats.spooled_payloads == len(payloads)
+        assert spooled_exec.stats.spool_bytes > 0
+
+
+def test_small_payloads_stay_inline():
+    executor = Executor(SweepPlan(max_workers=2))
+    assert values(executor.run(_echo, list(range(4)))) == [0, 1, 2, 3]
+    assert executor.stats.spooled_payloads == 0
+    assert executor.stats.spool_bytes == 0
