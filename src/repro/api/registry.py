@@ -128,7 +128,7 @@ def get(name: str) -> Experiment:
 def run(spec: ExperimentSpec) -> ExperimentResult:
     """The uniform entry point — and the sweep worker function."""
     exp = get(spec.name)
-    data = exp.fn(seed=spec.seed)
+    data = exp.fn(seed=spec.seed)  # simlint: dynamic=experiment-registry
     return ExperimentResult(
         name=spec.name, seed=spec.seed, data=data, records=to_records(data)
     )

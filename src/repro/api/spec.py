@@ -159,7 +159,7 @@ def build(spec: SimulationSpec) -> Simulation:
             kernel.set_swap_mount(spu, s.swap_mount)
     sim = Simulation(spec, kernel, spus)
     if spec.load is not None:
-        spec.load(sim)
+        spec.load(sim)  # simlint: dynamic=callback-field
     return sim
 
 

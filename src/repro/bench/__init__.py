@@ -84,7 +84,14 @@ from repro.api import (
     run_experiment,
 )
 from repro.core.schemes import piso_scheme, smp_scheme
-from repro.parallel import Executor, SweepCache, SweepPlan, WorkerPool, values
+from repro.parallel import (
+    Executor,
+    SweepCache,
+    SweepPlan,
+    WorkerPool,
+    closure_stats,
+    values,
+)
 
 #: Per-probe events/sec measured on the pre-optimisation tree (1-CPU
 #: container, CPython 3.11): best of 3 on the same probe definitions.
@@ -403,9 +410,13 @@ def run_bench(
             else 0.0,
         }
         cache_payload.update(cache_stats)
+        # How many key derivations used a function-precise closure
+        # digest vs the whole-tree fallback (see repro.parallel.cache).
+        cache_payload["closure"] = closure_stats()
     else:
         cache_payload = {"enabled": False, "hits": 0, "misses": 0,
-                         "errors": 0, "puts": 0, "hit_ratio": 0.0}
+                         "errors": 0, "puts": 0, "hit_ratio": 0.0,
+                         "closure": {"precise": 0, "fallback": 0}}
 
     return {
         "schema": "repro.bench/3",

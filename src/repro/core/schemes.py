@@ -198,7 +198,7 @@ def scheme_by_name(name: str, params: IsolationParams = IsolationParams()) -> Sc
         "stride": stride_scheme,
     }
     try:
-        return factories[name.lower()](params)
+        return factories[name.lower()](params)  # simlint: dynamic=factory-table
     except KeyError:
         raise ValueError(
             f"unknown scheme {name!r}; expected one of {sorted(factories)}"

@@ -69,7 +69,9 @@ class TimeSharedCpu:
         return owner
 
 
-class CpuPartition:
+# One CpuPartition per kernel, rebuilt only on CPU hot-plug; the hot
+# per-tick state lives in TimeSharedCpu, which has __slots__.
+class CpuPartition:  # simlint: disable=SL401
     """The machine-wide CPU-to-SPU assignment."""
 
     def __init__(
@@ -146,7 +148,9 @@ class CpuPartition:
                     remaining -= take
             while remaining > 0:
                 take = min(MILLI_CPU, remaining)
-                bins.append({spu_id: take})
+                # Partition construction: runs at boot and on CPU
+                # hot-plug/renegotiation, not on per-event dispatch.
+                bins.append({spu_id: take})  # simlint: disable=SL402
                 capacities.append(MILLI_CPU - take)
                 remaining -= take
         if next_cpu + len(bins) > self.ncpus:

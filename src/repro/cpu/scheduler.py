@@ -159,7 +159,7 @@ class CpuScheduler:
     def _eligible(self, procs: List[SchedulableProcess], now: int) -> List[SchedulableProcess]:
         if self.eligibility is None:
             return procs
-        return [p for p in procs if self.eligibility(p, now)]
+        return [p for p in procs if self.eligibility(p, now)]  # simlint: dynamic=callback-field
 
     def _pop_best(self, spu_id: int, now: int) -> Optional[SchedulableProcess]:
         queue = self._eligible(self._queues.get(spu_id, []), now)

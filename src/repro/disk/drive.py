@@ -104,7 +104,9 @@ class SpuBandwidthLedger:
         return spu_id == SHARED_SPU_ID
 
 
-class DiskDrive:
+# A handful of DiskDrive instances per machine; tests and the fault
+# layer attach hooks (on_failed) and would fight a closed layout.
+class DiskDrive:  # simlint: disable=SL401
     """A single disk with its queue and scheduler."""
 
     def __init__(
@@ -164,7 +166,7 @@ class DiskDrive:
         """
         if not self.alive:
             if self.on_failed is not None:
-                self.on_failed(request)
+                self.on_failed(request)  # simlint: dynamic=callback-field
                 return
             raise DiskFailedError(f"disk {self.disk_id} has failed permanently")
         if request.last_sector >= self.geometry.total_sectors:
@@ -260,7 +262,7 @@ class DiskDrive:
         # a woken process may immediately submit more I/O.
         self._start_next()
         if request.on_complete is not None:
-            request.on_complete(request)
+            request.on_complete(request)  # simlint: dynamic=callback-field
 
     def _error(self, request: DiskRequest) -> None:
         """A service attempt failed transiently: back off and retry, or
@@ -277,7 +279,7 @@ class DiskDrive:
             self.stats.record(request)
             self._start_next()
             if request.on_complete is not None:
-                request.on_complete(request)
+                request.on_complete(request)  # simlint: dynamic=callback-field
             return
         self.stats.retries += 1
         self.engine.call_after(backoff, self._retry, request)
@@ -287,13 +289,13 @@ class DiskDrive:
         """Re-queue a request after its backoff (competing normally)."""
         if not self.alive:
             if self.on_failed is not None:
-                self.on_failed(request)
+                self.on_failed(request)  # simlint: dynamic=callback-field
                 return
             request.failed = True
             request.finish_time = self.engine.now
             self.stats.record(request)
             if request.on_complete is not None:
-                request.on_complete(request)
+                request.on_complete(request)  # simlint: dynamic=callback-field
             return
         self.queue.append(request)
         if not self.busy:

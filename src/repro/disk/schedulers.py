@@ -30,6 +30,8 @@ class BandwidthLedger(Protocol):
 class NullLedger:
     """A ledger for schedulers that ignore fairness (Pos/FIFO/SSTF)."""
 
+    __slots__ = ()
+
     def usage_ratio(self, spu_id: int, now: int) -> float:
         return 0.0
 
@@ -61,6 +63,8 @@ def sstf_pick(queue: Sequence[DiskRequest], head_sector: int) -> DiskRequest:
 class DiskScheduler(abc.ABC):
     """Chooses the next request to service."""
 
+    __slots__ = ()
+
     name: str = "abstract"
 
     @abc.abstractmethod
@@ -81,6 +85,8 @@ class CScanScheduler(DiskScheduler):
     (a large copy, a core dump) can lock out everyone else.
     """
 
+    __slots__ = ()
+
     name = "pos"
 
     def select(self, queue, head_sector, now, ledger):
@@ -90,6 +96,8 @@ class CScanScheduler(DiskScheduler):
 class FifoScheduler(DiskScheduler):
     """Strict arrival order.  Fair per-request, terrible seek behaviour."""
 
+    __slots__ = ()
+
     name = "fifo"
 
     def select(self, queue, head_sector, now, ledger):
@@ -98,6 +106,8 @@ class FifoScheduler(DiskScheduler):
 
 class SstfScheduler(DiskScheduler):
     """Greedy shortest-seek; can starve distant requests."""
+
+    __slots__ = ()
 
     name = "sstf"
 
@@ -138,6 +148,8 @@ class BlindFairScheduler(DiskScheduler):
     within the SPU.  Provides strong isolation but pays extra seeks.
     """
 
+    __slots__ = ()
+
     name = "iso"
 
     def select(self, queue, head_sector, now, ledger):
@@ -162,6 +174,8 @@ class FairCScanScheduler(DiskScheduler):
     isolation (0 → round-robin-like) against throughput (∞ → pure
     C-SCAN); see the ablation bench.
     """
+
+    __slots__ = ("bw_difference_threshold",)
 
     name = "piso"
 

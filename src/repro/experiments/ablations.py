@@ -346,7 +346,7 @@ def run_migration_sweep(
     for cost in costs_us:
         for scheme_factory in (smp_scheme, piso_scheme, stride_scheme):
             params = IsolationParams(migration_cost=cost)
-            scheme = scheme_factory(params)
+            scheme = scheme_factory(params)  # simlint: dynamic=factory-table
             sim = build(SimulationSpec(
                 ncpus=2, memory_mb=16, scheme=scheme,
                 spus=["u0", "u1"], seed=seed,

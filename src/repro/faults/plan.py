@@ -211,7 +211,8 @@ class FaultPlan:
                     f" expected one of {sorted(_CLASS_OF)}"
                 ) from None
             try:
-                events.append(event_cls(**fields))
+                # Audited: _CLASS_OF maps to dataclasses in this module.
+                events.append(event_cls(**fields))  # simlint: dynamic=factory-table
             except TypeError as exc:
                 raise FaultPlanError(f"bad fields for {kind!r}: {exc}") from None
         return cls(events)

@@ -34,6 +34,17 @@ class FileSystemError(RuntimeError):
 class FileSystem:
     """Buffer-cached filesystem over one or more disk drives."""
 
+    __slots__ = (
+        "engine",
+        "cache",
+        "read_cluster_sectors",
+        "readahead",
+        "_mounts",
+        "_files",
+        "_inflight",
+        "writeback",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -183,7 +194,7 @@ class FileSystem:
 
         state["issued"] = True
         if state["remaining"] == 0:
-            self.engine.call_after(0, on_done)
+            self.engine.call_after(0, on_done)  # simlint: dynamic=continuation
 
     def _cluster(
         self, file: File, blocks: List[int], max_sectors: int
@@ -229,7 +240,7 @@ class FileSystem:
                     # whatever error handling the caller models.
                     self.cache.insert(key, spu_id, dirty=False, now=self.engine.now)
                 for wake in self._inflight.pop(key, []):
-                    wake()
+                    wake()  # simlint: dynamic=continuation
 
         drive.submit(
             DiskRequest(
@@ -268,9 +279,12 @@ class FileSystem:
                     continue
                 if key in self._inflight:
                     # A read (likely prefetch) is bringing the block in;
-                    # wait for it, then overwrite.
+                    # wait for it, then overwrite.  These continuation
+                    # lambdas capture the per-iteration index, so they
+                    # cannot be hoisted out of the loop; each one is
+                    # allocated at most once per blocked block.
                     index = i
-                    self._inflight[key].append(lambda: step(index))
+                    self._inflight[key].append(lambda: step(index))  # simlint: disable=SL402
                     return
                 if self.cache.insert(key, spu_id, dirty=True, now=self.engine.now):
                     i += 1
@@ -279,14 +293,14 @@ class FileSystem:
                 # writing through uncached.
                 index = i
                 if self.cache.dirty_blocks(spu_id):
-                    self.writeback.flush_spu(spu_id, on_done=lambda: step(index))
+                    self.writeback.flush_spu(spu_id, on_done=lambda: step(index))  # simlint: disable=SL402
                     return
                 if self.cache.dirty_blocks():
-                    self.writeback.flush_all(on_done=lambda: step(index))
+                    self.writeback.flush_all(on_done=lambda: step(index))  # simlint: disable=SL402
                     return
-                self._write_through(file, blocks[i], spu_id, pid, lambda: step(index + 1))
+                self._write_through(file, blocks[i], spu_id, pid, lambda: step(index + 1))  # simlint: disable=SL402
                 return
-            self.engine.call_after(0, on_done)
+            self.engine.call_after(0, on_done)  # simlint: dynamic=continuation
 
         step(0)
 

@@ -103,6 +103,8 @@ class Volume:
     caller-supplied RNG so runs are deterministic) across the volume.
     """
 
+    __slots__ = ("total_sectors", "_rng", "_next_free", "files")
+
     def __init__(self, total_sectors: int, rng: Optional[random.Random] = None):
         if total_sectors <= 0:
             raise LayoutError("volume must have at least one sector")

@@ -25,6 +25,8 @@ class _StreamState:
 class ReadAheadTracker:
     """Per-(process, file) sequential access detection and window sizing."""
 
+    __slots__ = ("window_blocks", "min_sequential_runs", "_streams")
+
     def __init__(self, window_blocks: int = 8, min_sequential_runs: int = 1):
         if window_blocks < 0:
             raise ValueError("window_blocks must be >= 0")

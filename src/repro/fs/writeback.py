@@ -27,6 +27,16 @@ FileResolver = Callable[[int], Tuple[File, DiskDrive]]
 class WritebackDaemon:
     """Flushes dirty blocks, clustering physically contiguous sectors."""
 
+    __slots__ = (
+        "engine",
+        "cache",
+        "resolve",
+        "period",
+        "max_cluster_sectors",
+        "_timer",
+        "flushes_issued",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -73,7 +83,7 @@ class WritebackDaemon:
     ) -> int:
         if not blocks:
             if on_done is not None:
-                self.engine.call_after(0, on_done)
+                self.engine.call_after(0, on_done)  # simlint: dynamic=continuation
             return 0
 
         # Map blocks to physical position, group per drive, sort by
@@ -107,7 +117,7 @@ class WritebackDaemon:
         def one_done(_req: DiskRequest) -> None:
             done_state["remaining"] -= 1
             if done_state["remaining"] == 0 and on_done is not None:
-                on_done()
+                on_done()  # simlint: dynamic=continuation
 
         for drive, request in requests:
             request.on_complete = self._completion(request, one_done)
@@ -144,6 +154,6 @@ class WritebackDaemon:
                 block.pinned = False
                 if block.key in self.cache.blocks and block.epoch == epoch:
                     self.cache.mark_clean(block.key)
-            then(req)
+            then(req)  # simlint: dynamic=continuation
 
         return complete

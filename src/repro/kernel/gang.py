@@ -28,6 +28,8 @@ _gang_ids = itertools.count(1)
 class Gang:
     """A set of processes that should be co-scheduled."""
 
+    __slots__ = ("gang_id", "name", "members")
+
     def __init__(self, name: str = ""):
         self.gang_id = next(_gang_ids)
         self.name = name or f"gang{self.gang_id}"

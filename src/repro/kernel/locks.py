@@ -40,6 +40,17 @@ class KernelLock:
     called when the lock is granted.
     """
 
+    __slots__ = (
+        "name",
+        "reader_writer",
+        "inheritance",
+        "_writer",
+        "_readers",
+        "_waiters",
+        "acquisitions",
+        "contentions",
+    )
+
     def __init__(self, name: str, reader_writer: bool = False, inheritance: bool = False):
         self.name = name
         self.reader_writer = reader_writer
@@ -167,6 +178,8 @@ class KernelLock:
 
 class Barrier:
     """An N-party barrier; the last arrival releases everyone."""
+
+    __slots__ = ("parties", "name", "_waiting", "generation")
 
     def __init__(self, parties: int, name: str = "barrier"):
         if parties <= 0:

@@ -1,5 +1,15 @@
 """Built-in simlint checkers; importing the package registers them."""
 
-from repro.lint.checkers import determinism, eventsafety, hotpath, units
+from repro.lint.checkers import (
+    determinism,
+    eventsafety,
+    hotpath,
+    interproc,
+    sharedstate,
+    units,
+)
 
-__all__ = ["determinism", "eventsafety", "hotpath", "units"]
+__all__ = [
+    "determinism", "eventsafety", "hotpath", "interproc", "sharedstate",
+    "units",
+]

@@ -1,0 +1,139 @@
+"""SL5xx — interprocedural determinism: taint that SL1xx cannot see.
+
+The SL1xx rules are file-local: a wall-clock read laundered through a
+helper — ``def _stamp(): return time.time()`` in a utility module,
+called from an event handler — never appears in the handler's file.
+These rules close that hole using the effect engine's fixpoint
+(:mod:`repro.lint.effects`): a simulated-world function is flagged
+when it *transitively* reaches a nondeterminism site that escapes
+local review, with the witness call chain in the message.
+
+* SL501 — transitive wall-clock read
+* SL502 — transitive unseeded entropy draw
+* SL503 — transitive environment read (``REPRO_*`` steering knobs are
+  sanctioned: the sweep cache folds them into its key)
+* SL504 — transitive hash-order iteration (warning: order bugs are
+  usually observable, not silent)
+
+A site *escapes local review* when it lives outside SIM_SCOPE (host
+code the per-file pass never judges) or carries an inline SL1xx
+suppression.  A suppressed site only fires in callers from a
+*different* top-level package — whoever audited the suppression saw
+the package around it.  And only the frontier function reports: if the
+next hop in the chain would fire the same rule itself, the caller
+stays silent instead of cascading one root cause into a dozen
+findings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.lint.finding import Finding, Rule
+from repro.lint.framework import (
+    FileContext,
+    ProjectChecker,
+    SIM_SCOPE,
+    register_project,
+)
+from repro.lint.summaries import Taint
+
+#: taint kind -> interprocedural rule
+KIND_RULE = {
+    "wall-clock": "SL501",
+    "entropy": "SL502",
+    "env-read": "SL503",
+    "hash-order": "SL504",
+}
+
+SL501 = Rule(
+    "SL501", "transitive-wall-clock",
+    "a callee (possibly in host-side code) reads the wall clock on this "
+    "function's behalf; thread Engine.now through instead",
+    severity="error", scope=SIM_SCOPE,
+)
+SL502 = Rule(
+    "SL502", "transitive-entropy",
+    "a callee draws unseeded randomness on this function's behalf; pass "
+    "an engine-forked stream down the chain",
+    severity="error", scope=SIM_SCOPE,
+)
+SL503 = Rule(
+    "SL503", "transitive-env-read",
+    "a callee reads the process environment on this function's behalf; "
+    "thread configuration through MachineConfig",
+    severity="error", scope=SIM_SCOPE,
+)
+SL504 = Rule(
+    "SL504", "transitive-hash-order",
+    "a callee iterates a set in hash order on this function's behalf; "
+    "sort at the source",
+    severity="warning", scope=SIM_SCOPE,
+)
+
+_RULES = {"SL501": SL501, "SL502": SL502, "SL503": SL503, "SL504": SL504}
+
+
+def _top_package(module: str) -> str:
+    parts = module.split(".")
+    return parts[1] if len(parts) > 1 else parts[0]
+
+
+def _reportable(summary, taint: Taint) -> bool:
+    """Whether this taint can fire on this function at all."""
+    site = taint.site
+    if len(taint.chain) < 2:
+        return False        # a direct site is SL1xx's business
+    if not site.escapes_local or site.sanctioned:
+        return False
+    if _top_package(site.module) in SIM_SCOPE:
+        # Suppressed-in-scope site: the suppression reviewer audited
+        # the surrounding package, so only cross-package callers fire.
+        return _top_package(summary.module) != _top_package(site.module)
+    return True
+
+
+@register_project
+class InterprocDeterminism(ProjectChecker):
+    RULES = (SL501, SL502, SL503, SL504)
+
+    def check_project(
+        self, analysis, contexts: Dict[str, FileContext]
+    ) -> Iterator[Finding]:
+        # Pass 1: every (function, kind) pair that could fire.
+        candidates: Dict[Tuple[str, str], Taint] = {}
+        for ref, summary in analysis.summaries.items():
+            if _top_package(summary.module) not in SIM_SCOPE:
+                continue
+            for kind, taints in summary.taints.items():
+                for taint in taints:
+                    if _reportable(summary, taint):
+                        candidates.setdefault((ref, kind), taint)
+                        break
+        # Pass 2: report only the frontier — skip a function whose
+        # next hop toward the site fires the same rule itself.
+        fired: Set[Tuple[str, str]] = set()
+        for (ref, kind), taint in sorted(candidates.items()):
+            next_hop = taint.chain[1][0]
+            if (next_hop, kind) in candidates:
+                continue
+            fired.add((ref, kind))
+            summary = analysis.summaries[ref]
+            rule = _RULES[KIND_RULE[kind]]
+            line = taint.chain[0][1]
+            ctx = contexts.get(summary.path)
+            if ctx is not None and ctx.suppressed(line, rule.code):
+                continue
+            snippet = ctx.snippet(line) if ctx is not None else ""
+            yield Finding(
+                rule=rule.code,
+                path=summary.path,
+                line=line,
+                col=1,
+                message=(
+                    f"{summary.qualname} transitively reaches "
+                    f"{taint.site.detail}: {taint.render_chain()}"
+                ),
+                snippet=snippet,
+                severity=rule.severity,
+            )

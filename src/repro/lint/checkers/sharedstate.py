@@ -1,0 +1,83 @@
+"""SL6xx — shared-state ordering across event handlers.
+
+The engine fires same-timestamp events in insertion order (INTERNALS
+§6), so two handlers registered by *different* subsystems that both
+mutate the same resource ledger are order-coupled: swapping their
+registration order changes the final ledger value at a tie.  That is
+legal only when the tie-break has been audited (the paper's accounting
+laws are insertion-order-invariant for commutative updates, and the
+sanitizer checks conservation after every event).
+
+* SL601 — a ledger field (``entitled`` / ``allowed`` / ``used``
+  outside the accounting module) is written by handlers reachable from
+  two or more distinct engine event roots, and the write site carries
+  no tie-break audit.  Suppress with ``# simlint: disable=SL601`` *at
+  the write site* once the commutativity argument is written down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from repro.lint.finding import Finding, Rule
+from repro.lint.framework import (
+    FileContext,
+    ProjectChecker,
+    SIM_SCOPE,
+    register_project,
+)
+
+SL601 = Rule(
+    "SL601", "multi-root-ledger-write",
+    "a resource ledger is mutated by handlers of two or more event "
+    "kinds; audit the tie-break (commutativity at equal timestamps) "
+    "and suppress at the write site",
+    severity="warning", scope=SIM_SCOPE,
+)
+
+
+@register_project
+class SharedStateOrdering(ProjectChecker):
+    RULES = (SL601,)
+
+    def check_project(
+        self, analysis, contexts: Dict[str, FileContext]
+    ) -> Iterator[Finding]:
+        token_roots: Dict[str, Set[str]] = {}
+        token_sites: Dict[str, List] = {}
+        for root in sorted(analysis.event_roots()):
+            footprint = analysis.root_footprint(root)
+            for token, sites in footprint.items():
+                token_roots.setdefault(token, set()).add(root)
+                token_sites.setdefault(token, []).extend(sites)
+        for token in sorted(token_roots):
+            roots = sorted(token_roots[token])
+            if len(roots) < 2:
+                continue
+            shown = [r.split(":", 1)[1] for r in roots[:4]]
+            names = ", ".join(shown)
+            if len(roots) > len(shown):
+                names += f", +{len(roots) - len(shown)} more"
+            seen: Set[tuple] = set()
+            for site in token_sites[token]:
+                key = (site.path, site.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                ctx = contexts.get(site.path)
+                if ctx is not None and ctx.suppressed(site.line, "SL601"):
+                    continue
+                yield Finding(
+                    rule=SL601.code,
+                    path=site.path,
+                    line=site.line,
+                    col=1,
+                    message=(
+                        f"{token} is written by handlers reachable from "
+                        f"{len(roots)} event roots ({names}); the engine "
+                        "fires ties in insertion order — audit and "
+                        "suppress at this write site"
+                    ),
+                    snippet=ctx.snippet(site.line) if ctx is not None else "",
+                    severity=SL601.severity,
+                )

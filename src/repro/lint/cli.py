@@ -75,7 +75,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print every rule with its severity and summary",
     )
+    parser.add_argument(
+        "--effects", action="store_true",
+        help="build the interprocedural effect analysis: run the "
+        "SL5xx/SL6xx project rules and derive the SL4xx hot-module "
+        "list from Engine.run reachability",
+    )
+    parser.add_argument(
+        "--why", metavar="FN", default=None,
+        help="explain one function's effect summary (module:qualname, "
+        "or a unique qualname suffix) and exit; implies --effects",
+    )
     return parser
+
+
+def _explain(analysis, query: str) -> int:
+    refs = sorted(analysis.summaries)
+    matches = [r for r in refs if r == query]
+    if not matches:
+        matches = [
+            r for r in refs
+            if r.endswith(f":{query}") or r.split(":", 1)[1] == query
+        ]
+    if not matches:
+        matches = [r for r in refs if query in r]
+    if not matches:
+        print(f"error: no function matches {query!r}", file=sys.stderr)
+        return 2
+    if len(matches) > 1 and query not in matches:
+        print(f"error: {query!r} is ambiguous:", file=sys.stderr)
+        for ref in matches[:10]:
+            print(f"  {ref}", file=sys.stderr)
+        return 2
+    ref = query if query in matches else matches[0]
+    summary = analysis.summaries[ref]
+    print(f"{ref}  ({summary.path}:{summary.line})")
+    if summary.markers:
+        print(f"  audited dynamic seams: {', '.join(summary.markers)}")
+    if summary.widened:
+        print("  widened (closure falls back to whole-tree digest):")
+        for reason in summary.widened:
+            print(f"    - {reason}")
+    for site in summary.direct_effects:
+        tag = " [sanctioned]" if site.sanctioned else ""
+        print(f"  direct {site.kind}: {site.describe()}{tag}")
+    for kind in sorted(summary.taints):
+        for taint in summary.taints[kind]:
+            tag = " [sanctioned]" if taint.site.sanctioned else ""
+            print(f"  transitive {kind}{tag}: {taint.render_chain()}")
+    for write in summary.writes:
+        print(f"  writes {write.token} ({write.path}:{write.line})")
+    closure = analysis.closure(ref)
+    if closure is not None:
+        modules, widen_reasons = closure
+        state = "complete" if not widen_reasons else \
+            f"incomplete ({len(widen_reasons)} unresolved edges)"
+        print(f"  dependency closure: {len(modules)} modules, {state}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,8 +148,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.rules:
         rules = {code.strip() for code in args.rules.split(",") if code.strip()}
 
+    effects = args.effects or args.why is not None
+
+    if args.why is not None:
+        from repro.lint.effects import analyze_paths
+        from repro.lint.framework import iter_python_files
+
+        try:
+            analysis = analyze_paths(iter_python_files(paths))
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _explain(analysis, args.why)
+
     try:
-        findings = run_lint(paths, rules=rules)
+        findings = run_lint(paths, rules=rules, effects=effects)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

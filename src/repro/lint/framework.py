@@ -97,6 +97,10 @@ class FileContext:
         self.skip_file = any(
             "# simlint: skip-file" in line for line in self.lines[:10]
         )
+        #: Hot-path module tails for SL4xx.  The static PR-3 list by
+        #: default; ``run_lint(effects=True)`` replaces it with the
+        #: set the effect engine derives from ``Engine.run``.
+        self.hot_modules: Sequence[str] = HOT_MODULES
 
     # --- queries checkers lean on ------------------------------------------
 
@@ -148,7 +152,7 @@ class FileContext:
 
     def is_hot_module(self) -> bool:
         tail = "/".join(self.module_parts())
-        return tail in HOT_MODULES
+        return tail in self.hot_modules
 
     def finding(
         self, rule: Rule, node: ast.AST, message: str
@@ -181,7 +185,26 @@ class Checker:
         raise NotImplementedError
 
 
+class ProjectChecker:
+    """Base class for whole-tree passes over the effect analysis.
+
+    Project checkers only run under ``run_lint(effects=True)``: they
+    receive the :class:`~repro.lint.effects.EffectAnalysis` built from
+    every linted file plus the per-file contexts (for suppression
+    checks and snippets), and yield findings anchored wherever their
+    evidence lives.
+    """
+
+    RULES: Tuple[Rule, ...] = ()
+
+    def check_project(
+        self, analysis, contexts: Dict[str, "FileContext"]
+    ) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
 _CHECKERS: List[Type[Checker]] = []
+_PROJECT_CHECKERS: List[Type[ProjectChecker]] = []
 
 
 def register(cls: Type[Checker]) -> Type[Checker]:
@@ -190,14 +213,27 @@ def register(cls: Type[Checker]) -> Type[Checker]:
     return cls
 
 
+def register_project(cls: Type[ProjectChecker]) -> Type[ProjectChecker]:
+    """Class decorator adding a project checker to the registry."""
+    _PROJECT_CHECKERS.append(cls)
+    return cls
+
+
 def registered_checkers() -> List[Type[Checker]]:
     _load_builtin_checkers()
     return list(_CHECKERS)
 
 
+def registered_project_checkers() -> List[Type[ProjectChecker]]:
+    _load_builtin_checkers()
+    return list(_PROJECT_CHECKERS)
+
+
 def all_rules() -> List[Rule]:
     rules: List[Rule] = []
     for checker in registered_checkers():
+        rules.extend(checker.RULES)
+    for checker in registered_project_checkers():
         rules.extend(checker.RULES)
     return sorted(rules, key=lambda r: (r.code, r.name))
 
@@ -244,15 +280,20 @@ def run_lint(
     paths: Sequence[str],
     root: Optional[str] = None,
     rules: Optional[Set[str]] = None,
+    effects: bool = False,
 ) -> List[Finding]:
     """Run every registered checker over ``paths``.
 
     Findings come back sorted by (path, line, col, rule) so output and
     baselines are stable.  ``rules`` optionally restricts to a subset
-    of rule codes.
+    of rule codes.  ``effects=True`` additionally builds the
+    interprocedural effect analysis over every parsed file, derives
+    the SL4xx hot-module list from ``Engine.run`` reachability, and
+    runs the registered project checkers (SL5xx/SL6xx).
     """
     findings: List[Finding] = []
     checkers = [cls() for cls in registered_checkers()]
+    contexts: List[FileContext] = []
     for path in iter_python_files(paths):
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
@@ -272,6 +313,21 @@ def run_lint(
             continue
         if ctx.skip_file:
             continue
+        contexts.append(ctx)
+
+    analysis = None
+    if effects:
+        from repro.lint.effects import EffectAnalysis
+
+        analysis = EffectAnalysis.from_sources(
+            (ctx.display_path, ctx.source, ctx.tree) for ctx in contexts
+        )
+        derived_hot = tuple(analysis.hot_modules())
+        if derived_hot:
+            for ctx in contexts:
+                ctx.hot_modules = derived_hot
+
+    for ctx in contexts:
         for checker in checkers:
             if not ctx.in_scope(checker.SCOPE):
                 continue
@@ -281,5 +337,16 @@ def run_lint(
                 if rules is not None and finding.rule not in rules:
                     continue
                 findings.append(finding)
+
+    if analysis is not None:
+        by_display = {ctx.display_path: ctx for ctx in contexts}
+        for cls in registered_project_checkers():
+            for finding in cls().check_project(analysis, by_display):
+                if finding is None:
+                    continue
+                if rules is not None and finding.rule not in rules:
+                    continue
+                findings.append(finding)
+
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -29,7 +29,9 @@ class OutOfMemoryError(RuntimeError):
     """Raised when an internal invariant on the page pool breaks."""
 
 
-class MemoryManager:
+# One MemoryManager per kernel; allocation speed is bounded by the
+# ResourceLevels checks, not attribute lookup on the manager.
+class MemoryManager:  # simlint: disable=SL401
     """The physical page pool, charged per SPU."""
 
     def __init__(
@@ -211,7 +213,7 @@ class MemoryManager:
         removed = 0
         while removed < pages and self.total_pages > 1:
             if self.free_pages <= 0:
-                if evict is None or not evict():
+                if evict is None or not evict():  # simlint: dynamic=continuation
                     break
                 if self.free_pages <= 0:
                     break

@@ -24,6 +24,16 @@ StealFn = Callable[[int], bool]
 class PageoutDaemon:
     """Keeps ``free_pages`` at or above the Reserve Threshold."""
 
+    __slots__ = (
+        "engine",
+        "manager",
+        "steal_from",
+        "period",
+        "max_batch",
+        "_timer",
+        "reclaimed",
+    )
+
     def __init__(
         self,
         engine: Engine,

@@ -30,6 +30,15 @@ from repro.sim.engine import Engine, PeriodicTimer
 class MemorySharingDaemon:
     """Recomputes entitlements and lends idle pages."""
 
+    __slots__ = (
+        "engine",
+        "manager",
+        "contract",
+        "registry",
+        "_timer",
+        "loans",
+    )
+
     def __init__(
         self,
         engine: Engine,

@@ -39,6 +39,8 @@ class WorkingSetModel:
         Deterministic random stream for inter-arrival draws.
     """
 
+    __slots__ = ("ws_pages", "touches_per_ms", "fault_cluster_pages", "_rng")
+
     def __init__(
         self,
         ws_pages: int,

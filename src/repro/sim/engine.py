@@ -375,7 +375,7 @@ class Engine:
                 target.fired = True
                 if not target.daemon:
                     self._live -= 1
-                target.fn(*target.args)
+                target.fn(*target.args)  # simlint: dynamic=engine-dispatch
             elif kind == _K_TIMER:
                 if target._stopped:
                     continue
@@ -385,9 +385,9 @@ class Engine:
                 self._now = time
                 if kind == _K_CALL:
                     self._live -= 1
-                target(*args)
+                target(*args)  # simlint: dynamic=engine-dispatch
             if self._san is not None:
-                self._san()
+                self._san()  # simlint: dynamic=engine-dispatch
             return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -422,14 +422,14 @@ class Engine:
                     if kind == _K_CALL:
                         self._now = time
                         self._live -= 1
-                        target(*args)
+                        target(*args)  # simlint: dynamic=engine-dispatch
                         executed += 1
                     elif kind == _K_TIMER:
                         if target._stopped:
                             continue
                         if target._skip_fn is not None and self._ff:
                             probe = self._idle
-                            if probe is not None and probe():
+                            if probe is not None and probe():  # simlint: dynamic=engine-dispatch
                                 bound = self._peek_time()
                                 if bound is not None and bound > time:
                                     period = target.period
@@ -452,11 +452,11 @@ class Engine:
                         target.fired = True
                         if not target.daemon:
                             self._live -= 1
-                        target.fn(*target.args)
+                        target.fn(*target.args)  # simlint: dynamic=engine-dispatch
                         executed += 1
                     else:  # _K_CALL_D
                         self._now = time
-                        target(*args)
+                        target(*args)  # simlint: dynamic=engine-dispatch
                         executed += 1
                 return executed
             ff = self._ff and max_events is None and self._san is None
@@ -488,7 +488,7 @@ class Engine:
                 if kind == _K_TIMER:
                     if ff and target._skip_fn is not None:
                         probe = self._idle
-                        if probe is not None and probe():
+                        if probe is not None and probe():  # simlint: dynamic=engine-dispatch
                             nxt = self._peek_time()
                             bound = until + 1 if until is not None else None
                             if nxt is not None and (bound is None or nxt < bound):
@@ -511,14 +511,14 @@ class Engine:
                     target.fired = True
                     if not target.daemon:
                         self._live -= 1
-                    target.fn(*target.args)
+                    target.fn(*target.args)  # simlint: dynamic=engine-dispatch
                 else:
                     self._now = time
                     if kind == _K_CALL:
                         self._live -= 1
-                    target(*entry[4])
+                    target(*entry[4])  # simlint: dynamic=engine-dispatch
                 if self._san is not None:
-                    self._san()
+                    self._san()  # simlint: dynamic=engine-dispatch
                 executed += 1
             if until is not None and until > self._now:
                 self._now = until

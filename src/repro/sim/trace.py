@@ -30,6 +30,8 @@ class TraceRecord:
 class Tracer:
     """Collects trace records, optionally filtered by category."""
 
+    __slots__ = ("records", "_categories")
+
     enabled = True
 
     def __init__(self, categories: Optional[Iterable[str]] = None):
@@ -55,6 +57,8 @@ class Tracer:
 
 class NullTracer(Tracer):
     """A tracer that drops everything; the default."""
+
+    __slots__ = ()
 
     enabled = False
 
